@@ -1,0 +1,76 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//   1. gRPC connection re-use between dAuth instances (§5.1 opt. 1)
+//   2. racing GetAuthVector across multiple backups (§5.1 opt. 3)
+//   3. plain Shamir shares vs Feldman verifiable shares (§3.5.2)
+//   4. Open5GS roaming with on-demand vs persistent S6a/N12 connections
+// All variants run the same backup-mode workload (edge serving core on
+// fiber, 8 backups, threshold 4, 200 registrations/min).
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace dauth;
+
+namespace {
+
+constexpr double kLoad = 200;
+const Time kDuration = minutes(2);
+
+ran::LoadResult run_variant(bool connection_reuse, std::size_t race_width,
+                            bool verifiable_shares) {
+  bench::DauthOptions options;
+  options.scenario = sim::Scenario::kEdgeFiber;
+  options.pool_size = 96;
+  options.backup_count = 8;
+  options.home_offline = true;
+  options.connection_reuse = connection_reuse;
+  options.config.threshold = 4;
+  options.config.vector_race_width = race_width;
+  options.config.use_verifiable_shares = verifiable_shares;
+  options.config.vectors_per_backup = 16;
+  options.config.report_interval = 0;
+  bench::DauthBench harness(options);
+  return harness.run_load(kLoad, kDuration);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Ablation: dAuth prototype optimizations (backup mode, 200/min)");
+
+  {
+    auto result = run_variant(true, 2, false);
+    bench::print_summary("baseline (reuse + race2 + shamir)", result.latencies);
+  }
+  {
+    auto result = run_variant(false, 2, false);
+    bench::print_summary("no connection reuse", result.latencies);
+  }
+  {
+    auto result = run_variant(true, 1, false);
+    bench::print_summary("no vector racing (width 1)", result.latencies);
+  }
+  {
+    auto result = run_variant(true, 4, false);
+    bench::print_summary("wider vector racing (width 4)", result.latencies);
+  }
+  {
+    auto result = run_variant(true, 2, true);
+    bench::print_summary("feldman verifiable shares", result.latencies);
+  }
+
+  std::printf("\nOpen5GS roaming connection handling (same load):\n");
+  for (bool reuse : {false, true}) {
+    bench::BaselineOptions options;
+    options.scenario = sim::Scenario::kEdgeFiber;
+    options.pool_size = 96;
+    options.roaming = true;
+    options.core_config.reuse_roaming_connections = reuse;
+    bench::BaselineBench harness(options);
+    auto result = harness.run_load(kLoad, kDuration);
+    bench::print_summary(reuse ? "roaming, persistent S6a/N12"
+                               : "roaming, on-demand S6a/N12",
+                         result.latencies);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 3 reproduction: single-UE attach times on the physical testbed
+// (Baicells eNodeB + srsUE profile).
+//
+// Conditions, as in §6.2.2:
+//   * Open5GS           — stock edge core at the RAN site
+//   * dAuth-home-online — dAuth core at the RAN site, user is local
+//   * dAuth-backup[M]   — home network offline, 6 non-cloud SCN backups,
+//                         key-share threshold M in {2, 4, 6}
+// 250+ sequential attaches per condition. Outputs Fig. 3a boxplot rows and
+// Fig. 3b CDF rows.
+//
+// Expected shape: dAuth-home ~ Open5GS; backup threshold 2 adds < 50 ms;
+// threshold 6 is limited by the slowest backup (the Atom-class box on a
+// high-latency backhaul) and grows a long tail.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace dauth;
+
+namespace {
+
+constexpr int kSamples = 250;
+
+SampleSet run_dauth(const bench::DauthOptions& options) {
+  bench::DauthBench harness(options);
+  SampleSet samples;
+  int failures = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto record = harness.single_attach();
+    if (record.success) {
+      samples.add_time(record.latency());
+    } else {
+      ++failures;
+    }
+  }
+  if (failures > 0) std::printf("  (%d failed attaches excluded)\n", failures);
+  return samples;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Figure 3: single-UE attach time, physical RAN profile");
+
+  std::vector<std::pair<std::string, SampleSet>> results;
+
+  {  // Baseline Open5GS edge core.
+    bench::BaselineOptions options;
+    options.scenario = sim::Scenario::kEdgeFiber;
+    options.physical_ran = true;
+    options.pool_size = 1;
+    bench::BaselineBench harness(options);
+    SampleSet samples;
+    for (int i = 0; i < kSamples; ++i) {
+      const auto record = harness.single_attach();
+      if (record.success) samples.add_time(record.latency());
+    }
+    results.emplace_back("open5gs", std::move(samples));
+  }
+
+  {  // dAuth with the home network online and local.
+    bench::DauthOptions options;
+    options.scenario = sim::Scenario::kEdgeFiber;
+    options.physical_ran = true;
+    options.pool_size = 1;
+    options.home_is_serving = true;
+    options.backup_count = 6;
+    options.backup_pool = bench::BackupPool::kNonCloud;
+    options.config.vectors_per_backup = 8;
+    results.emplace_back("dauth-home-online", run_dauth(options));
+  }
+
+  for (std::size_t threshold : {2u, 4u, 6u}) {  // dAuth backup mode.
+    bench::DauthOptions options;
+    options.scenario = sim::Scenario::kEdgeFiber;
+    options.physical_ran = true;
+    options.pool_size = 1;
+    options.home_offline = true;
+    options.backup_count = 6;
+    options.backup_pool = bench::BackupPool::kNonCloud;
+    options.config.threshold = threshold;
+    options.config.vectors_per_backup = 2 * kSamples + 16;  // race burns two per attach
+    options.config.report_interval = 0;                     // home never returns
+    results.emplace_back("dauth-backup-thresh[" + std::to_string(threshold) + "]",
+                         run_dauth(options));
+  }
+
+  std::printf("\nFig 3a (boxplot rows: label,min,q1,median,q3,p95,max in ms)\n");
+  for (auto& [label, samples] : results) bench::print_boxplot(label, samples);
+
+  std::printf("\nFig 3b (CDF rows: cdf,label,ms,fraction)\n");
+  for (auto& [label, samples] : results) bench::print_cdf(label, samples, 16);
+
+  std::printf("\nSummaries\n");
+  for (auto& [label, samples] : results) bench::print_summary(label, samples);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 6 reproduction: authentication latency quantiles vs load for
+// key-share thresholds {2, 4, 6, 8} with 8 backup networks (backup mode,
+// edge serving core on fiber).
+//
+// Expected shape (§6.4): under load the threshold has NO consistent impact
+// on latency or throughput — all backups are queried concurrently anyway,
+// and at high load server-side queueing (shared across thresholds)
+// dominates over waiting for the M-th share.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace dauth;
+
+namespace {
+
+const double kLoads[] = {100, 200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000};
+
+Time duration_for(double per_minute) {
+  const double minutes = std::min(3.0, std::max(0.75, 300.0 / per_minute));
+  return static_cast<Time>(minutes * static_cast<double>(kMinute));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Figure 6: latency vs load across key-share thresholds (8 backups)");
+  std::printf("rows: quant,thresh[M],load_per_min,p50,p90,p95,p99 (ms)\n\n");
+
+  for (std::size_t threshold : {2u, 4u, 6u, 8u}) {
+    bench::DauthOptions options;
+    options.scenario = sim::Scenario::kEdgeFiber;
+    options.pool_size = 64;
+    options.backup_count = 8;
+    options.home_offline = true;
+    options.config.threshold = threshold;
+    options.config.vectors_per_backup = 40;  // enough for the whole sweep
+    options.config.report_interval = 0;
+    bench::DauthBench harness(options);
+
+    for (double load : kLoads) {
+      auto result = harness.run_load(load, duration_for(load));
+      bench::print_quantiles("thresh[" + std::to_string(threshold) + "]", load,
+                             result.latencies);
+      if (result.failed > 0) {
+        std::printf("  note: %zu failures at %g/min (%s)\n", result.failed, load,
+                    result.failures.empty() ? "?" : result.failures.front().c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

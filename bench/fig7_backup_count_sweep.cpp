@@ -1,0 +1,56 @@
+// Figure 7 / Figure 10 reproduction: authentication latency quantiles vs
+// load for different numbers of configured backup networks ({2,4,6,8},
+// key-share threshold 2, backup mode).
+//
+// Expected shape (§6.4 / Appendix E): tail latency degrades and the system
+// saturates at lower load as the number of backups DEcreases — fewer nodes
+// to spread vector fetches across, while the share fan-out hits every
+// backup regardless. Figure 10 is the same data unclipped; we print raw
+// values, so both views come from these rows.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace dauth;
+
+namespace {
+
+const double kLoads[] = {100, 200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000};
+
+Time duration_for(double per_minute) {
+  const double minutes = std::min(3.0, std::max(0.75, 300.0 / per_minute));
+  return static_cast<Time>(minutes * static_cast<double>(kMinute));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "Figure 7/10: latency vs load across backup counts (threshold 2)");
+  std::printf("rows: quant,backups[N],load_per_min,p50,p90,p95,p99 (ms)\n\n");
+
+  for (std::size_t backups : {2u, 4u, 6u, 8u}) {
+    bench::DauthOptions options;
+    options.scenario = sim::Scenario::kEdgeFiber;
+    options.pool_size = 64;
+    options.backup_count = backups;
+    options.home_offline = true;
+    options.config.threshold = 2;
+    // Constant total vector budget per user regardless of backup count.
+    options.config.vectors_per_backup = 320 / backups;
+    options.config.report_interval = 0;
+    bench::DauthBench harness(options);
+
+    for (double load : kLoads) {
+      auto result = harness.run_load(load, duration_for(load));
+      bench::print_quantiles("backups[" + std::to_string(backups) + "]", load,
+                             result.latencies);
+      if (result.failed > 0) {
+        std::printf("  note: %zu failures at %g/min (%s)\n", result.failed, load,
+                    result.failures.empty() ? "?" : result.failures.front().c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,301 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dauth::bench {
+namespace {
+
+struct Placement {
+  sim::Testbed testbed;
+  sim::NodeIndex directory_node = 0;
+  sim::NodeIndex ran_node = 0;
+  sim::NodeIndex serving_node = 0;
+};
+
+/// Adds the scenario-dependent nodes and links to a network that already
+/// exists; `serving_workers` lets the baseline model Open5GS's
+/// single-threaded core.
+Placement build_placement(sim::Network& network, sim::Scenario scenario,
+                          int serving_workers) {
+  Placement p;
+  p.testbed = sim::build_appendix_c_testbed(network);
+
+  auto dir_cfg = sim::profile(sim::NodeClass::kCloud, "directory");
+  dir_cfg.workers = 4;
+  p.directory_node = network.add_node(dir_cfg);
+
+  p.ran_node = sim::is_residential(scenario) ? p.testbed.ran_sites[0]   // home-A
+                                             : p.testbed.ran_sites[1];  // uni-lab
+
+  if (sim::is_cloud(scenario)) {
+    auto cfg = sim::profile(sim::NodeClass::kCloud, "serving-cloud");
+    cfg.workers = serving_workers;
+    p.serving_node = network.add_node(cfg);
+    if (!sim::is_residential(scenario)) {
+      // Fiber RAN site ~5ms RTT from its nearby datacenter region; the
+      // residential site keeps its natural (cable last-mile) path.
+      sim::LatencyModel dc_link;
+      dc_link.base = msf(2.5);
+      dc_link.jitter_sigma = 0.15;
+      network.set_link(p.ran_node, p.serving_node, dc_link);
+    }
+  } else {
+    auto cfg = sim::profile(sim::is_residential(scenario)
+                                ? sim::NodeClass::kResidentialEdge
+                                : sim::NodeClass::kScnEdge,
+                            "serving-edge");
+    cfg.workers = serving_workers;
+    p.serving_node = network.add_node(cfg);
+    // The edge PC sits at the RAN site: sub-millisecond LAN link.
+    sim::LatencyModel lan;
+    lan.base = usf(250);
+    lan.jitter_sigma = 0.05;
+    network.set_link(p.ran_node, p.serving_node, lan);
+  }
+  return p;
+}
+
+Supi pool_supi(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "315010%09zu", index + 1);
+  return Supi(buf);
+}
+
+}  // namespace
+
+// ---- DauthBench -------------------------------------------------------------
+
+struct DauthBench::Impl {
+  DauthOptions options;
+  sim::Simulator simulator;
+  sim::Network network{simulator};
+  sim::Rpc rpc{network};
+  directory::DirectoryServer directory_server;
+  Placement placement;
+  sim::NodeIndex home_node = 0;
+  std::unique_ptr<core::DauthNode> home_net;
+  std::unique_ptr<core::DauthNode> serving_net;  // null when home_is_serving
+  std::vector<std::unique_ptr<core::DauthNode>> backup_nets;
+  std::vector<std::unique_ptr<ran::Ue>> ues;
+  std::unique_ptr<ran::LoadGenerator> generator;
+
+  explicit Impl(const DauthOptions& opts) : options(opts), simulator(opts.seed) {
+    rpc.set_connection_reuse(opts.connection_reuse);
+    placement = build_placement(network, opts.scenario, /*serving_workers=*/2);
+    directory_server.bind(rpc, placement.directory_node);
+
+    // Home network: colocated with the serving core (Fig. 3 local mode) or
+    // a nearby SCN edge PC on fiber.
+    if (opts.home_is_serving) {
+      home_node = placement.serving_node;
+    } else {
+      auto home_cfg = sim::profile(sim::NodeClass::kScnEdge, "home-pc");
+      home_node = network.add_node(home_cfg);
+    }
+    home_net = std::make_unique<core::DauthNode>(rpc, home_node, NetworkId("home-net"),
+                                                 placement.directory_node, directory_server,
+                                                 opts.config, opts.seed + 1);
+
+    if (!opts.home_is_serving) {
+      serving_net = std::make_unique<core::DauthNode>(
+          rpc, placement.serving_node, NetworkId("serving-net"), placement.directory_node,
+          directory_server, opts.config, opts.seed + 2);
+    }
+
+    // Backup networks on testbed core nodes.
+    std::vector<sim::NodeIndex> candidates;
+    if (opts.backup_pool == BackupPool::kNonCloud) {
+      for (auto n : placement.testbed.scn_edges) candidates.push_back(n);
+      for (auto n : placement.testbed.residential) candidates.push_back(n);
+      for (auto n : placement.testbed.uni_lab) candidates.push_back(n);
+    } else {
+      candidates = placement.testbed.core_nodes();
+    }
+    // Deterministic shuffle ("8 random backups", §6.3.2 / Fig. 5).
+    auto& rng = simulator.rng();
+    for (std::size_t i = candidates.size(); i > 1; --i) {
+      std::swap(candidates[i - 1], candidates[rng.next_below(i)]);
+    }
+    const std::size_t count = std::min(opts.backup_count, candidates.size());
+    std::vector<NetworkId> backup_ids;
+    for (std::size_t i = 0; i < count; ++i) {
+      const NetworkId id("backup-" + network.node(candidates[i]).name());
+      backup_nets.push_back(std::make_unique<core::DauthNode>(
+          rpc, candidates[i], id, placement.directory_node, directory_server, opts.config,
+          opts.seed + 10 + i));
+      backup_ids.push_back(id);
+    }
+    home_net->set_backups(backup_ids);
+
+    // Subscribers + dissemination.
+    std::vector<aka::SubscriberKeys> keys(opts.pool_size);
+    for (std::size_t i = 0; i < opts.pool_size; ++i) {
+      keys[i] = home_net->provision_subscriber(pool_supi(i));
+      home_net->home().disseminate(pool_supi(i));
+    }
+    simulator.run();  // complete all dissemination
+
+    if (opts.home_offline) {
+      network.node(home_node).set_online(false);
+      rpc.reset_connections(home_node);
+      // Pre-warm the health cache: steady-state backup-mode measurements
+      // shouldn't include the one-time 800ms discovery timeout.
+      if (serving_net) serving_net->serving().set_home_health(home_net->id(), false);
+    }
+
+    // UE pool on the RAN site, attached to the serving core.
+    const auto profile = opts.physical_ran
+                             ? ran::physical_ran_profile(opts.config.serving_network_name)
+                             : ran::emulated_ran_profile(opts.config.serving_network_name);
+    const sim::NodeIndex core_node =
+        opts.home_is_serving ? home_node : placement.serving_node;
+    for (std::size_t i = 0; i < opts.pool_size; ++i) {
+      ues.push_back(std::make_unique<ran::Ue>(rpc, placement.ran_node, core_node,
+                                              pool_supi(i), keys[i], profile));
+    }
+    std::vector<ran::Ue*> pool;
+    for (auto& ue : ues) pool.push_back(ue.get());
+    generator = std::make_unique<ran::LoadGenerator>(simulator, std::move(pool));
+  }
+};
+
+DauthBench::DauthBench(const DauthOptions& options) : impl_(std::make_unique<Impl>(options)) {}
+DauthBench::~DauthBench() = default;
+
+ran::LoadResult DauthBench::run_load(double per_minute, Time duration) {
+  return impl_->generator->run(per_minute, duration, /*poisson=*/true);
+}
+
+ran::AttachRecord DauthBench::single_attach() {
+  std::optional<ran::AttachRecord> record;
+  impl_->ues.front()->attach([&](const ran::AttachRecord& r) { record = r; });
+  // Drain with run_until so any armed report retries don't wedge us.
+  const Time deadline = impl_->simulator.now() + sec(30);
+  while (!record && impl_->simulator.now() < deadline) {
+    impl_->simulator.run_until(impl_->simulator.now() + ms(100));
+  }
+  if (!record) throw std::runtime_error("single_attach never completed");
+  return *record;
+}
+
+const core::ServingMetrics& DauthBench::serving_metrics() const {
+  return impl_->serving_net ? impl_->serving_net->serving().metrics()
+                            : impl_->home_net->serving().metrics();
+}
+
+sim::Simulator& DauthBench::simulator() { return impl_->simulator; }
+
+// ---- BaselineBench ----------------------------------------------------------
+
+struct BaselineBench::Impl {
+  BaselineOptions options;
+  sim::Simulator simulator;
+  sim::Network network{simulator};
+  sim::Rpc rpc{network};
+  Placement placement;
+  std::unique_ptr<baseline::StandaloneCore> serving_core;
+  std::unique_ptr<baseline::StandaloneCore> home_core;  // roaming only
+  std::vector<std::unique_ptr<ran::Ue>> ues;
+  std::unique_ptr<ran::LoadGenerator> generator;
+
+  explicit Impl(const BaselineOptions& opts) : options(opts), simulator(opts.seed) {
+    // Open5GS's auth path is single-threaded: one worker.
+    placement = build_placement(network, opts.scenario, /*serving_workers=*/1);
+
+    serving_core = std::make_unique<baseline::StandaloneCore>(
+        rpc, placement.serving_node, "open5gs-serving", opts.core_config, opts.seed + 1);
+
+    sim::NodeIndex hss_node = placement.serving_node;
+    if (opts.roaming) {
+      auto hss_cfg = sim::profile(sim::NodeClass::kCloud, "open5gs-home-hss");
+      hss_cfg.workers = 1;
+      hss_node = network.add_node(hss_cfg);
+      // ~5ms RTT between the serving network and the subscriber's home
+      // network (§6.3.2).
+      sim::LatencyModel dc_link;
+      dc_link.base = msf(2.5);
+      dc_link.jitter_sigma = 0.15;
+      network.set_link(placement.serving_node, hss_node, dc_link);
+      home_core = std::make_unique<baseline::StandaloneCore>(
+          rpc, hss_node, "open5gs-home", opts.core_config, opts.seed + 2);
+      serving_core->set_remote_hss(hss_node);
+      home_core->bind_services();
+    }
+    serving_core->bind_services();
+
+    crypto::DeterministicDrbg key_rng("baseline-subscribers", opts.seed);
+    const auto profile =
+        opts.physical_ran
+            ? ran::physical_ran_profile(opts.core_config.serving_network_name)
+            : ran::emulated_ran_profile(opts.core_config.serving_network_name);
+    for (std::size_t i = 0; i < opts.pool_size; ++i) {
+      aka::SubscriberKeys keys;
+      keys.k = key_rng.array<16>();
+      keys.opc = crypto::derive_opc(keys.k, key_rng.array<16>());
+      (opts.roaming ? *home_core : *serving_core).provision_subscriber(pool_supi(i), keys);
+      ues.push_back(std::make_unique<ran::Ue>(rpc, placement.ran_node,
+                                              placement.serving_node, pool_supi(i), keys,
+                                              profile));
+    }
+    std::vector<ran::Ue*> pool;
+    for (auto& ue : ues) pool.push_back(ue.get());
+    generator = std::make_unique<ran::LoadGenerator>(simulator, std::move(pool));
+  }
+};
+
+BaselineBench::BaselineBench(const BaselineOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+BaselineBench::~BaselineBench() = default;
+
+ran::LoadResult BaselineBench::run_load(double per_minute, Time duration) {
+  return impl_->generator->run(per_minute, duration, /*poisson=*/true);
+}
+
+ran::AttachRecord BaselineBench::single_attach() {
+  std::optional<ran::AttachRecord> record;
+  impl_->ues.front()->attach([&](const ran::AttachRecord& r) { record = r; });
+  impl_->simulator.run();
+  if (!record) throw std::runtime_error("single_attach never completed");
+  return *record;
+}
+
+sim::Simulator& BaselineBench::simulator() { return impl_->simulator; }
+
+// ---- Output helpers ---------------------------------------------------------
+
+void print_title(const std::string& title) {
+  std::printf("\n# %s\n", title.c_str());
+}
+
+void print_summary(const std::string& label, SampleSet& samples) {
+  std::printf("%-42s %s\n", label.c_str(), samples.summary().c_str());
+}
+
+void print_cdf(const std::string& label, SampleSet& samples, std::size_t points) {
+  for (const auto& [x, f] : samples.cdf_points(points)) {
+    std::printf("cdf,%s,%.1f,%.3f\n", label.c_str(), x, f);
+  }
+}
+
+void print_boxplot(const std::string& label, SampleSet& samples) {
+  if (samples.empty()) {
+    std::printf("box,%s,n=0\n", label.c_str());
+    return;
+  }
+  std::printf("box,%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n", label.c_str(), samples.min(),
+              samples.quantile(0.25), samples.median(), samples.quantile(0.75),
+              samples.quantile(0.95), samples.max());
+}
+
+void print_quantiles(const std::string& label, double load_per_minute, SampleSet& samples) {
+  if (samples.empty()) {
+    std::printf("quant,%s,%.0f,n=0\n", label.c_str(), load_per_minute);
+    return;
+  }
+  std::printf("quant,%s,%.0f,%.1f,%.1f,%.1f,%.1f\n", label.c_str(), load_per_minute,
+              samples.quantile(0.5), samples.quantile(0.9), samples.quantile(0.95),
+              samples.quantile(0.99));
+}
+
+}  // namespace dauth::bench

@@ -1,0 +1,110 @@
+// Shared bench harness: builds the paper's evaluation scenarios on the
+// Appendix C testbed and drives load against dAuth or the Open5GS baseline.
+//
+// Placement per §6.3.1 scenario:
+//   * RAN site: uni-lab (fiber) or home-A (residential cable);
+//   * serving core: an "edge PC" added at the RAN site (sub-ms link), or a
+//     "cloud host" node ~5ms RTT from the RAN site;
+//   * dAuth home network: a nearby SCN edge PC on fiber;
+//   * Open5GS roaming home HSS: a cloud node ~5ms RTT away (§6.3.2).
+//
+// Concurrency calibration: the Open5GS AMF/AUSF path is a single-threaded
+// event loop, so baseline core nodes run with one worker; dAuth daemons
+// (async Tonic runtime in the paper's prototype) use the node's full worker
+// pool. This is what produces the load-sharing crossover of Figures 4/5.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/standalone_core.h"
+#include "core/dauth_node.h"
+#include "ran/gnb.h"
+#include "ran/load_generator.h"
+#include "sim/topology.h"
+
+namespace dauth::bench {
+
+/// Which nodes may serve as backup networks.
+enum class BackupPool {
+  kAllCoreNodes,  // Fig. 5-7: random among all 10 core nodes
+  kNonCloud,      // Fig. 3: the 6 SCN/uni/residential nodes (incl. slow Atom)
+};
+
+struct DauthOptions {
+  sim::Scenario scenario = sim::Scenario::kEdgeFiber;
+  core::FederationConfig config;
+  std::size_t backup_count = 8;
+  BackupPool backup_pool = BackupPool::kAllCoreNodes;
+  std::size_t pool_size = 128;       // provisioned subscribers / UEs
+  bool home_offline = false;         // backup-mode experiments
+  bool home_is_serving = false;      // Fig. 3 "dAuth-home-online" (local)
+  bool physical_ran = false;         // srsUE profile instead of UERANSIM
+  bool connection_reuse = true;      // §5.1 optimization 1 (ablation toggle)
+  std::uint64_t seed = 42;
+};
+
+/// A complete dAuth federation bench scenario.
+class DauthBench {
+ public:
+  explicit DauthBench(const DauthOptions& options);
+  ~DauthBench();
+
+  /// Open-loop load (Fig. 4-7).
+  ran::LoadResult run_load(double per_minute, Time duration);
+
+  /// One sequential attach with the single srsUE-style UE (Fig. 3).
+  ran::AttachRecord single_attach();
+
+  const core::ServingMetrics& serving_metrics() const;
+  sim::Simulator& simulator();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+struct BaselineOptions {
+  sim::Scenario scenario = sim::Scenario::kEdgeFiber;
+  bool roaming = false;  // true: subscribers homed at a ~5ms-RTT cloud HSS
+  baseline::StandaloneCoreConfig core_config;
+  std::size_t pool_size = 128;
+  bool physical_ran = false;
+  std::uint64_t seed = 42;
+};
+
+/// The Open5GS-like comparison system on the same topology.
+class BaselineBench {
+ public:
+  explicit BaselineBench(const BaselineOptions& options);
+  ~BaselineBench();
+
+  ran::LoadResult run_load(double per_minute, Time duration);
+  ran::AttachRecord single_attach();
+  sim::Simulator& simulator();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// ---- Output helpers ---------------------------------------------------------
+
+/// Prints "# <title>" and a separator.
+void print_title(const std::string& title);
+
+/// Prints a labelled summary line: "<label>  n=... p50=... ..."
+void print_summary(const std::string& label, SampleSet& samples);
+
+/// Prints an empirical CDF as "cdf,<label>,<ms>,<fraction>" rows.
+void print_cdf(const std::string& label, SampleSet& samples, std::size_t points = 20);
+
+/// Prints boxplot stats: "box,<label>,min,q1,median,q3,p95,max".
+void print_boxplot(const std::string& label, SampleSet& samples);
+
+/// Prints a quantile row "quant,<label>,<load>,p50,p90,p95,p99".
+void print_quantiles(const std::string& label, double load_per_minute, SampleSet& samples);
+
+}  // namespace dauth::bench

@@ -1,0 +1,167 @@
+// Microbenchmarks for the cryptographic primitives underlying dAuth.
+//
+// These quantify the per-operation costs referenced by the CostModel
+// calibration: Milenage vector generation, Ed25519 bundle signing and
+// verification, Shamir splitting/combination, and the Feldman VSS
+// extension's overhead (§3.5.2).
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes128.h"
+#include "crypto/drbg.h"
+#include "crypto/ed25519.h"
+#include "crypto/feldman.h"
+#include "crypto/hmac.h"
+#include "crypto/kdf_3gpp.h"
+#include "crypto/milenage.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+#include "crypto/shamir.h"
+#include "crypto/x25519.h"
+
+namespace dauth::crypto {
+namespace {
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 1);
+  const Bytes data = rng.bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_Sha512_1KiB(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 2);
+  const Bytes data = rng.bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha512(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha512_1KiB);
+
+void BM_HmacSha256(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 3);
+  const Bytes key = rng.bytes(32);
+  const Bytes data = rng.bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_Aes128Block(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 4);
+  const Aes128 cipher(rng.array<16>());
+  AesBlock block = rng.array<16>();
+  for (auto _ : state) {
+    block = cipher.encrypt_block(block);
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_Aes128Block);
+
+void BM_MilenageFullVector(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 5);
+  const MilenageKey k = rng.array<16>();
+  const MilenageOpc opc = derive_opc(k, rng.array<16>());
+  const Rand rand = rng.array<16>();
+  const Sqn sqn = rng.array<6>();
+  const Amf amf = {0x80, 0x00};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(milenage(k, opc, rand, sqn, amf));
+  }
+}
+BENCHMARK(BM_MilenageFullVector);
+
+void BM_Kdf5gKeyHierarchy(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 6);
+  const Ck ck = rng.array<16>();
+  const Ik ik = rng.array<16>();
+  const ByteArray<6> sqn_ak = rng.array<6>();
+  const std::string snn = serving_network_name("315", "010");
+  for (auto _ : state) {
+    const Key256 k_ausf = derive_k_ausf(ck, ik, snn, sqn_ak);
+    const Key256 k_seaf = derive_k_seaf(k_ausf, snn);
+    benchmark::DoNotOptimize(derive_k_amf(k_seaf, "315010000000001", {0, 0}));
+  }
+}
+BENCHMARK(BM_Kdf5gKeyHierarchy);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 7);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = rng.bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519_sign(msg, kp));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 8);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = rng.bytes(256);
+  const auto sig = ed25519_sign(msg, kp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519_verify(msg, sig, kp.public_key));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_X25519SharedSecret(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 9);
+  const auto a = x25519_generate(rng);
+  const auto b = x25519_generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x25519(a.secret, b.public_key));
+  }
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+void BM_ShamirSplit(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 10);
+  const Bytes secret = rng.bytes(32);
+  const auto threshold = static_cast<std::size_t>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shamir_split(secret, threshold, count, rng));
+  }
+}
+BENCHMARK(BM_ShamirSplit)->Args({2, 8})->Args({4, 8})->Args({8, 8})->Args({16, 31});
+
+void BM_ShamirCombine(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 11);
+  const Bytes secret = rng.bytes(32);
+  const auto threshold = static_cast<std::size_t>(state.range(0));
+  const auto shares = shamir_split(secret, threshold, static_cast<std::size_t>(state.range(1)), rng);
+  const std::vector<ShamirShare> subset(shares.begin(), shares.begin() + threshold);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shamir_combine(subset));
+  }
+}
+BENCHMARK(BM_ShamirCombine)->Args({2, 8})->Args({4, 8})->Args({8, 8});
+
+void BM_FeldmanSplit(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 12);
+  const Bytes secret = rng.bytes(32);
+  const auto threshold = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feldman_split(secret, threshold, 8, rng));
+  }
+}
+BENCHMARK(BM_FeldmanSplit)->Arg(2)->Arg(4);
+
+void BM_FeldmanVerifyShare(benchmark::State& state) {
+  DeterministicDrbg rng("bench", 13);
+  const Bytes secret = rng.bytes(32);
+  const auto sharing = feldman_split(secret, static_cast<std::size_t>(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feldman_verify(sharing.shares[0], sharing.commitments));
+  }
+}
+BENCHMARK(BM_FeldmanVerifyShare)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace dauth::crypto

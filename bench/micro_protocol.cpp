@@ -1,0 +1,150 @@
+// Microbenchmarks for dAuth protocol operations: bundle generation, message
+// (de)serialization, signing/verification of bundles, SUCI concealment, and
+// full vector-generation as a home network performs it.
+#include <benchmark/benchmark.h>
+
+#include "aka/auth_vector.h"
+#include "aka/sim_card.h"
+#include "aka/suci.h"
+#include "core/home_network.h"
+#include "core/messages.h"
+#include "crypto/drbg.h"
+
+namespace dauth::core {
+namespace {
+
+aka::SubscriberKeys bench_keys() {
+  crypto::DeterministicDrbg rng("proto-bench", 1);
+  aka::SubscriberKeys keys;
+  keys.k = rng.array<16>();
+  keys.opc = crypto::derive_opc(keys.k, rng.array<16>());
+  return keys;
+}
+
+const std::string kSnn = crypto::serving_network_name("315", "010");
+
+void BM_GenerateAuthVector(benchmark::State& state) {
+  crypto::DeterministicDrbg rng("proto-bench", 2);
+  const auto keys = bench_keys();
+  std::uint64_t sqn = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aka::generate_auth_vector(keys, sqn, rng.array<16>(), kSnn));
+    sqn += 32;
+  }
+}
+BENCHMARK(BM_GenerateAuthVector);
+
+void BM_UsimAuthenticate(benchmark::State& state) {
+  crypto::DeterministicDrbg rng("proto-bench", 3);
+  const auto keys = bench_keys();
+  aka::Usim usim(Supi("315010000000001"), keys);
+  std::uint64_t sqn = 32;
+  for (auto _ : state) {
+    const auto v = aka::generate_auth_vector(keys, sqn, rng.array<16>(), kSnn);
+    sqn += 32;
+    benchmark::DoNotOptimize(usim.authenticate(v.rand, v.autn, kSnn));
+  }
+}
+BENCHMARK(BM_UsimAuthenticate);
+
+AuthVectorBundle make_bundle(crypto::DeterministicDrbg& rng,
+                             const crypto::Ed25519KeyPair& signer) {
+  const auto keys = bench_keys();
+  const auto v = aka::generate_auth_vector(keys, 32, rng.array<16>(), kSnn);
+  AuthVectorBundle b;
+  b.home_network = NetworkId("home-net");
+  b.supi = Supi("315010000000001");
+  b.sqn = v.sqn;
+  b.rand = v.rand;
+  b.autn = v.autn;
+  b.hxres_star = hxres_index(v.xres_star);
+  b.home_signature = crypto::ed25519_sign(b.signed_payload(), signer);
+  return b;
+}
+
+void BM_BundleEncodeDecode(benchmark::State& state) {
+  crypto::DeterministicDrbg rng("proto-bench", 4);
+  const auto signer = crypto::ed25519_generate(rng);
+  const auto bundle = make_bundle(rng, signer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AuthVectorBundle::decode(bundle.encode()));
+  }
+}
+BENCHMARK(BM_BundleEncodeDecode);
+
+void BM_BundleSign(benchmark::State& state) {
+  crypto::DeterministicDrbg rng("proto-bench", 5);
+  const auto signer = crypto::ed25519_generate(rng);
+  auto bundle = make_bundle(rng, signer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ed25519_sign(bundle.signed_payload(), signer));
+  }
+}
+BENCHMARK(BM_BundleSign);
+
+void BM_BundleVerify(benchmark::State& state) {
+  crypto::DeterministicDrbg rng("proto-bench", 6);
+  const auto signer = crypto::ed25519_generate(rng);
+  const auto bundle = make_bundle(rng, signer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bundle.verify(signer.public_key));
+  }
+}
+BENCHMARK(BM_BundleVerify);
+
+void BM_SuciConceal(benchmark::State& state) {
+  crypto::DeterministicDrbg rng("proto-bench", 7);
+  const auto home = crypto::x25519_generate(rng);
+  const Supi supi("315010000000001");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aka::conceal_supi(supi, home.public_key, rng));
+  }
+}
+BENCHMARK(BM_SuciConceal);
+
+void BM_SuciDeconceal(benchmark::State& state) {
+  crypto::DeterministicDrbg rng("proto-bench", 8);
+  const auto home = crypto::x25519_generate(rng);
+  const auto suci = aka::conceal_supi(Supi("315010000000001"), home.public_key, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aka::deconceal_suci(suci, home.secret));
+  }
+}
+BENCHMARK(BM_SuciDeconceal);
+
+/// The complete home-side dissemination work for ONE vector with N backups:
+/// vector generation + Shamir split + N+1 signatures.
+void BM_DisseminateOneVector(benchmark::State& state) {
+  crypto::DeterministicDrbg rng("proto-bench", 9);
+  const auto signer = crypto::ed25519_generate(rng);
+  const auto keys = bench_keys();
+  const auto n_backups = static_cast<std::size_t>(state.range(0));
+  std::uint64_t sqn = 32;
+  for (auto _ : state) {
+    const auto v = aka::generate_auth_vector(keys, sqn, rng.array<16>(), kSnn);
+    sqn += 32;
+    AuthVectorBundle bundle;
+    bundle.home_network = NetworkId("home-net");
+    bundle.supi = Supi("315010000000001");
+    bundle.sqn = v.sqn;
+    bundle.rand = v.rand;
+    bundle.autn = v.autn;
+    bundle.hxres_star = hxres_index(v.xres_star);
+    bundle.home_signature = crypto::ed25519_sign(bundle.signed_payload(), signer);
+
+    const auto shares = crypto::shamir_split(ByteView(v.k_seaf), 4, n_backups, rng);
+    for (const auto& share : shares) {
+      KeyShareBundle ks;
+      ks.home_network = bundle.home_network;
+      ks.supi = bundle.supi;
+      ks.hxres_star = bundle.hxres_star;
+      ks.share = share;
+      ks.home_signature = crypto::ed25519_sign(ks.signed_payload(), signer);
+      benchmark::DoNotOptimize(ks);
+    }
+  }
+}
+BENCHMARK(BM_DisseminateOneVector)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace dauth::core

@@ -1,0 +1,123 @@
+#include "aka/sim_card.h"
+
+namespace dauth::aka {
+
+namespace {
+
+/// Shared 4G/5G challenge validation: recovers the SQN, checks MAC-A, and
+/// enforces the slice window. On success `mil`/`sqn_xor_ak`/`sqn` are set.
+struct ChallengeCheck {
+  bool mac_ok = false;
+  bool sqn_ok = false;
+  crypto::MilenageOutput mil{};
+  ByteArray<6> sqn_bytes{};
+  ByteArray<6> sqn_xor_ak{};
+  std::uint64_t sqn = 0;
+};
+
+ChallengeCheck check_challenge(const aka::SubscriberKeys& keys, const SqnTracker& tracker,
+                               const crypto::Rand& rand, const Autn& autn) {
+  const AutnParts parts = split_autn(autn);
+  const crypto::MilenageOutput ak_pass =
+      crypto::milenage(keys.k, keys.opc, rand, ByteArray<6>{}, parts.amf);
+  ChallengeCheck check;
+  check.sqn_xor_ak = parts.sqn_xor_ak;
+  check.sqn_bytes = xor_arrays(parts.sqn_xor_ak, ak_pass.ak);
+  check.sqn = sqn_from_bytes(check.sqn_bytes);
+  check.mil = crypto::milenage(keys.k, keys.opc, rand, check.sqn_bytes, parts.amf);
+  check.mac_ok = ct_equal(check.mil.mac_a, parts.mac_a);
+  check.sqn_ok = tracker.would_accept(check.sqn);
+  return check;
+}
+
+Auts build_auts(const aka::SubscriberKeys& keys, const SqnTracker& tracker,
+                const crypto::Rand& rand) {
+  const std::uint64_t sqn_ms = tracker.highest_overall();
+  const ByteArray<6> sqn_ms_bytes = sqn_to_bytes(sqn_ms);
+  const crypto::Amf resync_amf{0x00, 0x00};
+  const crypto::MilenageOutput resync =
+      crypto::milenage(keys.k, keys.opc, rand, sqn_ms_bytes, resync_amf);
+  Auts auts;
+  auts.sqn_ms_xor_ak_star = xor_arrays(sqn_ms_bytes, resync.ak_star);
+  auts.mac_s = resync.mac_s;
+  return auts;
+}
+
+}  // namespace
+
+UsimResult4G Usim::authenticate_4g(const crypto::Rand& rand, const Autn& autn,
+                                   const ByteArray<3>& plmn) {
+  const ChallengeCheck check = check_challenge(keys_, sqn_, rand, autn);
+
+  UsimResult4G result;
+  if (!check.mac_ok) {
+    result.failure = UsimFailure::kMacMismatch;
+    return result;
+  }
+  if (!check.sqn_ok) {
+    result.failure = UsimFailure::kSqnOutOfRange;
+    result.auts = build_auts(keys_, sqn_, rand);
+    return result;
+  }
+  sqn_.accept(check.sqn);
+
+  UsimResponse4G response;
+  response.sqn = check.sqn;
+  response.res = check.mil.res;
+  response.k_asme = crypto::derive_k_asme(check.mil.ck, check.mil.ik, plmn, check.sqn_xor_ak);
+  result.response = response;
+  return result;
+}
+
+UsimResult Usim::authenticate(const crypto::Rand& rand, const Autn& autn,
+                              const std::string& serving_network_name) {
+  const AutnParts parts = split_autn(autn);
+
+  // Recover SQN: AK = f5(K, RAND), SQN = (SQN^AK) ^ AK.
+  // Milenage computes everything in one pass; MAC verification needs the SQN,
+  // so compute AK first via a throwaway run (f5 ignores SQN/AMF).
+  const crypto::MilenageOutput ak_pass =
+      crypto::milenage(keys_.k, keys_.opc, rand, ByteArray<6>{}, parts.amf);
+  const ByteArray<6> sqn_bytes = xor_arrays(parts.sqn_xor_ak, ak_pass.ak);
+  const std::uint64_t sqn = sqn_from_bytes(sqn_bytes);
+
+  // Full pass with the recovered SQN to check MAC-A.
+  const crypto::MilenageOutput mil =
+      crypto::milenage(keys_.k, keys_.opc, rand, sqn_bytes, parts.amf);
+
+  UsimResult result;
+  if (!ct_equal(mil.mac_a, parts.mac_a)) {
+    result.failure = UsimFailure::kMacMismatch;
+    return result;
+  }
+
+  if (!sqn_.would_accept(sqn)) {
+    result.failure = UsimFailure::kSqnOutOfRange;
+    // Build AUTS from SQNms (highest accepted SQN) with the resync AMF of
+    // all-zeros per TS 33.102 §6.3.3.
+    const std::uint64_t sqn_ms = sqn_.highest_overall();
+    const ByteArray<6> sqn_ms_bytes = sqn_to_bytes(sqn_ms);
+    const crypto::Amf resync_amf{0x00, 0x00};
+    const crypto::MilenageOutput resync =
+        crypto::milenage(keys_.k, keys_.opc, rand, sqn_ms_bytes, resync_amf);
+    Auts auts;
+    auts.sqn_ms_xor_ak_star = xor_arrays(sqn_ms_bytes, resync.ak_star);
+    auts.mac_s = resync.mac_s;
+    result.auts = auts;
+    return result;
+  }
+
+  sqn_.accept(sqn);
+
+  UsimResponse response;
+  response.sqn = sqn;
+  response.res_star =
+      crypto::derive_res_star(mil.ck, mil.ik, serving_network_name, rand, mil.res);
+  const crypto::Key256 k_ausf =
+      crypto::derive_k_ausf(mil.ck, mil.ik, serving_network_name, parts.sqn_xor_ak);
+  response.k_seaf = crypto::derive_k_seaf(k_ausf, serving_network_name);
+  result.response = response;
+  return result;
+}
+
+}  // namespace dauth::aka

@@ -1,0 +1,70 @@
+#include "aka/sqn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dauth::aka {
+
+ByteArray<6> sqn_to_bytes(std::uint64_t sqn) noexcept {
+  ByteArray<6> out;
+  for (int i = 0; i < 6; ++i)
+    out[i] = static_cast<std::uint8_t>(sqn >> (40 - 8 * i));
+  return out;
+}
+
+std::uint64_t sqn_from_bytes(const ByteArray<6>& bytes) noexcept {
+  std::uint64_t sqn = 0;
+  for (int i = 0; i < 6; ++i) sqn = (sqn << 8) | bytes[i];
+  return sqn;
+}
+
+bool SqnTracker::would_accept(std::uint64_t sqn) const noexcept {
+  if (sqn == 0 || sqn > kSqnMask) return false;
+  return sqn > highest_[sqn_slice(sqn)];
+}
+
+bool SqnTracker::accept(std::uint64_t sqn) noexcept {
+  if (!would_accept(sqn)) return false;
+  highest_[sqn_slice(sqn)] = sqn;
+  return true;
+}
+
+std::uint64_t SqnTracker::highest_overall() const noexcept {
+  return *std::max_element(highest_.begin(), highest_.end());
+}
+
+SqnAllocator::SqnAllocator() {
+  // Slice i starts at value i + kSliceCount (skipping value 0 for slice 0
+  // and leaving a provisioning gap below).
+  for (int i = 0; i < kSliceCount; ++i)
+    next_in_slice_[i] = static_cast<std::uint64_t>(i) + kSliceCount;
+}
+
+std::uint64_t SqnAllocator::allocate(int slice) {
+  if (slice < 0 || slice >= kSliceCount) throw std::out_of_range("SqnAllocator: bad slice");
+  const std::uint64_t sqn = next_in_slice_[slice];
+  if (sqn > kSqnMask) throw std::overflow_error("SqnAllocator: slice exhausted");
+  next_in_slice_[slice] = sqn + kSliceCount;
+  return sqn;
+}
+
+std::uint64_t SqnAllocator::last_allocated(int slice) const {
+  if (slice < 0 || slice >= kSliceCount) throw std::out_of_range("SqnAllocator: bad slice");
+  const std::uint64_t next = next_in_slice_[slice];
+  return next < 2 * kSliceCount ? 0 : next - kSliceCount;
+}
+
+void SqnAllocator::advance_past(int slice, std::uint64_t sqn) {
+  if (slice < 0 || slice >= kSliceCount) throw std::out_of_range("SqnAllocator: bad slice");
+  // Smallest member of `slice` strictly greater than sqn.
+  std::uint64_t candidate =
+      (sqn / kSliceCount) * kSliceCount + static_cast<std::uint64_t>(slice);
+  while (candidate <= sqn) candidate += kSliceCount;
+  next_in_slice_[slice] = std::max(next_in_slice_[slice], candidate);
+}
+
+void SqnAllocator::resynchronize(std::uint64_t sqn_ms) {
+  for (int slice = 0; slice < kSliceCount; ++slice) advance_past(slice, sqn_ms);
+}
+
+}  // namespace dauth::aka

@@ -1,0 +1,82 @@
+// Sequence-number management per TS 33.102 Annex C (informative scheme).
+//
+// AKA sequence numbers are 48-bit values. A SIM partitions the SQN space
+// into `kSliceCount` interleaved slices by value mod 32 (Appendix B of the
+// paper, Tables 2/3): slice i contains i, i+32, i+64, ... The SIM tracks the
+// highest SQN *per slice* and accepts any SQN that exceeds the high-water
+// mark of its own slice — even if numerically smaller than an SQN already
+// seen in another slice.
+//
+// dAuth leans on exactly this property (§3.5.1): the home network dedicates
+// one slice to each backup network (slice 0 is reserved for the home
+// network itself), so vectors disseminated to different backups can be
+// consumed in any order, and a revocation simply supersedes a slice by
+// issuing a higher SQN inside it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dauth::aka {
+
+inline constexpr int kSliceCount = 32;        // common SIM configuration
+inline constexpr int kHomeSlice = 0;          // reserved for the home network
+inline constexpr std::uint64_t kSqnMask = (std::uint64_t{1} << 48) - 1;
+
+/// Slice index of a sequence number.
+constexpr int sqn_slice(std::uint64_t sqn) noexcept {
+  return static_cast<int>(sqn % kSliceCount);
+}
+
+/// 6-byte big-endian encoding used inside AUTN.
+ByteArray<6> sqn_to_bytes(std::uint64_t sqn) noexcept;
+std::uint64_t sqn_from_bytes(const ByteArray<6>& bytes) noexcept;
+
+/// SIM-side tracker: the per-slice high-water marks of Annex C.
+class SqnTracker {
+ public:
+  SqnTracker() { highest_.fill(0); }
+
+  /// Whether `sqn` would be accepted (strictly above its slice's mark;
+  /// SQN 0 is never accepted — provisioning starts counters above 0).
+  bool would_accept(std::uint64_t sqn) const noexcept;
+
+  /// Accepts and records `sqn`; returns false (no state change) if invalid.
+  bool accept(std::uint64_t sqn) noexcept;
+
+  std::uint64_t highest(int slice) const { return highest_.at(slice); }
+
+  /// Greatest SQN accepted in any slice (SQNms for resynchronisation).
+  std::uint64_t highest_overall() const noexcept;
+
+ private:
+  std::array<std::uint64_t, kSliceCount> highest_;
+};
+
+/// Home-network-side allocator: hands out fresh SQNs slice by slice.
+class SqnAllocator {
+ public:
+  SqnAllocator();
+
+  /// Next unused SQN in `slice` (strictly increasing within the slice).
+  std::uint64_t allocate(int slice);
+
+  /// Greatest SQN ever allocated in `slice` (0 if none).
+  std::uint64_t last_allocated(int slice) const;
+
+  /// Ensures future allocations in `slice` exceed `sqn` — the revocation
+  /// primitive (§4.3): allocating past everything a revoked backup holds
+  /// makes the backup's cached vectors permanently unacceptable to the SIM.
+  void advance_past(int slice, std::uint64_t sqn);
+
+  /// Re-synchronises all slices after an AUTS (UE reports SQNms): every
+  /// slice counter is raised above SQNms so new vectors are accepted.
+  void resynchronize(std::uint64_t sqn_ms);
+
+ private:
+  std::array<std::uint64_t, kSliceCount> next_in_slice_;  // next value to hand out
+};
+
+}  // namespace dauth::aka

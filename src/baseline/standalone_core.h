@@ -1,0 +1,100 @@
+// Open5GS-like baseline core network (the paper's comparison system).
+//
+// Models a standard monolithic 4G/5G core's authentication path:
+//   * "edge core"  — subscribers provisioned locally; the whole
+//     AMF/AUSF/UDM pipeline runs on one box, no roaming (§6.3.1 (1)/(2));
+//   * "cloud core" — same software hosted on a cloud VM (§6.3.1 (3)/(4));
+//   * traditional roaming — non-local subscribers are authenticated by a
+//     round trip to the home HSS/AUSF over S6a/N12, which (unlike dAuth's
+//     persistent gRPC channels) opens an on-demand connection per request
+//     (§6.3.2).
+//
+// The UE-facing wire protocol ("serving.attach_request"/"serving.auth_
+// response") matches core::ServingNetwork exactly, so the same ran::Ue
+// drives both systems.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "aka/auth_vector.h"
+#include "aka/sqn.h"
+#include "common/ids.h"
+#include "core/config.h"
+#include "crypto/drbg.h"
+#include "sim/rpc.h"
+
+namespace dauth::baseline {
+
+struct StandaloneCoreConfig {
+  std::string serving_network_name = "5G:mnc010.mcc315.3gppnetwork.org";
+  core::CostModel costs;
+  /// Open5GS keeps S6a/N12 connections on demand; set true to give the
+  /// baseline persistent connections too (ablation).
+  bool reuse_roaming_connections = false;
+  Time hss_timeout = sec(5);
+};
+
+struct BaselineMetrics {
+  std::uint64_t attaches_started = 0;
+  std::uint64_t attaches_succeeded = 0;
+  std::uint64_t attaches_failed = 0;
+  std::uint64_t local_auths = 0;
+  std::uint64_t roaming_auths = 0;
+  std::uint64_t hss_requests_served = 0;
+};
+
+class StandaloneCore {
+ public:
+  StandaloneCore(sim::Rpc& rpc, sim::NodeIndex node, std::string name,
+                 StandaloneCoreConfig config, std::uint64_t seed);
+
+  /// Provisions a subscriber into the local HSS/UDM.
+  void provision_subscriber(const Supi& supi, const aka::SubscriberKeys& keys);
+
+  /// Enables roaming: unknown subscribers are authenticated via the core at
+  /// `hss_node` (which must also be a StandaloneCore holding their keys).
+  void set_remote_hss(sim::NodeIndex hss_node);
+
+  /// Registers "serving.attach_request" / "serving.auth_response" /
+  /// "hss.get_av" on the node.
+  void bind_services();
+
+  const BaselineMetrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  struct Attach {
+    std::uint64_t id = 0;
+    Supi supi;
+    bool lte = false;
+    crypto::ResStar xres_star{};  // 4G: zero-padded 8-byte XRES
+    crypto::Key256 k_seaf{};      // 4G: K_ASME
+    bool roaming = false;
+    std::optional<sim::Responder> challenge_responder;
+    bool done = false;
+  };
+  struct Subscriber {
+    aka::SubscriberKeys keys;
+    aka::SqnAllocator sqn;
+  };
+
+  void handle_attach_request(ByteView request, sim::Responder responder);
+  void handle_auth_response(ByteView request, sim::Responder responder);
+  void handle_hss_get_av(ByteView request, sim::Responder responder);
+  void finish(const std::shared_ptr<Attach>& attach, sim::Responder responder, bool success,
+              const std::string& failure);
+
+  sim::Rpc& rpc_;
+  sim::NodeIndex node_;
+  std::string name_;
+  StandaloneCoreConfig config_;
+  crypto::DeterministicDrbg rng_;
+
+  std::map<Supi, Subscriber> subscribers_;
+  std::optional<sim::NodeIndex> remote_hss_;
+  std::uint64_t next_attach_id_ = 1;
+  std::map<std::uint64_t, std::shared_ptr<Attach>> attaches_;
+  BaselineMetrics metrics_;
+};
+
+}  // namespace dauth::baseline

@@ -1,0 +1,89 @@
+// Byte-buffer utilities shared across the dAuth codebase.
+//
+// Most protocol fields are small fixed-size octet strings (keys, RANDs,
+// MACs...), so the primary types here are std::array aliases plus helpers to
+// convert, compare (in constant time where it matters), and hex-format them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dauth {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+using MutableByteView = std::span<std::uint8_t>;
+
+template <std::size_t N>
+using ByteArray = std::array<std::uint8_t, N>;
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Concatenates any number of byte views into a freshly allocated buffer.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  out.reserve((std::size(views) + ...));
+  (append(out, ByteView(views)), ...);
+  return out;
+}
+
+/// XORs `b` into `a` element-wise. Sizes must match.
+inline void xor_inplace(MutableByteView a, ByteView b) {
+  if (a.size() != b.size()) throw std::invalid_argument("xor_inplace: size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+
+template <std::size_t N>
+ByteArray<N> xor_arrays(const ByteArray<N>& a, const ByteArray<N>& b) {
+  ByteArray<N> out;
+  for (std::size_t i = 0; i < N; ++i) out[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return out;
+}
+
+/// Constant-time equality; safe for comparing MACs and key material.
+bool ct_equal(ByteView a, ByteView b);
+
+/// Lower-case hex encoding ("deadbeef").
+std::string to_hex(ByteView data);
+
+/// Parses hex (upper or lower case, no separators). Throws on bad input.
+Bytes from_hex(std::string_view hex);
+
+/// Parses hex into a fixed-size array. Throws if the length does not match.
+template <std::size_t N>
+ByteArray<N> array_from_hex(std::string_view hex) {
+  Bytes raw = from_hex(hex);
+  if (raw.size() != N) throw std::invalid_argument("array_from_hex: length mismatch");
+  ByteArray<N> out;
+  std::memcpy(out.data(), raw.data(), N);
+  return out;
+}
+
+/// Copies the first N bytes of a view into an array. Throws if too short.
+template <std::size_t N>
+ByteArray<N> take(ByteView view) {
+  if (view.size() < N) throw std::invalid_argument("take: view too short");
+  ByteArray<N> out;
+  std::memcpy(out.data(), view.data(), N);
+  return out;
+}
+
+/// Copies a full view into a vector.
+inline Bytes to_bytes(ByteView view) { return Bytes(view.begin(), view.end()); }
+
+/// Interprets an ASCII string as bytes (no copy of the terminator).
+inline ByteView as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace dauth

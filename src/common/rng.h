@@ -1,0 +1,52 @@
+// Deterministic random number generation.
+//
+// Everything in this repository that needs randomness draws from one of two
+// seeded sources so that simulations and tests are reproducible:
+//   * Xoshiro256StarStar — fast non-cryptographic PRNG for the simulator
+//     (latency jitter, arrival processes, backup selection).
+//   * DeterministicDrbg (in crypto/drbg.h) — ChaCha20-free HMAC-based DRBG for
+//     key material in tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dauth {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+/// Not cryptographically secure; used only for simulation randomness.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed) noexcept { reseed(seed); }
+
+  /// Re-seeds the generator state from a single 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  // UniformRandomBitGenerator interface so <random> distributions work.
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Creates an independently seeded child stream (for per-node generators).
+  Xoshiro256StarStar fork() noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// SplitMix64 step; useful for seeding and hashing small integers.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace dauth

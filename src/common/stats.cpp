@@ -1,0 +1,86 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dauth {
+
+void SampleSet::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::min() {
+  if (empty()) throw std::logic_error("SampleSet::min on empty set");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() {
+  if (empty()) throw std::logic_error("SampleSet::max on empty set");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double SampleSet::mean() const {
+  if (empty()) throw std::logic_error("SampleSet::mean on empty set");
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::quantile(double q) {
+  if (empty()) throw std::logic_error("SampleSet::quantile on empty set");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile out of [0,1]");
+  ensure_sorted();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::cdf_at(double x) {
+  if (empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_points(std::size_t n_points) {
+  std::vector<std::pair<double, double>> out;
+  if (empty() || n_points < 2) return out;
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n_points - 1);
+    out.emplace_back(x, cdf_at(x));
+  }
+  return out;
+}
+
+std::string SampleSet::summary() {
+  if (empty()) return "n=0";
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu min=%.1f p50=%.1f p90=%.1f p95=%.1f p99=%.1f max=%.1f mean=%.1f",
+                size(), min(), quantile(0.5), quantile(0.9), quantile(0.95),
+                quantile(0.99), max(), mean());
+  return buf;
+}
+
+}  // namespace dauth

@@ -1,0 +1,51 @@
+// Latency-sample collection and summary statistics for the benches.
+//
+// The paper reports boxplots (Fig. 3a), CDFs (Fig. 3b/4/5) and quantile-vs-
+// load series (Fig. 6/7/10); SampleSet produces exactly those summaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace dauth {
+
+/// Accumulates scalar samples (we use milliseconds) and computes summaries.
+class SampleSet {
+ public:
+  void add(double value) { samples_.push_back(value); sorted_ = false; }
+  void add_time(Time t) { add(to_ms(t)); }
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double min();
+  double max();
+  double mean() const;
+  double stddev() const;
+
+  /// Quantile in [0,1] by linear interpolation between closest ranks.
+  double quantile(double q);
+  double median() { return quantile(0.5); }
+
+  /// Fraction of samples <= x (empirical CDF).
+  double cdf_at(double x);
+
+  /// Evenly spaced CDF points (x, F(x)) suitable for plotting/printing.
+  std::vector<std::pair<double, double>> cdf_points(std::size_t n_points);
+
+  /// "n=250 p50=113.2 p90=181.0 p95=204.7 p99=266.0 mean=121.9" style line.
+  std::string summary();
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  void ensure_sorted();
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace dauth

@@ -1,0 +1,23 @@
+#include "common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dauth {
+
+std::string format_time(Time t) {
+  char buf[64];
+  const double abs_t = std::abs(static_cast<double>(t));
+  if (abs_t >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_sec(t));
+  } else if (abs_t >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_ms(t));
+  } else if (abs_t >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(t) / static_cast<double>(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace dauth

@@ -1,0 +1,41 @@
+// Virtual-time representation used by the discrete-event simulator.
+//
+// Time is a 64-bit count of nanoseconds since simulation start. Helpers
+// provide readable construction (ms(5), sec(1.5)) and formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dauth {
+
+/// Nanoseconds of virtual time. 2^63 ns ≈ 292 years, ample for any run.
+using Time = std::int64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000 * kNanosecond;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+constexpr Time kMinute = 60 * kSecond;
+constexpr Time kHour = 60 * kMinute;
+constexpr Time kDay = 24 * kHour;
+
+constexpr Time ns(std::int64_t v) { return v; }
+constexpr Time us(std::int64_t v) { return v * kMicrosecond; }
+constexpr Time ms(std::int64_t v) { return v * kMillisecond; }
+constexpr Time sec(std::int64_t v) { return v * kSecond; }
+constexpr Time minutes(std::int64_t v) { return v * kMinute; }
+constexpr Time hours(std::int64_t v) { return v * kHour; }
+
+/// Fractional constructors (e.g. msf(0.25) == 250us).
+constexpr Time usf(double v) { return static_cast<Time>(v * static_cast<double>(kMicrosecond)); }
+constexpr Time msf(double v) { return static_cast<Time>(v * static_cast<double>(kMillisecond)); }
+constexpr Time secf(double v) { return static_cast<Time>(v * static_cast<double>(kSecond)); }
+
+constexpr double to_ms(Time t) { return static_cast<double>(t) / static_cast<double>(kMillisecond); }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / static_cast<double>(kSecond); }
+
+/// Human-readable rendering, e.g. "12.345ms" or "3.2s".
+std::string format_time(Time t);
+
+}  // namespace dauth

@@ -1,0 +1,427 @@
+#include "core/backup_network.h"
+
+#include <algorithm>
+
+#include "aka/suci.h"
+#include "core/home_network.h"  // hxres_index
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace dauth::core {
+
+BackupNetwork::BackupNetwork(sim::Rpc& rpc, sim::NodeIndex node, NetworkId id,
+                             directory::DirectoryClient& directory, FederationConfig config,
+                             store::KvStore* store)
+    : rpc_(rpc),
+      node_(node),
+      id_(std::move(id)),
+      directory_(directory),
+      config_(std::move(config)),
+      store_(store) {
+  if (store_ != nullptr) restore_from_store();
+}
+
+void BackupNetwork::restore_from_store() {
+  // Per-home metadata first (keys needed to serve immediately).
+  for (const auto& key : store_->keys_with_prefix("homekey/")) {
+    const NetworkId home(key.substr(8));
+    const auto value = store_->get(key);
+    if (value && value->size() == 32) {
+      homes_[home].home_key = take<32>(*value);
+      homes_[home].home_key_known = true;
+    }
+  }
+  for (const auto& key : store_->keys_with_prefix("sucikey/")) {
+    const NetworkId home(key.substr(8));
+    const auto value = store_->get(key);
+    if (value && value->size() == 32) homes_[home].suci_secret = take<32>(*value);
+  }
+
+  // Vector bundles: key layout "vec/<home>/<supi>/<hxres>". Rebuild each
+  // user's queue ordered by SQN (the dissemination order), floods first.
+  for (const auto& key : store_->keys_with_prefix("vec/")) {
+    try {
+      const auto bundle = AuthVectorBundle::decode(*store_->get(key));
+      users_[{bundle.home_network, bundle.supi}].vectors.push_back(bundle);
+    } catch (const wire::WireError&) {
+      // Skip corrupt records; the WAL already filtered torn writes.
+    }
+  }
+  for (auto& [key, user] : users_) {
+    std::stable_sort(user.vectors.begin(), user.vectors.end(),
+                     [](const AuthVectorBundle& a, const AuthVectorBundle& b) {
+                       if (a.flood != b.flood) return a.flood;  // floods first
+                       return a.sqn < b.sqn;
+                     });
+  }
+
+  for (const auto& key : store_->keys_with_prefix("share/")) {
+    try {
+      const auto bundle = KeyShareBundle::decode(*store_->get(key));
+      users_[{bundle.home_network, bundle.supi}].shares[to_hex(bundle.hxres_star)] = bundle;
+    } catch (const wire::WireError&) {
+    }
+  }
+
+  for (const auto& key : store_->keys_with_prefix("proof/")) {
+    try {
+      const auto proof = UsageProof::decode(*store_->get(key));
+      // Recover the home id from the key: "proof/<home>/<hxres>".
+      const std::string rest = key.substr(6);
+      const auto slash = rest.find('/');
+      if (slash == std::string::npos) continue;
+      const NetworkId home(rest.substr(0, slash));
+      homes_[home].pending_proofs.push_back(proof);
+      ++metrics_.proofs_pending;
+      arm_report(home);
+    } catch (const wire::WireError&) {
+    }
+  }
+}
+
+void BackupNetwork::bind_services() {
+  rpc_.register_service(node_, "backup.store", [this](ByteView req, sim::Responder r) {
+    handle_store(req, r);
+  });
+  rpc_.register_service(node_, "backup.get_vector", [this](ByteView req, sim::Responder r) {
+    handle_get_vector(req, r);
+  });
+  rpc_.register_service(node_, "backup.get_share", [this](ByteView req, sim::Responder r) {
+    handle_get_share(req, r);
+  });
+  rpc_.register_service(node_, "backup.revoke_shares",
+                        [this](ByteView req, sim::Responder r) { handle_revoke_shares(req, r); });
+}
+
+void BackupNetwork::handle_store(ByteView request, sim::Responder responder) {
+  StoreMaterialRequest req;
+  try {
+    req = StoreMaterialRequest::decode(request);
+  } catch (const wire::WireError&) {
+    ++metrics_.rejected_requests;
+    responder.fail("malformed store request");
+    return;
+  }
+
+  // Fetch (usually cached) the home network's key and verify every bundle's
+  // signature before accepting it. (Copy the id first: the move-capture and
+  // the first argument are indeterminately sequenced.)
+  const NetworkId home_id = req.home_network;
+  directory_.get_network(home_id, [this, req = std::move(req), responder](
+                                               std::optional<directory::NetworkEntry> home) {
+    if (!home) {
+      ++metrics_.rejected_requests;
+      responder.fail("unknown home network");
+      return;
+    }
+    const crypto::Ed25519PublicKey home_key = home->signing_key;
+    const Time cost = config_.costs.signature_verify *
+                      static_cast<Time>(req.vectors.size() + req.shares.size() + 1);
+    rpc_.network().node(node_).execute(cost, [this, req = std::move(req), home_key,
+                                              responder] {
+      for (const AuthVectorBundle& vector : req.vectors) {
+        if (!vector.verify(home_key)) {
+          ++metrics_.rejected_requests;
+          responder.fail("invalid vector signature");
+          return;
+        }
+      }
+      for (const KeyShareBundle& share : req.shares) {
+        if (!share.verify(home_key)) {
+          ++metrics_.rejected_requests;
+          responder.fail("invalid share signature");
+          return;
+        }
+        // Verifiable-share extension: check the Feldman commitment so a
+        // tampering dealer/peer is caught at store time.
+        if (share.feldman_share && share.feldman_commitments &&
+            !crypto::feldman_verify(*share.feldman_share, *share.feldman_commitments)) {
+          ++metrics_.rejected_requests;
+          responder.fail("feldman share verification failed");
+          return;
+        }
+      }
+
+      HomeState& home_state = homes_[req.home_network];
+      home_state.home_key = home_key;
+      home_state.home_key_known = true;
+      if (store_ != nullptr) {
+        store_->put("homekey/" + req.home_network.str(), home_key);
+      }
+      if (req.suci_secret.size() == 32) {
+        home_state.suci_secret = take<32>(req.suci_secret);
+        if (store_ != nullptr) {
+          store_->put("sucikey/" + req.home_network.str(), req.suci_secret);
+        }
+      }
+
+      for (const AuthVectorBundle& vector : req.vectors) {
+        UserState& user = users_[{req.home_network, vector.supi}];
+        if (vector.flood) {
+          user.vectors.push_front(vector);  // §4.3: flood vectors served first
+        } else {
+          user.vectors.push_back(vector);
+        }
+        ++metrics_.bundles_stored;
+        if (store_ != nullptr) {
+          store_->put("vec/" + req.home_network.str() + "/" + vector.supi.str() + "/" +
+                          to_hex(vector.hxres_star),
+                      vector.encode());
+        }
+      }
+      for (const KeyShareBundle& share : req.shares) {
+        UserState& user = users_[{req.home_network, share.supi}];
+        user.shares[to_hex(share.hxres_star)] = share;
+        ++metrics_.bundles_stored;
+        if (store_ != nullptr) {
+          store_->put("share/" + req.home_network.str() + "/" + share.supi.str() + "/" +
+                          to_hex(share.hxres_star),
+                      share.encode());
+        }
+      }
+      responder.reply({});
+    });
+  });
+}
+
+void BackupNetwork::handle_get_vector(ByteView request, sim::Responder responder) {
+  GetVectorRequest req;
+  try {
+    req = GetVectorRequest::decode(request);
+  } catch (const wire::WireError&) {
+    ++metrics_.rejected_requests;
+    responder.fail("malformed request");
+    return;
+  }
+
+  rpc_.network().node(node_).execute(config_.costs.vector_fetch, [this, req = std::move(req),
+                                                                  responder] {
+    Supi supi = req.supi;
+    if (supi.empty() && !req.suci.empty()) {
+      // Try every home whose SUCI secret we hold (in practice the SUCI's
+      // routing indicator narrows this to one).
+      for (const auto& [home_id, home_state] : homes_) {
+        if (!home_state.suci_secret) continue;
+        try {
+          wire::Reader r(req.suci);
+          aka::Suci suci;
+          suci.mcc = r.string();
+          suci.mnc = r.string();
+          suci.ephemeral_public = r.fixed<32>();
+          suci.ciphertext = r.bytes();
+          suci.mac = r.fixed<8>();
+          if (const auto recovered = aka::deconceal_suci(suci, *home_state.suci_secret)) {
+            supi = *recovered;
+            break;
+          }
+        } catch (const wire::WireError&) {
+          break;
+        }
+      }
+      if (supi.empty()) {
+        ++metrics_.rejected_requests;
+        responder.fail("suci deconcealment failed");
+        return;
+      }
+    }
+
+    // Find the user under any home network we back up.
+    for (auto& [key, user] : users_) {
+      if (key.supi != supi) continue;
+      if (user.vectors.empty()) {
+        responder.fail("no vectors remaining");
+        return;
+      }
+      const AuthVectorBundle bundle = user.vectors.front();
+      user.vectors.pop_front();
+      if (store_ != nullptr) {
+        store_->erase("vec/" + key.home.str() + "/" + supi.str() + "/" +
+                      to_hex(bundle.hxres_star));
+      }
+      ++metrics_.vectors_served;
+      responder.reply(bundle.encode());
+      return;
+    }
+    ++metrics_.rejected_requests;
+    responder.fail("user not backed up here");
+  });
+}
+
+void BackupNetwork::handle_get_share(ByteView request, sim::Responder responder) {
+  UsageProof proof;
+  try {
+    proof = UsageProof::decode(request);
+  } catch (const wire::WireError&) {
+    ++metrics_.rejected_requests;
+    responder.fail("malformed proof");
+    return;
+  }
+
+  // The preimage check is the heart of §4.2.2: the serving network must
+  // reveal RES*, proving the UE actually answered the challenge.
+  if (!ct_equal(hxres_index(proof.res_star), proof.hxres_star)) {
+    ++metrics_.rejected_requests;
+    responder.fail("res* preimage mismatch");
+    return;
+  }
+
+  directory_.get_network(proof.serving_network, [this, proof, responder](
+                                                    std::optional<directory::NetworkEntry>
+                                                        serving) {
+    if (!serving || !proof.verify(serving->signing_key)) {
+      ++metrics_.rejected_requests;
+      responder.fail("invalid serving signature");
+      return;
+    }
+    rpc_.network().node(node_).execute(config_.costs.share_fetch, [this, proof, responder] {
+      for (auto& [key, user] : users_) {
+        if (key.supi != proof.supi) continue;
+        const auto share_it = user.shares.find(to_hex(proof.hxres_star));
+        if (share_it == user.shares.end()) continue;
+
+        // Persist the proof for later reporting (§4.2.2: "backups store the
+        // received bundle ... to report a proof of consumption").
+        persist_proof(key.home, proof);
+        // The proof also tells us the vector itself is consumed; drop any
+        // copy WE hold (flood vectors are replicated to every backup, §4.3).
+        auto& vectors = user.vectors;
+        for (auto vec_it = vectors.begin(); vec_it != vectors.end(); ++vec_it) {
+          if (ct_equal(vec_it->hxres_star, proof.hxres_star)) {
+            vectors.erase(vec_it);
+            break;
+          }
+        }
+        ++metrics_.shares_served;
+        responder.reply(share_it->second.encode());
+        return;
+      }
+      ++metrics_.rejected_requests;
+      responder.fail("no share for this vector");
+    });
+  });
+}
+
+void BackupNetwork::handle_revoke_shares(ByteView request, sim::Responder responder) {
+  RevokeSharesRequest req;
+  try {
+    req = RevokeSharesRequest::decode(request);
+  } catch (const wire::WireError&) {
+    responder.fail("malformed revoke request");
+    return;
+  }
+
+  // Only the home network itself may revoke its users' material: check the
+  // request signature against the home key learned at store time (an
+  // unauthenticated revoke would be a share-deletion denial of service).
+  const auto home_it = homes_.find(req.home_network);
+  if (home_it == homes_.end()) {
+    responder.fail("unknown home network");
+    return;
+  }
+  if (!home_it->second.home_key_known || !req.verify(home_it->second.home_key)) {
+    ++metrics_.rejected_requests;
+    responder.fail("invalid revoke signature");
+    return;
+  }
+
+  const auto user_it = users_.find({req.home_network, req.supi});
+  if (user_it != users_.end()) {
+    for (const auto& hxres : req.hxres_indices) {
+      const std::string index = to_hex(hxres);
+      if (user_it->second.shares.erase(index) > 0) ++metrics_.shares_revoked;
+      // Also drop a matching stored vector (flood-vector replacement path).
+      auto& vectors = user_it->second.vectors;
+      for (auto it = vectors.begin(); it != vectors.end(); ++it) {
+        if (ct_equal(it->hxres_star, hxres)) {
+          vectors.erase(it);
+          break;
+        }
+      }
+      if (store_ != nullptr) {
+        store_->erase("share/" + req.home_network.str() + "/" + req.supi.str() + "/" + index);
+        store_->erase("vec/" + req.home_network.str() + "/" + req.supi.str() + "/" + index);
+      }
+    }
+  }
+  responder.reply({});
+}
+
+void BackupNetwork::persist_proof(const NetworkId& home, const UsageProof& proof) {
+  homes_[home].pending_proofs.push_back(proof);
+  ++metrics_.proofs_pending;
+  if (store_ != nullptr) {
+    store_->put("proof/" + home.str() + "/" + to_hex(proof.hxres_star), proof.encode());
+  }
+  arm_report(home);
+}
+
+void BackupNetwork::arm_report(const NetworkId& home) {
+  // report_interval <= 0 disables periodic reporting (tests call
+  // report_now() directly).
+  if (config_.report_interval <= 0) return;
+  HomeState& state = homes_[home];
+  if (state.report_armed || state.pending_proofs.empty()) return;
+  state.report_armed = true;
+  rpc_.network().simulator().after(config_.report_interval, [this, home] {
+    auto it = homes_.find(home);
+    if (it == homes_.end()) return;
+    it->second.report_armed = false;
+    if (!it->second.pending_proofs.empty()) {
+      report_now(home);
+      // Re-arm in case the home is still down; report_now's success path
+      // clears the pending list, making the next firing a no-op... but only
+      // re-arm AFTER the attempt resolves, which report_now handles.
+    }
+  });
+}
+
+void BackupNetwork::report_now(const NetworkId& home) {
+  auto it = homes_.find(home);
+  if (it == homes_.end() || it->second.pending_proofs.empty()) return;
+
+  ReportRequest report;
+  report.backup_network = id_;
+  report.proofs = it->second.pending_proofs;
+
+  directory_.get_network(home, [this, home, report](std::optional<directory::NetworkEntry> e) {
+    if (!e) return;
+    rpc_.call(
+        node_, static_cast<sim::NodeIndex>(e->address), "home.report", report.encode(), {},
+        [this, home, count = report.proofs.size()](Bytes) {
+          // Home acknowledged: clear exactly the proofs we sent.
+          auto home_it = homes_.find(home);
+          if (home_it == homes_.end()) return;
+          auto& pending = home_it->second.pending_proofs;
+          pending.erase(pending.begin(),
+                        pending.begin() + std::min(count, pending.size()));
+          metrics_.proofs_pending -= std::min<std::uint64_t>(count, metrics_.proofs_pending);
+          ++metrics_.reports_sent;
+          if (store_ != nullptr) {
+            for (const auto& key : store_->keys_with_prefix("proof/" + home.str() + "/")) {
+              store_->erase(key);
+            }
+          }
+        },
+        [this, home](sim::RpcError) {
+          // Home still down; keep the proofs and retry after an interval.
+          arm_report(home);
+        });
+  });
+}
+
+std::size_t BackupNetwork::stored_vectors(const NetworkId& home, const Supi& supi) const {
+  const auto it = users_.find({home, supi});
+  return it == users_.end() ? 0 : it->second.vectors.size();
+}
+
+std::size_t BackupNetwork::stored_shares(const NetworkId& home, const Supi& supi) const {
+  const auto it = users_.find({home, supi});
+  return it == users_.end() ? 0 : it->second.shares.size();
+}
+
+std::size_t BackupNetwork::pending_reports(const NetworkId& home) const {
+  const auto it = homes_.find(home);
+  return it == homes_.end() ? 0 : it->second.pending_proofs.size();
+}
+
+}  // namespace dauth::core

@@ -1,0 +1,89 @@
+// Federation-wide configuration and the calibrated cost model.
+//
+// Every tunable the paper discusses lives here: the number of backup
+// networks and the key-share threshold (§3.5.2, §6.4), how many vectors are
+// pre-generated per backup (§7.3), reporting cadence (§4.2.3), and the
+// prototype optimizations of §5.1 that the ablation benches toggle.
+//
+// CostModel holds per-operation CPU costs on the *reference* CPU (cloud-VM
+// class); each sim::Node scales them by its speed factor. The values are
+// calibrated so the simulated Open5GS baseline reproduces the latency bands
+// of Figures 3-5 (an Open5GS registration is dominated by NAS handling,
+// SBI hops between AMF/AUSF/UDM, and subscriber-DB access, not by raw
+// Milenage arithmetic).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/time.h"
+
+namespace dauth::core {
+
+struct CostModel {
+  // Serving-core NAS/registration handling per attach (AMF-side work).
+  Time nas_processing = ms(14);
+  // Home/standalone core: generate an authentication vector (AUSF+UDM path,
+  // subscriber DB, Milenage, key derivation).
+  Time vector_generation = ms(24);
+  // Extra cost of serving a vector over the S6a/N12 roaming interfaces
+  // (Diameter/SBI stack, inter-PLMN subscriber lookup) — baseline only.
+  Time hss_roaming_overhead = ms(30);
+  // Backup network: look up a stored vector bundle, mark it consumed in
+  // persistent storage (SQLite write + fsync on edge-class disks).
+  Time vector_fetch = ms(30);
+  // Backup network: serve a key share. Cheap: shares are proactively read
+  // into memory once the auth vector for the user is fetched (§6.4), and
+  // the proof is persisted with a write-behind log.
+  Time share_fetch = ms(4);
+  // Home network: verify the RES* preimage and release K_seaf (home-online
+  // GetKey leg, Fig. 8).
+  Time key_release = ms(6);
+  // Serving network: verify one Ed25519 bundle signature.
+  Time signature_verify = msf(0.8);
+  // Serving network: combine Shamir shares into K_seaf.
+  Time share_combine_base = msf(0.5);
+  Time share_combine_per_share = usf(150);
+  // Home network: generate + sign one vector/share bundle during
+  // dissemination (background work).
+  Time dissemination_per_vector = ms(6);
+  // Home network: process one reported usage proof.
+  Time report_processing = ms(4);
+  // Extra cost when Feldman verifiable shares are enabled (per share:
+  // commitment check = ~threshold scalar mults).
+  Time feldman_verify_per_share = ms(3);
+};
+
+struct FederationConfig {
+  // The federation-wide serving-network name. Community networks deploy
+  // under a shared PLMN (e.g. the CBRS shared HNI 315-010), which is what
+  // lets a home network pre-generate 5G-AKA vectors usable at any federated
+  // serving network — RES*/K_seaf bind to this name.
+  std::string serving_network_name = "5G:mnc010.mcc315.3gppnetwork.org";
+
+  // §3.5.2: N backup networks, reconstruction threshold M.
+  std::size_t backup_count = 6;
+  std::size_t threshold = 2;
+
+  // §4.2.1 / §7.3: vectors pre-disseminated per backup network per user.
+  std::size_t vectors_per_backup = 16;
+
+  // §5.1 optimization 3: how many backups to race a GetAuthVector against.
+  std::size_t vector_race_width = 2;
+
+  // §4.2.3: backup networks poll/report to the home network at this cadence.
+  Time report_interval = minutes(5);
+
+  // RPC deadlines.
+  Time home_auth_timeout = ms(800);   // before falling back to backups
+  Time backup_auth_timeout = sec(2);
+  Time key_share_timeout = sec(2);
+
+  // §3.5.2 extension: use Feldman verifiable secret sharing instead of plain
+  // Shamir (shares are validated individually, at extra CPU cost).
+  bool use_verifiable_shares = false;
+
+  CostModel costs;
+};
+
+}  // namespace dauth::core

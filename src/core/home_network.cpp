@@ -1,0 +1,618 @@
+#include "core/home_network.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace dauth::core {
+
+ByteArray<16> hxres_index(const crypto::ResStar& res_star) {
+  return take<16>(crypto::sha256(res_star));
+}
+
+HomeNetwork::HomeNetwork(sim::Rpc& rpc, sim::NodeIndex node, NetworkId id,
+                         crypto::Ed25519KeyPair signing_key, crypto::X25519KeyPair suci_key,
+                         directory::DirectoryClient& directory, FederationConfig config,
+                         crypto::DeterministicDrbg rng)
+    : rpc_(rpc),
+      node_(node),
+      id_(std::move(id)),
+      signing_key_(signing_key),
+      suci_key_(suci_key),
+      directory_(directory),
+      config_(std::move(config)),
+      rng_(std::move(rng)) {}
+
+void HomeNetwork::provision_subscriber(const Supi& supi, const aka::SubscriberKeys& keys) {
+  Subscriber subscriber;
+  subscriber.keys = keys;
+  subscribers_.emplace(supi, std::move(subscriber));
+}
+
+void HomeNetwork::set_backups(const std::vector<NetworkId>& backups) {
+  if (backups.size() > static_cast<std::size_t>(aka::kSliceCount - 1)) {
+    throw std::invalid_argument("HomeNetwork: too many backups (max 31)");
+  }
+  backup_ids_ = backups;
+  for (const NetworkId& backup : backup_ids_) {
+    if (!slice_map_.contains(backup)) {
+      if (next_free_slice_ >= aka::kSliceCount) {
+        throw std::length_error("HomeNetwork: SQN slices exhausted");
+      }
+      slice_map_[backup] = next_free_slice_++;
+    }
+  }
+}
+
+int HomeNetwork::slice_of(const NetworkId& backup) const {
+  const auto it = slice_map_.find(backup);
+  return it == slice_map_.end() ? -1 : it->second;
+}
+
+HomeNetwork::GeneratedMaterial HomeNetwork::generate_material(const Supi& supi,
+                                                              Subscriber& subscriber,
+                                                              int slice, bool flood) {
+  const std::uint64_t sqn = subscriber.sqn.allocate(slice);
+  const crypto::Rand rand = rng_.array<16>();
+  const aka::AuthVector av =
+      aka::generate_auth_vector(subscriber.keys, sqn, rand, config_.serving_network_name);
+  const ByteArray<16> index = hxres_index(av.xres_star);
+
+  ++metrics_.tokens_generated;
+  GeneratedMaterial material;
+  material.vector.home_network = id_;
+  material.vector.supi = supi;
+  material.vector.sqn = sqn;
+  material.vector.rand = rand;
+  material.vector.autn = av.autn;
+  material.vector.hxres_star = index;
+  material.vector.flood = flood;
+  material.vector.home_signature =
+      crypto::ed25519_sign(material.vector.signed_payload(), signing_key_);
+
+  const ByteView secret(av.k_seaf);
+  std::optional<crypto::FeldmanSharing> feldman;
+  std::vector<crypto::ShamirShare> shamir_shares;
+  if (config_.use_verifiable_shares) {
+    feldman = crypto::feldman_split(secret, config_.threshold, backup_ids_.size(), rng_);
+  } else {
+    shamir_shares = crypto::shamir_split(secret, config_.threshold, backup_ids_.size(), rng_);
+  }
+
+  material.shares.resize(backup_ids_.size());
+  for (std::size_t i = 0; i < backup_ids_.size(); ++i) {
+    KeyShareBundle& bundle = material.shares[i];
+    bundle.home_network = id_;
+    bundle.supi = supi;
+    bundle.hxres_star = index;
+    if (feldman) {
+      bundle.feldman_share = feldman->shares[i];
+      bundle.feldman_commitments = feldman->commitments;
+      // Keep the plain-share field empty but syntactically valid.
+      bundle.share.x = feldman->shares[i].x;
+    } else {
+      bundle.share = shamir_shares[i];
+    }
+    bundle.home_signature = crypto::ed25519_sign(bundle.signed_payload(), signing_key_);
+  }
+
+  DisseminatedVector record;
+  record.hxres = index;
+  record.sqn = sqn;
+  subscriber.outstanding[to_hex(index)] = record;  // holder set by caller
+  return material;
+}
+
+void HomeNetwork::disseminate(const Supi& supi, std::function<void(std::size_t)> done) {
+  auto subscriber_it = subscribers_.find(supi);
+  if (subscriber_it == subscribers_.end()) {
+    if (done) done(0);
+    return;
+  }
+  if (backup_ids_.empty()) {
+    if (done) done(0);
+    return;
+  }
+
+  // Build one StoreMaterialRequest per backup: its slice's vectors plus its
+  // share of every other backup's vectors.
+  std::vector<StoreMaterialRequest> requests(backup_ids_.size());
+  for (std::size_t b = 0; b < backup_ids_.size(); ++b) {
+    requests[b].home_network = id_;
+    requests[b].suci_secret = to_bytes(ByteView(suci_key_.secret));
+  }
+
+  std::size_t total_vectors = 0;
+  for (std::size_t b = 0; b < backup_ids_.size(); ++b) {
+    const int slice = slice_of(backup_ids_[b]);
+    for (std::size_t v = 0; v < config_.vectors_per_backup; ++v) {
+      GeneratedMaterial material =
+          generate_material(supi, subscriber_it->second, slice, /*flood=*/false);
+      subscriber_it->second.outstanding[to_hex(material.vector.hxres_star)].holder =
+          backup_ids_[b];
+      requests[b].vectors.push_back(std::move(material.vector));
+      for (std::size_t s = 0; s < backup_ids_.size(); ++s) {
+        requests[s].shares.push_back(std::move(material.shares[s]));
+      }
+      ++total_vectors;
+    }
+  }
+  metrics_.vectors_disseminated += total_vectors;
+  metrics_.shares_disseminated += total_vectors * backup_ids_.size();
+
+  // Model the precompute cost, then push to every backup.
+  const Time generation_cost =
+      config_.costs.dissemination_per_vector * static_cast<Time>(total_vectors);
+  auto remaining = std::make_shared<std::size_t>(backup_ids_.size());
+  auto ok_count = std::make_shared<std::size_t>(0);
+  rpc_.network().node(node_).execute(generation_cost, [this, requests = std::move(requests),
+                                                       remaining, ok_count, done] {
+    for (std::size_t b = 0; b < backup_ids_.size(); ++b) {
+      const NetworkId backup = backup_ids_[b];
+      directory_.get_network(backup, [this, request = requests[b], remaining, ok_count, done](
+                                         std::optional<directory::NetworkEntry> entry) {
+        auto finish_one = [remaining, ok_count, done](bool ok) {
+          if (ok) ++*ok_count;
+          if (--*remaining == 0 && done) done(*ok_count);
+        };
+        if (!entry) {
+          finish_one(false);
+          return;
+        }
+        rpc_.call(
+            node_, static_cast<sim::NodeIndex>(entry->address), "backup.store",
+            request.encode(), {}, [finish_one](Bytes) { finish_one(true); },
+            [finish_one](sim::RpcError) { finish_one(false); });
+      });
+    }
+  });
+}
+
+AuthVectorBundle HomeNetwork::generate_local_vector(const Supi& supi,
+                                                    crypto::Key256& k_seaf_out) {
+  auto it = subscribers_.find(supi);
+  if (it == subscribers_.end()) throw std::invalid_argument("unknown subscriber");
+  Subscriber& subscriber = it->second;
+
+  const std::uint64_t sqn = subscriber.sqn.allocate(aka::kHomeSlice);
+  const crypto::Rand rand = rng_.array<16>();
+  const aka::AuthVector av =
+      aka::generate_auth_vector(subscriber.keys, sqn, rand, config_.serving_network_name);
+
+  AuthVectorBundle bundle;
+  bundle.home_network = id_;
+  bundle.supi = supi;
+  bundle.sqn = sqn;
+  bundle.rand = rand;
+  bundle.autn = av.autn;
+  bundle.hxres_star = hxres_index(av.xres_star);
+  k_seaf_out = av.k_seaf;
+  ++metrics_.vectors_served;
+  return bundle;
+}
+
+std::optional<AuthVectorBundle> HomeNetwork::resync_and_generate_local(
+    const Supi& supi, const crypto::Rand& failed_rand,
+    const ByteArray<6>& sqn_ms_xor_ak_star, const crypto::MacS& mac_s,
+    crypto::Key256& k_seaf_out) {
+  auto it = subscribers_.find(supi);
+  if (it == subscribers_.end()) return std::nullopt;
+  Subscriber& subscriber = it->second;
+
+  const crypto::Amf resync_amf{0x00, 0x00};
+  const auto ak_pass = crypto::milenage(subscriber.keys.k, subscriber.keys.opc, failed_rand,
+                                        ByteArray<6>{}, resync_amf);
+  const ByteArray<6> sqn_ms_bytes = xor_arrays(sqn_ms_xor_ak_star, ak_pass.ak_star);
+  const auto verify = crypto::milenage(subscriber.keys.k, subscriber.keys.opc, failed_rand,
+                                       sqn_ms_bytes, resync_amf);
+  if (!ct_equal(verify.mac_s, mac_s)) return std::nullopt;
+
+  subscriber.sqn.resynchronize(aka::sqn_from_bytes(sqn_ms_bytes));
+  return generate_local_vector(supi, k_seaf_out);
+}
+
+void HomeNetwork::bind_services() {
+  rpc_.register_service(node_, "home.get_vector", [this](ByteView req, sim::Responder r) {
+    handle_get_vector(req, r);
+  });
+  rpc_.register_service(node_, "home.get_key", [this](ByteView req, sim::Responder r) {
+    handle_get_key(req, r);
+  });
+  rpc_.register_service(node_, "home.report", [this](ByteView req, sim::Responder r) {
+    handle_report(req, r);
+  });
+  rpc_.register_service(node_, "home.resync", [this](ByteView req, sim::Responder r) {
+    handle_resync(req, r);
+  });
+  rpc_.register_service(node_, "home.ping",
+                        [](ByteView, sim::Responder r) { r.reply({}); });
+}
+
+void HomeNetwork::reset_subscriber_sqn(const Supi& supi) {
+  auto it = subscribers_.find(supi);
+  if (it == subscribers_.end()) return;
+  it->second.sqn = aka::SqnAllocator();
+}
+
+void HomeNetwork::handle_resync(ByteView request, sim::Responder responder) {
+  // Request: supi, the RAND of the failed challenge, and the UE's AUTS.
+  Supi supi;
+  crypto::Rand rand;
+  ByteArray<6> sqn_ms_xor_ak_star;
+  crypto::MacS mac_s;
+  try {
+    wire::Reader r(request);
+    supi = Supi(r.string());
+    rand = r.fixed<16>();
+    sqn_ms_xor_ak_star = r.fixed<6>();
+    mac_s = r.fixed<8>();
+    r.expect_done();
+  } catch (const wire::WireError&) {
+    ++metrics_.rejected_requests;
+    responder.fail("malformed resync");
+    return;
+  }
+
+  auto it = subscribers_.find(supi);
+  if (it == subscribers_.end()) {
+    ++metrics_.rejected_requests;
+    responder.fail("unknown subscriber");
+    return;
+  }
+  Subscriber& subscriber = it->second;
+
+  // TS 33.102 §6.3.5: recover SQNms with AK* = f5*(K, RAND), then check
+  // MAC-S over (SQNms, RAND, AMF=0) before trusting the UE's counter.
+  const crypto::Amf resync_amf{0x00, 0x00};
+  const auto ak_pass = crypto::milenage(subscriber.keys.k, subscriber.keys.opc, rand,
+                                        ByteArray<6>{}, resync_amf);
+  const ByteArray<6> sqn_ms_bytes = xor_arrays(sqn_ms_xor_ak_star, ak_pass.ak_star);
+  const auto verify = crypto::milenage(subscriber.keys.k, subscriber.keys.opc, rand,
+                                       sqn_ms_bytes, resync_amf);
+  if (!ct_equal(verify.mac_s, mac_s)) {
+    ++metrics_.rejected_requests;
+    responder.fail("invalid auts mac");
+    return;
+  }
+
+  subscriber.sqn.resynchronize(aka::sqn_from_bytes(sqn_ms_bytes));
+
+  // Reply with a fresh (now acceptable) vector, as home.get_vector would.
+  rpc_.network().node(node_).execute(config_.costs.vector_generation, [this, supi,
+                                                                       responder] {
+    auto sub_it = subscribers_.find(supi);
+    if (sub_it == subscribers_.end()) {
+      responder.fail("unknown subscriber");
+      return;
+    }
+    Subscriber& sub = sub_it->second;
+    const std::uint64_t sqn = sub.sqn.allocate(aka::kHomeSlice);
+    const crypto::Rand fresh_rand = rng_.array<16>();
+    const aka::AuthVector av =
+        aka::generate_auth_vector(sub.keys, sqn, fresh_rand, config_.serving_network_name);
+    AuthVectorBundle bundle;
+    bundle.home_network = id_;
+    bundle.supi = supi;
+    bundle.sqn = sqn;
+    bundle.rand = fresh_rand;
+    bundle.autn = av.autn;
+    bundle.hxres_star = hxres_index(av.xres_star);
+    bundle.home_signature = crypto::ed25519_sign(bundle.signed_payload(), signing_key_);
+    sub.pending_keys[to_hex(bundle.hxres_star)] = av.k_seaf;
+    ++metrics_.vectors_served;
+    responder.reply(bundle.encode());
+  });
+}
+
+void HomeNetwork::handle_get_vector(ByteView request, sim::Responder responder) {
+  GetVectorRequest req;
+  try {
+    req = GetVectorRequest::decode(request);
+  } catch (const wire::WireError&) {
+    ++metrics_.rejected_requests;
+    responder.fail("malformed request");
+    return;
+  }
+
+  Supi supi = req.supi;
+  if (supi.empty() && !req.suci.empty()) {
+    // De-conceal the SUCI with our private key.
+    try {
+      wire::Reader r(req.suci);
+      aka::Suci suci;
+      suci.mcc = r.string();
+      suci.mnc = r.string();
+      suci.ephemeral_public = r.fixed<32>();
+      suci.ciphertext = r.bytes();
+      suci.mac = r.fixed<8>();
+      const auto recovered = aka::deconceal_suci(suci, suci_key_.secret);
+      if (!recovered) {
+        ++metrics_.rejected_requests;
+        responder.fail("suci deconcealment failed");
+        return;
+      }
+      supi = *recovered;
+    } catch (const wire::WireError&) {
+      ++metrics_.rejected_requests;
+      responder.fail("malformed suci");
+      return;
+    }
+  }
+
+  auto it = subscribers_.find(supi);
+  if (it == subscribers_.end()) {
+    ++metrics_.rejected_requests;
+    responder.fail("unknown subscriber");
+    return;
+  }
+
+  // Model the AUSF/UDM vector-generation cost, then answer.
+  rpc_.network().node(node_).execute(config_.costs.vector_generation, [this, supi, responder] {
+    auto sub_it = subscribers_.find(supi);
+    if (sub_it == subscribers_.end()) {
+      responder.fail("unknown subscriber");
+      return;
+    }
+    Subscriber& subscriber = sub_it->second;
+
+    const std::uint64_t sqn = subscriber.sqn.allocate(aka::kHomeSlice);
+    const crypto::Rand rand = rng_.array<16>();
+    const aka::AuthVector av =
+        aka::generate_auth_vector(subscriber.keys, sqn, rand, config_.serving_network_name);
+
+    AuthVectorBundle bundle;
+    bundle.home_network = id_;
+    bundle.supi = supi;
+    bundle.sqn = sqn;
+    bundle.rand = rand;
+    bundle.autn = av.autn;
+    bundle.hxres_star = hxres_index(av.xres_star);
+    bundle.home_signature = crypto::ed25519_sign(bundle.signed_payload(), signing_key_);
+
+    subscriber.pending_keys[to_hex(bundle.hxres_star)] = av.k_seaf;
+    ++metrics_.vectors_served;
+    responder.reply(bundle.encode());
+  });
+}
+
+void HomeNetwork::handle_get_key(ByteView request, sim::Responder responder) {
+  UsageProof proof;
+  try {
+    proof = UsageProof::decode(request);
+  } catch (const wire::WireError&) {
+    ++metrics_.rejected_requests;
+    responder.fail("malformed proof");
+    return;
+  }
+
+  auto it = subscribers_.find(proof.supi);
+  if (it == subscribers_.end()) {
+    ++metrics_.rejected_requests;
+    responder.fail("unknown subscriber");
+    return;
+  }
+
+  // The preimage check: H(RES*) must equal the index the key is filed under.
+  if (!ct_equal(hxres_index(proof.res_star), proof.hxres_star)) {
+    ++metrics_.rejected_requests;
+    responder.fail("res* preimage mismatch");
+    return;
+  }
+
+  // Verify the serving network's signature (its key comes from the
+  // directory, almost always cached).
+  directory_.get_network(proof.serving_network, [this, proof, responder](
+                                                    std::optional<directory::NetworkEntry>
+                                                        serving) {
+    if (!serving || !proof.verify(serving->signing_key)) {
+      ++metrics_.rejected_requests;
+      responder.fail("invalid serving signature");
+      return;
+    }
+    rpc_.network().node(node_).execute(config_.costs.key_release, [this, proof, responder] {
+      auto sub_it = subscribers_.find(proof.supi);
+      if (sub_it == subscribers_.end()) {
+        responder.fail("unknown subscriber");
+        return;
+      }
+      const std::string index = to_hex(proof.hxres_star);
+      auto key_it = sub_it->second.pending_keys.find(index);
+      if (key_it == sub_it->second.pending_keys.end()) {
+        ++metrics_.rejected_requests;
+        responder.fail("no pending key for proof");
+        return;
+      }
+      const crypto::Key256 k_seaf = key_it->second;
+      sub_it->second.pending_keys.erase(key_it);  // one-time release
+      sub_it->second.seen_proofs[index] = proof.serving_network;
+      ++usage_ledger_[proof.serving_network];
+      ++metrics_.keys_released;
+      responder.reply(to_bytes(ByteView(k_seaf)));
+    });
+  });
+}
+
+void HomeNetwork::handle_report(ByteView request, sim::Responder responder) {
+  ReportRequest report;
+  try {
+    report = ReportRequest::decode(request);
+  } catch (const wire::WireError&) {
+    responder.fail("malformed report");
+    return;
+  }
+
+  const Time cost =
+      config_.costs.report_processing * static_cast<Time>(std::max<std::size_t>(1, report.proofs.size()));
+  rpc_.network().node(node_).execute(cost, [this, report = std::move(report), responder] {
+    for (const UsageProof& proof : report.proofs) {
+      process_proof(report.backup_network, proof);
+    }
+    responder.reply({});
+  });
+}
+
+void HomeNetwork::process_proof(const NetworkId& reporter, const UsageProof& proof) {
+  auto it = subscribers_.find(proof.supi);
+  if (it == subscribers_.end()) {
+    anomalies_.push_back("report for unknown subscriber from " + reporter.str());
+    return;
+  }
+  Subscriber& subscriber = it->second;
+  ++metrics_.reports_processed;
+
+  if (!ct_equal(hxres_index(proof.res_star), proof.hxres_star)) {
+    anomalies_.push_back("bad preimage in report from " + reporter.str());
+    return;
+  }
+
+  const std::string index = to_hex(proof.hxres_star);
+
+  // Cross-check with previously seen proofs for the same vector (§4.2.3).
+  if (const auto seen = subscriber.seen_proofs.find(index);
+      seen != subscriber.seen_proofs.end()) {
+    if (seen->second != proof.serving_network) {
+      anomalies_.push_back("conflicting serving networks for vector " + index + ": " +
+                           seen->second.str() + " vs " + proof.serving_network.str());
+    }
+    return;  // already handled (replenished on first report)
+  }
+  subscriber.seen_proofs[index] = proof.serving_network;
+
+  auto outstanding_it = subscriber.outstanding.find(index);
+  if (outstanding_it == subscriber.outstanding.end()) {
+    anomalies_.push_back("report for unknown vector " + index + " from " + reporter.str());
+    return;
+  }
+  outstanding_it->second.consumed = true;
+  ++usage_ledger_[proof.serving_network];
+  const NetworkId holder = outstanding_it->second.holder;
+
+  // Order the now-obsolete sibling key shares deleted everywhere, and
+  // replenish the consumed slot (§4.2.3).
+  RevokeSharesRequest revoke;
+  revoke.home_network = id_;
+  revoke.supi = proof.supi;
+  revoke.hxres_indices.push_back(proof.hxres_star);
+  revoke.home_signature = crypto::ed25519_sign(revoke.signed_payload(), signing_key_);
+  for (const NetworkId& backup : backup_ids_) {
+    directory_.get_network(backup, [this, revoke](std::optional<directory::NetworkEntry> e) {
+      if (!e) return;
+      rpc_.call(node_, static_cast<sim::NodeIndex>(e->address), "backup.revoke_shares",
+                revoke.encode(), {}, nullptr, nullptr);
+    });
+  }
+  subscriber.outstanding.erase(outstanding_it);
+  replenish(proof.supi, holder);
+}
+
+void HomeNetwork::replenish(const Supi& supi, const NetworkId& holder) {
+  auto it = subscribers_.find(supi);
+  if (it == subscribers_.end()) return;
+  const int slice = slice_of(holder);
+  if (slice < 0) return;  // holder no longer a backup
+
+  GeneratedMaterial material = generate_material(supi, it->second, slice, /*flood=*/false);
+  it->second.outstanding[to_hex(material.vector.hxres_star)].holder = holder;
+  ++metrics_.replenishments;
+  ++metrics_.vectors_disseminated;
+  metrics_.shares_disseminated += backup_ids_.size();
+
+  rpc_.network().node(node_).execute(config_.costs.dissemination_per_vector, [this, material =
+                                                                                        std::move(
+                                                                                            material),
+                                                                              holder] {
+    for (std::size_t b = 0; b < backup_ids_.size(); ++b) {
+      StoreMaterialRequest request;
+      request.home_network = id_;
+      if (backup_ids_[b] == holder) request.vectors.push_back(material.vector);
+      request.shares.push_back(material.shares[b]);
+      directory_.get_network(backup_ids_[b],
+                             [this, request](std::optional<directory::NetworkEntry> e) {
+                               if (!e) return;
+                               rpc_.call(node_, static_cast<sim::NodeIndex>(e->address),
+                                         "backup.store", request.encode(), {}, nullptr, nullptr);
+                             });
+    }
+  });
+}
+
+void HomeNetwork::revoke_backup(const NetworkId& revoked, std::function<void()> done) {
+  const int revoked_slice = slice_of(revoked);
+  if (revoked_slice < 0) {
+    if (done) done();
+    return;
+  }
+  ++metrics_.revocations;
+  backup_ids_.erase(std::find(backup_ids_.begin(), backup_ids_.end(), revoked));
+  slice_map_.erase(revoked);  // slice retired; never handed to a new backup
+
+  // Collect, per subscriber, every vector the revoked network held.
+  for (auto& [supi, subscriber] : subscribers_) {
+    RevokeSharesRequest revoke;
+    revoke.home_network = id_;
+    revoke.supi = supi;
+    std::uint64_t max_sqn = 0;
+    for (auto it = subscriber.outstanding.begin(); it != subscriber.outstanding.end();) {
+      if (it->second.holder == revoked) {
+        revoke.hxres_indices.push_back(it->second.hxres);
+        max_sqn = std::max(max_sqn, it->second.sqn);
+        it = subscriber.outstanding.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Supersede the revoked slice so any still-cached vector is dead once the
+    // flood vector (or any later vector in the slice) is consumed (§4.3).
+    if (max_sqn > 0) subscriber.sqn.advance_past(revoked_slice, max_sqn);
+
+    revoke.home_signature = crypto::ed25519_sign(revoke.signed_payload(), signing_key_);
+
+    // Order every remaining backup to delete the sibling shares.
+    if (!revoke.hxres_indices.empty()) {
+      for (const NetworkId& backup : backup_ids_) {
+        directory_.get_network(backup,
+                               [this, revoke](std::optional<directory::NetworkEntry> e) {
+                                 if (!e) return;
+                                 rpc_.call(node_, static_cast<sim::NodeIndex>(e->address),
+                                           "backup.revoke_shares", revoke.encode(), {}, nullptr,
+                                           nullptr);
+                               });
+      }
+    }
+
+    // Flood vector: a superseding vector in the revoked slice, handed to all
+    // remaining backups so the next auth consumes it and invalidates the
+    // revoked network's cache.
+    if (!backup_ids_.empty() && backup_ids_.size() >= config_.threshold) {
+      GeneratedMaterial material =
+          generate_material(supi, subscriber, revoked_slice, /*flood=*/true);
+      // All remaining backups can serve the flood vector.
+      subscriber.outstanding[to_hex(material.vector.hxres_star)].holder = backup_ids_.front();
+      for (std::size_t b = 0; b < backup_ids_.size(); ++b) {
+        StoreMaterialRequest request;
+        request.home_network = id_;
+        request.vectors.push_back(material.vector);
+        request.shares.push_back(material.shares[b]);
+        directory_.get_network(backup_ids_[b],
+                               [this, request](std::optional<directory::NetworkEntry> e) {
+                                 if (!e) return;
+                                 rpc_.call(node_, static_cast<sim::NodeIndex>(e->address),
+                                           "backup.store", request.encode(), {}, nullptr,
+                                           nullptr);
+                               });
+      }
+    }
+  }
+
+  // Publish the shrunken backup set.
+  directory_.publish_backups(
+      directory::make_backups_entry(id_, backup_ids_, signing_key_),
+      [done](bool) {
+        if (done) done();
+      });
+}
+
+}  // namespace dauth::core

@@ -1,0 +1,169 @@
+// Home-network role: the anchor of a subscriber's identity (paper §3.3).
+//
+// Responsibilities:
+//   * hold subscriber keys (K, OPc) and the per-slice SQN allocator;
+//   * serve one-time vectors to serving networks while online (§4.1,
+//     Fig. 8), releasing K_seaf only after a valid RES* preimage;
+//   * pre-generate vector + key-share material, one SQN slice per backup
+//     network, and disseminate it (§4.2.1);
+//   * process usage reports from backups: replenish consumed material,
+//     invalidate the sibling key shares, and cross-check for inconsistent
+//     reports (§4.2.3);
+//   * revoke a compromised backup (§4.3): supersede its SQN slice, flood a
+//     fresh vector to the remaining backups, and order the matching key
+//     shares deleted.
+//
+// The federation shares one PLMN / serving-network name (the CBRS
+// shared-HNI deployment model used by community networks), which is what
+// makes 5G-AKA vector pre-generation possible — see DESIGN.md.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "aka/auth_vector.h"
+#include "aka/sqn.h"
+#include "aka/suci.h"
+#include "core/config.h"
+#include "core/messages.h"
+#include "core/metrics.h"
+#include "directory/client.h"
+#include "sim/rpc.h"
+
+namespace dauth::core {
+
+/// Computes dAuth's share/vector index: H(XRES*) truncated to 16 bytes.
+/// (Distinct from 3GPP's HXRES*, which binds RAND; backups must be able to
+/// check the preimage without holding the vector, so the index hashes the
+/// response alone — exactly the H(XRES) of the paper's Algorithm 1.)
+ByteArray<16> hxres_index(const crypto::ResStar& res_star);
+
+class HomeNetwork {
+ public:
+  HomeNetwork(sim::Rpc& rpc, sim::NodeIndex node, NetworkId id,
+              crypto::Ed25519KeyPair signing_key, crypto::X25519KeyPair suci_key,
+              directory::DirectoryClient& directory, FederationConfig config,
+              crypto::DeterministicDrbg rng);
+
+  const NetworkId& id() const noexcept { return id_; }
+
+  /// Adds a subscriber. Must be called before dissemination or auth.
+  void provision_subscriber(const Supi& supi, const aka::SubscriberKeys& keys);
+  bool has_subscriber(const Supi& supi) const { return subscribers_.contains(supi); }
+
+  /// Configures the backup set. Backup i is assigned SQN slice i+1
+  /// (slice 0 stays with the home network). At most kSliceCount-1 backups.
+  void set_backups(const std::vector<NetworkId>& backups);
+  const std::vector<NetworkId>& backups() const noexcept { return backup_ids_; }
+
+  /// Pre-generates and pushes `config.vectors_per_backup` vectors per backup
+  /// for one subscriber (§4.2.1). `done(ok_count)` fires after all backup
+  /// stores complete or fail.
+  void disseminate(const Supi& supi, std::function<void(std::size_t)> done = nullptr);
+
+  /// Revokes a backup network (§4.3). Removes it from the backup set,
+  /// orders remaining backups to delete the revoked network's sibling key
+  /// shares, supersedes its SQN slices, and floods one fresh vector per
+  /// subscriber to the remaining backups.
+  void revoke_backup(const NetworkId& revoked, std::function<void()> done = nullptr);
+
+  /// Local vector generation for this network's own serving role (LocalAuth
+  /// endpoint): no signing, no network hop.
+  AuthVectorBundle generate_local_vector(const Supi& supi, crypto::Key256& k_seaf_out);
+
+  /// Local AUTS resynchronisation (serving == home): validates MAC-S,
+  /// brings the allocator past SQNms, and returns a fresh vector; nullopt
+  /// on an invalid AUTS.
+  std::optional<AuthVectorBundle> resync_and_generate_local(
+      const Supi& supi, const crypto::Rand& failed_rand,
+      const ByteArray<6>& sqn_ms_xor_ak_star, const crypto::MacS& mac_s,
+      crypto::Key256& k_seaf_out);
+
+  /// Registers "home.get_vector" / "home.get_key" / "home.report" /
+  /// "home.resync" on the node. Call once after construction.
+  void bind_services();
+
+  /// Models losing SQN allocator state (crash + restore from a stale
+  /// backup): subsequent vectors repeat old sequence numbers until an AUTS
+  /// resynchronisation (TS 33.102 §6.3.5) brings the allocator forward.
+  void reset_subscriber_sqn(const Supi& supi);
+
+  const HomeMetrics& metrics() const noexcept { return metrics_; }
+
+  /// Inconsistencies observed in reports (distinct serving networks claiming
+  /// the same vector, bad signatures...) — §4.2.3 accountability.
+  const std::vector<std::string>& anomalies() const noexcept { return anomalies_; }
+
+  /// §7.4 billing hook: authenticated usage per serving network, built from
+  /// verified usage proofs ("as these are reported when used by serving
+  /// networks, operators ensure that users receive Internet access and that
+  /// revenue can be shared with serving networks").
+  const std::map<NetworkId, std::uint64_t>& usage_ledger() const noexcept {
+    return usage_ledger_;
+  }
+
+  /// The X25519 SUCI key pair (secret shared with backups at dissemination).
+  const crypto::X25519KeyPair& suci_keys() const noexcept { return suci_key_; }
+
+ private:
+  struct DisseminatedVector {
+    ByteArray<16> hxres;
+    std::uint64_t sqn = 0;
+    NetworkId holder;  // backup holding the vector itself
+    bool consumed = false;
+  };
+
+  struct Subscriber {
+    aka::SubscriberKeys keys;
+    aka::SqnAllocator sqn;
+    // Home-online flow: keys awaiting the RES* proof, by hxres index (hex).
+    std::map<std::string, crypto::Key256> pending_keys;
+    // All outstanding disseminated vectors, by hxres index (hex).
+    std::map<std::string, DisseminatedVector> outstanding;
+    // Seen usage proofs by hxres (hex) -> serving network, for consistency
+    // checks across backup reports.
+    std::map<std::string, NetworkId> seen_proofs;
+  };
+
+  /// Generates one vector + its N key-share bundles for `slice`.
+  struct GeneratedMaterial {
+    AuthVectorBundle vector;
+    std::vector<KeyShareBundle> shares;  // one per backup (share i -> backup i)
+  };
+  GeneratedMaterial generate_material(const Supi& supi, Subscriber& subscriber, int slice,
+                                      bool flood);
+
+  void handle_get_vector(ByteView request, sim::Responder responder);
+  void handle_get_key(ByteView request, sim::Responder responder);
+  void handle_report(ByteView request, sim::Responder responder);
+  void handle_resync(ByteView request, sim::Responder responder);
+  void process_proof(const NetworkId& reporter, const UsageProof& proof);
+  void replenish(const Supi& supi, const NetworkId& holder);
+  int slice_of(const NetworkId& backup) const;
+
+  sim::Rpc& rpc_;
+  sim::NodeIndex node_;
+  NetworkId id_;
+  crypto::Ed25519KeyPair signing_key_;
+  crypto::X25519KeyPair suci_key_;
+  directory::DirectoryClient& directory_;
+  FederationConfig config_;
+  crypto::DeterministicDrbg rng_;
+
+  std::map<Supi, Subscriber> subscribers_;
+  std::vector<NetworkId> backup_ids_;
+  // Persistent backup -> SQN-slice assignment. Slices are never reassigned
+  // while material for them may still be outstanding; a revoked backup's
+  // slice is retired and new backups get the lowest slice never used.
+  std::map<NetworkId, int> slice_map_;
+  int next_free_slice_ = 1;
+  HomeMetrics metrics_;
+  std::vector<std::string> anomalies_;
+  std::map<NetworkId, std::uint64_t> usage_ledger_;
+};
+
+}  // namespace dauth::core

@@ -1,0 +1,300 @@
+#include "core/messages.h"
+
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace dauth::core {
+namespace {
+
+void write_shamir_share(wire::Writer& w, const crypto::ShamirShare& share) {
+  w.u8(share.x);
+  w.bytes(share.y);
+}
+
+crypto::ShamirShare read_shamir_share(wire::Reader& r) {
+  crypto::ShamirShare share;
+  share.x = r.u8();
+  share.y = r.bytes();
+  return share;
+}
+
+void write_feldman_share(wire::Writer& w, const crypto::FeldmanShare& share) {
+  w.u8(share.x);
+  w.u32(static_cast<std::uint32_t>(share.chunks.size()));
+  for (const auto& chunk : share.chunks) w.fixed(chunk);
+}
+
+crypto::FeldmanShare read_feldman_share(wire::Reader& r) {
+  crypto::FeldmanShare share;
+  share.x = r.u8();
+  const std::uint32_t chunks = r.u32();
+  share.chunks.reserve(chunks);
+  for (std::uint32_t i = 0; i < chunks; ++i) share.chunks.push_back(r.fixed<32>());
+  return share;
+}
+
+void write_feldman_commitments(wire::Writer& w, const crypto::FeldmanCommitments& c) {
+  w.u32(static_cast<std::uint32_t>(c.secret_length));
+  w.u32(static_cast<std::uint32_t>(c.per_chunk.size()));
+  for (const auto& chunk : c.per_chunk) {
+    w.u32(static_cast<std::uint32_t>(chunk.size()));
+    for (const auto& commitment : chunk) w.fixed(commitment);
+  }
+}
+
+crypto::FeldmanCommitments read_feldman_commitments(wire::Reader& r) {
+  crypto::FeldmanCommitments c;
+  c.secret_length = r.u32();
+  const std::uint32_t chunks = r.u32();
+  c.per_chunk.resize(chunks);
+  for (auto& chunk : c.per_chunk) {
+    const std::uint32_t n = r.u32();
+    chunk.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) chunk.push_back(r.fixed<32>());
+  }
+  return c;
+}
+
+}  // namespace
+
+// ---- AuthVectorBundle -------------------------------------------------------
+
+Bytes AuthVectorBundle::signed_payload() const {
+  wire::Writer w;
+  w.string("auth-vector-bundle-v1");
+  w.string(home_network.str());
+  w.string(supi.str());
+  w.u64(sqn);
+  w.fixed(rand);
+  w.fixed(autn);
+  w.fixed(hxres_star);
+  w.boolean(flood);
+  return std::move(w).take();
+}
+
+Bytes AuthVectorBundle::encode() const {
+  wire::Writer w;
+  w.string(home_network.str());
+  w.string(supi.str());
+  w.u64(sqn);
+  w.fixed(rand);
+  w.fixed(autn);
+  w.fixed(hxres_star);
+  w.boolean(flood);
+  w.fixed(home_signature);
+  return std::move(w).take();
+}
+
+AuthVectorBundle AuthVectorBundle::decode(ByteView data) {
+  wire::Reader r(data);
+  AuthVectorBundle b;
+  b.home_network = NetworkId(r.string());
+  b.supi = Supi(r.string());
+  b.sqn = r.u64();
+  b.rand = r.fixed<16>();
+  b.autn = r.fixed<16>();
+  b.hxres_star = r.fixed<16>();
+  b.flood = r.boolean();
+  b.home_signature = r.fixed<64>();
+  r.expect_done();
+  return b;
+}
+
+bool AuthVectorBundle::verify(const crypto::Ed25519PublicKey& home_key) const {
+  return crypto::ed25519_verify(signed_payload(), home_signature, home_key);
+}
+
+// ---- KeyShareBundle ---------------------------------------------------------
+
+Bytes KeyShareBundle::signed_payload() const {
+  wire::Writer w;
+  w.string("key-share-bundle-v1");
+  w.string(home_network.str());
+  w.string(supi.str());
+  w.fixed(hxres_star);
+  write_shamir_share(w, share);
+  w.boolean(feldman_share.has_value());
+  if (feldman_share) write_feldman_share(w, *feldman_share);
+  w.boolean(feldman_commitments.has_value());
+  if (feldman_commitments) write_feldman_commitments(w, *feldman_commitments);
+  return std::move(w).take();
+}
+
+Bytes KeyShareBundle::encode() const {
+  wire::Writer w;
+  w.string(home_network.str());
+  w.string(supi.str());
+  w.fixed(hxres_star);
+  write_shamir_share(w, share);
+  w.boolean(feldman_share.has_value());
+  if (feldman_share) write_feldman_share(w, *feldman_share);
+  w.boolean(feldman_commitments.has_value());
+  if (feldman_commitments) write_feldman_commitments(w, *feldman_commitments);
+  w.fixed(home_signature);
+  return std::move(w).take();
+}
+
+KeyShareBundle KeyShareBundle::decode(ByteView data) {
+  wire::Reader r(data);
+  KeyShareBundle b;
+  b.home_network = NetworkId(r.string());
+  b.supi = Supi(r.string());
+  b.hxres_star = r.fixed<16>();
+  b.share = read_shamir_share(r);
+  if (r.boolean()) b.feldman_share = read_feldman_share(r);
+  if (r.boolean()) b.feldman_commitments = read_feldman_commitments(r);
+  b.home_signature = r.fixed<64>();
+  r.expect_done();
+  return b;
+}
+
+bool KeyShareBundle::verify(const crypto::Ed25519PublicKey& home_key) const {
+  return crypto::ed25519_verify(signed_payload(), home_signature, home_key);
+}
+
+// ---- UsageProof -------------------------------------------------------------
+
+Bytes UsageProof::signed_payload() const {
+  wire::Writer w;
+  w.string("usage-proof-v1");
+  w.string(serving_network.str());
+  w.string(supi.str());
+  w.fixed(hxres_star);
+  w.fixed(res_star);
+  w.i64(timestamp);
+  return std::move(w).take();
+}
+
+Bytes UsageProof::encode() const {
+  wire::Writer w;
+  w.string(serving_network.str());
+  w.string(supi.str());
+  w.fixed(hxres_star);
+  w.fixed(res_star);
+  w.i64(timestamp);
+  w.fixed(serving_signature);
+  return std::move(w).take();
+}
+
+UsageProof UsageProof::decode(ByteView data) {
+  wire::Reader r(data);
+  UsageProof p;
+  p.serving_network = NetworkId(r.string());
+  p.supi = Supi(r.string());
+  p.hxres_star = r.fixed<16>();
+  p.res_star = r.fixed<16>();
+  p.timestamp = r.i64();
+  p.serving_signature = r.fixed<64>();
+  r.expect_done();
+  return p;
+}
+
+bool UsageProof::verify(const crypto::Ed25519PublicKey& serving_key) const {
+  return crypto::ed25519_verify(signed_payload(), serving_signature, serving_key);
+}
+
+// ---- RPC payloads -----------------------------------------------------------
+
+Bytes StoreMaterialRequest::encode() const {
+  wire::Writer w;
+  w.string(home_network.str());
+  w.u32(static_cast<std::uint32_t>(vectors.size()));
+  for (const auto& v : vectors) w.bytes(v.encode());
+  w.u32(static_cast<std::uint32_t>(shares.size()));
+  for (const auto& s : shares) w.bytes(s.encode());
+  w.bytes(suci_secret);
+  return std::move(w).take();
+}
+
+StoreMaterialRequest StoreMaterialRequest::decode(ByteView data) {
+  wire::Reader r(data);
+  StoreMaterialRequest req;
+  req.home_network = NetworkId(r.string());
+  const std::uint32_t vector_count = r.u32();
+  req.vectors.reserve(vector_count);
+  for (std::uint32_t i = 0; i < vector_count; ++i)
+    req.vectors.push_back(AuthVectorBundle::decode(r.bytes()));
+  const std::uint32_t share_count = r.u32();
+  req.shares.reserve(share_count);
+  for (std::uint32_t i = 0; i < share_count; ++i)
+    req.shares.push_back(KeyShareBundle::decode(r.bytes()));
+  req.suci_secret = r.bytes();
+  r.expect_done();
+  return req;
+}
+
+Bytes GetVectorRequest::encode() const {
+  wire::Writer w;
+  w.string(serving_network.str());
+  w.string(supi.str());
+  w.bytes(suci);
+  return std::move(w).take();
+}
+
+GetVectorRequest GetVectorRequest::decode(ByteView data) {
+  wire::Reader r(data);
+  GetVectorRequest req;
+  req.serving_network = NetworkId(r.string());
+  req.supi = Supi(r.string());
+  req.suci = r.bytes();
+  r.expect_done();
+  return req;
+}
+
+Bytes ReportRequest::encode() const {
+  wire::Writer w;
+  w.string(backup_network.str());
+  w.u32(static_cast<std::uint32_t>(proofs.size()));
+  for (const auto& p : proofs) w.bytes(p.encode());
+  return std::move(w).take();
+}
+
+ReportRequest ReportRequest::decode(ByteView data) {
+  wire::Reader r(data);
+  ReportRequest req;
+  req.backup_network = NetworkId(r.string());
+  const std::uint32_t count = r.u32();
+  req.proofs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) req.proofs.push_back(UsageProof::decode(r.bytes()));
+  r.expect_done();
+  return req;
+}
+
+Bytes RevokeSharesRequest::signed_payload() const {
+  wire::Writer w;
+  w.string("revoke-shares-v1");
+  w.string(home_network.str());
+  w.string(supi.str());
+  w.u32(static_cast<std::uint32_t>(hxres_indices.size()));
+  for (const auto& h : hxres_indices) w.fixed(h);
+  return std::move(w).take();
+}
+
+Bytes RevokeSharesRequest::encode() const {
+  wire::Writer w;
+  w.string(home_network.str());
+  w.string(supi.str());
+  w.u32(static_cast<std::uint32_t>(hxres_indices.size()));
+  for (const auto& h : hxres_indices) w.fixed(h);
+  w.fixed(home_signature);
+  return std::move(w).take();
+}
+
+RevokeSharesRequest RevokeSharesRequest::decode(ByteView data) {
+  wire::Reader r(data);
+  RevokeSharesRequest req;
+  req.home_network = NetworkId(r.string());
+  req.supi = Supi(r.string());
+  const std::uint32_t count = r.u32();
+  req.hxres_indices.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) req.hxres_indices.push_back(r.fixed<16>());
+  req.home_signature = r.fixed<64>();
+  r.expect_done();
+  return req;
+}
+
+bool RevokeSharesRequest::verify(const crypto::Ed25519PublicKey& home_key) const {
+  return crypto::ed25519_verify(signed_payload(), home_signature, home_key);
+}
+
+}  // namespace dauth::core

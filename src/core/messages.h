@@ -1,0 +1,130 @@
+// dAuth protocol messages (the protobuf schema of the paper's prototype).
+//
+// Three bundle types carry all security-critical state:
+//   * AuthVectorBundle — one pre-generated challenge, signed by the home
+//     network, stored at ONE backup network (paper §4.2.1).
+//   * KeyShareBundle — one Shamir share of that vector's K_seaf, indexed by
+//     H(XRES*), signed by the home network, stored at a DIFFERENT backup.
+//   * UsageProof — the serving network's signed statement that the UE
+//     answered challenge H(XRES*) with preimage RES* (paper §4.2.2); it is
+//     both the authorization to release key shares and the audit record
+//     reported back to the home network (§4.2.3).
+// Every struct encodes deterministically (wire::Writer) and signatures
+// cover a domain-separated payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aka/auth_vector.h"
+#include "common/ids.h"
+#include "common/time.h"
+#include "crypto/ed25519.h"
+#include "crypto/feldman.h"
+#include "crypto/shamir.h"
+
+namespace dauth::core {
+
+/// One pre-generated authentication vector as disseminated to a backup.
+struct AuthVectorBundle {
+  NetworkId home_network;
+  Supi supi;
+  std::uint64_t sqn = 0;  // lets backups order vectors inside their slice
+  crypto::Rand rand{};
+  aka::Autn autn{};
+  ByteArray<16> hxres_star{};
+  bool flood = false;  // §4.3: flood vectors jump the queue
+  crypto::Ed25519Signature home_signature{};
+
+  Bytes signed_payload() const;
+  Bytes encode() const;
+  static AuthVectorBundle decode(ByteView data);
+  bool verify(const crypto::Ed25519PublicKey& home_key) const;
+};
+
+/// One key share of K_seaf, indexed by the vector's H(XRES*).
+struct KeyShareBundle {
+  NetworkId home_network;
+  Supi supi;
+  ByteArray<16> hxres_star{};
+  crypto::ShamirShare share;  // share of K_seaf (32 bytes)
+  // Verifiable-share extension (§3.5.2): present when the federation runs
+  // with Feldman VSS enabled.
+  std::optional<crypto::FeldmanShare> feldman_share;
+  std::optional<crypto::FeldmanCommitments> feldman_commitments;
+  crypto::Ed25519Signature home_signature{};
+
+  Bytes signed_payload() const;
+  Bytes encode() const;
+  static KeyShareBundle decode(ByteView data);
+  bool verify(const crypto::Ed25519PublicKey& home_key) const;
+};
+
+/// Serving network's proof that the UE was present and answered correctly.
+struct UsageProof {
+  NetworkId serving_network;
+  Supi supi;
+  ByteArray<16> hxres_star{};
+  crypto::ResStar res_star{};  // preimage: H(RAND,RES*) == hxres_star
+  Time timestamp = 0;
+  crypto::Ed25519Signature serving_signature{};
+
+  Bytes signed_payload() const;
+  Bytes encode() const;
+  static UsageProof decode(ByteView data);
+  bool verify(const crypto::Ed25519PublicKey& serving_key) const;
+};
+
+// ---- RPC payloads -----------------------------------------------------------
+
+/// home -> backup: replace/extend the stored material for a set of users.
+struct StoreMaterialRequest {
+  NetworkId home_network;
+  std::vector<AuthVectorBundle> vectors;
+  std::vector<KeyShareBundle> shares;
+  /// §4.2.1: "if 5G ID encryption is used ... the home network shares the ID
+  /// decryption key with the backup networks". Empty when not shared.
+  Bytes suci_secret;
+
+  Bytes encode() const;
+  static StoreMaterialRequest decode(ByteView data);
+};
+
+/// serving -> home or backup: request the next auth vector for a user.
+/// The user is identified by SUPI (or by SUCI ciphertext, which home/backup
+/// networks can de-conceal; the SUCI path carries the encoded SUCI).
+struct GetVectorRequest {
+  NetworkId serving_network;
+  Supi supi;  // empty when suci is used
+  Bytes suci; // encoded aka::Suci, empty when supi is used
+
+  Bytes encode() const;
+  static GetVectorRequest decode(ByteView data);
+};
+
+/// backup -> home (report, §4.2.3): consumed vectors + proofs.
+struct ReportRequest {
+  NetworkId backup_network;
+  std::vector<UsageProof> proofs;
+
+  Bytes encode() const;
+  static ReportRequest decode(ByteView data);
+};
+
+/// home -> backup (§4.3): delete key shares for the given H(XRES*) indices.
+/// Signed by the home network — an unauthenticated revoke would let any
+/// peer destroy a user's backup material (denial of service).
+struct RevokeSharesRequest {
+  NetworkId home_network;
+  Supi supi;
+  std::vector<ByteArray<16>> hxres_indices;
+  crypto::Ed25519Signature home_signature{};
+
+  Bytes signed_payload() const;
+  Bytes encode() const;
+  static RevokeSharesRequest decode(ByteView data);
+  bool verify(const crypto::Ed25519PublicKey& home_key) const;
+};
+
+}  // namespace dauth::core

@@ -1,0 +1,41 @@
+// Per-role operation counters, surfaced by benches and integration tests.
+#pragma once
+
+#include <cstdint>
+
+namespace dauth::core {
+
+struct HomeMetrics {
+  std::uint64_t tokens_generated = 0;      // auth vectors created (billable, §7.4)
+  std::uint64_t vectors_served = 0;        // home-online GetVector replies
+  std::uint64_t keys_released = 0;         // home-online GetKey replies
+  std::uint64_t vectors_disseminated = 0;  // bundles pushed to backups
+  std::uint64_t shares_disseminated = 0;
+  std::uint64_t reports_processed = 0;     // usage proofs ingested
+  std::uint64_t replenishments = 0;        // vectors regenerated after use
+  std::uint64_t revocations = 0;
+  std::uint64_t rejected_requests = 0;     // bad signatures / unknown users
+};
+
+struct BackupMetrics {
+  std::uint64_t bundles_stored = 0;
+  std::uint64_t vectors_served = 0;
+  std::uint64_t shares_served = 0;
+  std::uint64_t shares_revoked = 0;
+  std::uint64_t proofs_pending = 0;   // waiting for the home network
+  std::uint64_t reports_sent = 0;
+  std::uint64_t rejected_requests = 0;  // invalid proofs / signatures
+};
+
+struct ServingMetrics {
+  std::uint64_t attaches_started = 0;
+  std::uint64_t attaches_succeeded = 0;
+  std::uint64_t attaches_failed = 0;
+  std::uint64_t local_auths = 0;        // subscriber of this very network
+  std::uint64_t home_auths = 0;         // via the user's (online) home
+  std::uint64_t backup_auths = 0;       // via backup networks
+  std::uint64_t home_fallbacks = 0;     // home tried first, then backups
+  std::uint64_t ue_rejected = 0;        // UE response hash mismatch
+};
+
+}  // namespace dauth::core

@@ -1,0 +1,1014 @@
+#include "core/serving_network.h"
+
+#include <algorithm>
+
+#include "aka/suci.h"
+#include "crypto/hmac.h"
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace dauth::core {
+
+const char* to_string(AuthPath path) noexcept {
+  switch (path) {
+    case AuthPath::kLocal: return "local";
+    case AuthPath::kHomeOnline: return "home-online";
+    case AuthPath::kBackup: return "backup";
+  }
+  return "unknown";
+}
+
+/// In-flight attach state. Shared across the async steps of Algorithm 1.
+struct ServingNetwork::Attach {
+  std::uint64_t id = 0;
+  Supi supi;           // known immediately (SUPI attach) or after vector fetch
+  Bytes suci;          // encoded SUCI (empty for SUPI attach)
+  std::string guti_issuer;       // GUTI attach: the prior serving network
+  std::uint64_t guti_value = 0;
+  NetworkId home;      // resolved home network
+  std::optional<directory::NetworkEntry> home_entry;
+  AuthPath path = AuthPath::kLocal;
+  bool fell_back = false;
+
+  AuthVectorBundle bundle;          // the challenge in flight
+  crypto::Key256 local_k_seaf{};    // LocalAuth short-circuit
+
+  std::optional<sim::Responder> challenge_responder;  // attach_request reply
+  std::optional<sim::Responder> outcome_responder;    // auth_response reply
+
+  std::vector<directory::NetworkEntry> backups;  // resolved backup entries
+  bool resynced = false;  // one AUTS-triggered retry allowed per attach
+  bool done = false;
+};
+
+ServingNetwork::ServingNetwork(sim::Rpc& rpc, sim::NodeIndex node, NetworkId id,
+                               crypto::Ed25519KeyPair signing_key,
+                               directory::DirectoryClient& directory, FederationConfig config,
+                               HomeNetwork* local_home)
+    : rpc_(rpc),
+      node_(node),
+      id_(std::move(id)),
+      signing_key_(signing_key),
+      directory_(directory),
+      config_(std::move(config)),
+      local_home_(local_home) {}
+
+void ServingNetwork::bind_services() {
+  rpc_.register_service(node_, "serving.attach_request",
+                        [this](ByteView req, sim::Responder r) { handle_attach_request(req, r); });
+  rpc_.register_service(node_, "serving.auth_response",
+                        [this](ByteView req, sim::Responder r) { handle_auth_response(req, r); });
+  rpc_.register_service(node_, "serving.resolve_guti",
+                        [this](ByteView req, sim::Responder r) { handle_resolve_guti(req, r); });
+  // Signalling-only exchanges bracketing the auth: RRC connection setup
+  // before the first NAS message, and the SecurityModeComplete /
+  // RegistrationAccept exchange after key agreement. They carry no protocol
+  // state here but contribute real round trips — the source of the paper's
+  // edge-beats-cloud proximity effect (Fig. 4).
+  rpc_.register_service(node_, "serving.handover_request",
+                        [this](ByteView req, sim::Responder r) { handle_handover_request(req, r); });
+  rpc_.register_service(node_, "serving.handover_context",
+                        [this](ByteView req, sim::Responder r) { handle_handover_context(req, r); });
+  rpc_.register_service(node_, "serving.rrc_setup",
+                        [](ByteView, sim::Responder r) { r.reply({}); });
+  rpc_.register_service(node_, "serving.registration_complete",
+                        [this](ByteView, sim::Responder r) {
+                          rpc_.network().node(node_).execute(msf(1.5),
+                                                             [r] { r.reply({}); });
+                        });
+}
+
+std::size_t ServingNetwork::session_count() const noexcept { return guti_table_.size(); }
+
+namespace {
+
+/// Horizontal handover key: K_ho = KDF(K_session, FC=0x70, target, counter).
+crypto::Key256 derive_handover_key(const crypto::Key256& k_session,
+                                   const NetworkId& target, std::uint32_t counter) {
+  const ByteArray<4> counter_bytes{static_cast<std::uint8_t>(counter >> 24),
+                                   static_cast<std::uint8_t>(counter >> 16),
+                                   static_cast<std::uint8_t>(counter >> 8),
+                                   static_cast<std::uint8_t>(counter)};
+  return crypto::kdf_3gpp(k_session, 0x70,
+                          {as_bytes(target.str()), ByteView(counter_bytes)});
+}
+
+}  // namespace
+
+void ServingNetwork::set_home_health(const NetworkId& home, bool reachable) {
+  home_health_[home] = {reachable, rpc_.network().simulator().now()};
+}
+
+bool ServingNetwork::home_reachable(const NetworkId& home) const {
+  const auto it = home_health_.find(home);
+  if (it == home_health_.end()) return true;  // assume up until proven down
+  return it->second.reachable;
+}
+
+void ServingNetwork::probe_home(const NetworkId& home, sim::NodeIndex address) {
+  auto& entry = home_health_[home];
+  if (entry.reachable || entry.probe_in_flight) return;
+  // Only re-probe once the previous verdict has aged past the TTL.
+  if (rpc_.network().simulator().now() - entry.observed_at <= health_ttl_) return;
+  entry.probe_in_flight = true;
+  sim::RpcOptions options;
+  options.timeout = config_.home_auth_timeout;
+  rpc_.call(
+      node_, address, "home.ping", {}, options,
+      [this, home](Bytes) {
+        auto& e = home_health_[home];
+        e.probe_in_flight = false;
+        e.reachable = true;
+        e.observed_at = rpc_.network().simulator().now();
+      },
+      [this, home](sim::RpcError) {
+        auto& e = home_health_[home];
+        e.probe_in_flight = false;
+        e.reachable = false;
+        e.observed_at = rpc_.network().simulator().now();
+      });
+}
+
+void ServingNetwork::handle_attach_request(ByteView request, sim::Responder responder) {
+  Supi supi;
+  Bytes suci;
+  std::string home_hint;
+  std::string guti_issuer;
+  std::uint64_t guti_value = 0;
+  bool lte = false;
+  try {
+    wire::Reader r(request);
+    supi = Supi(r.string());
+    suci = r.bytes();
+    home_hint = r.string();
+    guti_issuer = r.string();
+    guti_value = r.u64();
+    lte = r.u8() == 1;
+    r.expect_done();
+  } catch (const wire::WireError&) {
+    responder.fail("malformed attach request");
+    return;
+  }
+  if (lte) {
+    // This implementation's dAuth federation pre-generates 5G-AKA material
+    // (see DESIGN.md); 4G devices are served by the baseline MME model.
+    responder.fail("lte not supported by this dauth deployment");
+    return;
+  }
+
+  auto attach = std::make_shared<Attach>();
+  attach->id = next_attach_id_++;
+  attach->supi = std::move(supi);
+  attach->suci = std::move(suci);
+  attach->home = NetworkId(home_hint);
+  attach->guti_issuer = std::move(guti_issuer);
+  attach->guti_value = guti_value;
+  attach->challenge_responder = responder;
+  attaches_[attach->id] = attach;
+  ++metrics_.attaches_started;
+
+  // AMF-side NAS processing, then identify the subscriber's home.
+  rpc_.network().node(node_).execute(config_.costs.nas_processing,
+                                     [this, attach] { resolve_home(attach); });
+}
+
+void ServingNetwork::resolve_home(const std::shared_ptr<Attach>& attach) {
+  // GUTI attach (§4.1): the temporary id points at the serving network that
+  // issued it.
+  if (!attach->guti_issuer.empty()) {
+    if (attach->guti_issuer == id_.str()) {
+      // Our own GUTI: map it back locally — no directory, no identity leak.
+      const auto it = guti_table_.find(attach->guti_value);
+      if (it == guti_table_.end()) {
+        request_identity(attach);
+        return;
+      }
+      attach->supi = it->second.supi;
+      attach->home = it->second.home;
+      if (attach->home == id_ && local_home_ != nullptr) {
+        start_local_auth(attach);
+        return;
+      }
+      directory_.get_network(attach->home, [this, attach](
+                                               std::optional<directory::NetworkEntry> entry) {
+        if (!entry) {
+          finish(attach, {false, AuthPath::kHomeOnline, {}, "unknown home network"});
+          return;
+        }
+        attach->home_entry = entry;
+        try_home_auth(attach);
+      });
+      return;
+    }
+    // Foreign GUTI: ask the prior serving network for the identity; if it
+    // cannot be reached, fall back to asking the UE (IdentityRequest).
+    resolve_foreign_guti(attach, NetworkId(attach->guti_issuer), attach->guti_value);
+    return;
+  }
+
+  // SUCI attach: the routing hint names the home network directly.
+  if (!attach->suci.empty()) {
+    if (attach->home == id_ && local_home_ != nullptr) {
+      start_local_auth(attach);
+      return;
+    }
+    directory_.get_network(attach->home, [this, attach](
+                                             std::optional<directory::NetworkEntry> entry) {
+      if (!entry) {
+        finish(attach, {false, AuthPath::kHomeOnline, {}, "unknown home network"});
+        return;
+      }
+      attach->home_entry = entry;
+      try_home_auth(attach);
+    });
+    return;
+  }
+
+  // SUPI attach of one of our own subscribers: LocalAuth, no lookups.
+  if (local_home_ != nullptr && local_home_->has_subscriber(attach->supi)) {
+    attach->home = id_;
+    start_local_auth(attach);
+    return;
+  }
+
+  // SUPI attach of a roamer: the public directory maps user -> home (§4.1).
+  directory_.get_home(attach->supi, [this, attach](std::optional<directory::UserEntry> user) {
+    if (!user) {
+      finish(attach, {false, AuthPath::kHomeOnline, {}, "user not in directory"});
+      return;
+    }
+    attach->home = user->home_network;
+    directory_.get_network(attach->home, [this, attach](
+                                             std::optional<directory::NetworkEntry> entry) {
+      if (!entry) {
+        finish(attach, {false, AuthPath::kHomeOnline, {}, "unknown home network"});
+        return;
+      }
+      attach->home_entry = entry;
+      try_home_auth(attach);
+    });
+  });
+}
+
+void ServingNetwork::start_local_auth(const std::shared_ptr<Attach>& attach) {
+  attach->path = AuthPath::kLocal;
+
+  // De-conceal a local SUCI with our own key.
+  if (attach->supi.empty() && !attach->suci.empty()) {
+    try {
+      wire::Reader r(attach->suci);
+      aka::Suci suci;
+      suci.mcc = r.string();
+      suci.mnc = r.string();
+      suci.ephemeral_public = r.fixed<32>();
+      suci.ciphertext = r.bytes();
+      suci.mac = r.fixed<8>();
+      const auto recovered =
+          aka::deconceal_suci(suci, local_home_->suci_keys().secret);
+      if (!recovered) {
+        finish(attach, {false, AuthPath::kLocal, {}, "suci deconcealment failed"});
+        return;
+      }
+      attach->supi = *recovered;
+    } catch (const wire::WireError&) {
+      finish(attach, {false, AuthPath::kLocal, {}, "malformed suci"});
+      return;
+    }
+  }
+
+  if (!local_home_->has_subscriber(attach->supi)) {
+    finish(attach, {false, AuthPath::kLocal, {}, "unknown local subscriber"});
+    return;
+  }
+
+  // Vector generation happens on this same node (edge-core private network).
+  rpc_.network().node(node_).execute(config_.costs.vector_generation, [this, attach] {
+    attach->bundle = local_home_->generate_local_vector(attach->supi, attach->local_k_seaf);
+    send_challenge(attach, attach->bundle);
+  });
+}
+
+void ServingNetwork::try_home_auth(const std::shared_ptr<Attach>& attach) {
+  if (!home_reachable(attach->home)) {
+    // Refresh the verdict in the background; THIS attach goes straight to
+    // the backup scheme without paying a discovery timeout.
+    probe_home(attach->home, static_cast<sim::NodeIndex>(attach->home_entry->address));
+    start_backup_auth(attach);
+    return;
+  }
+  attach->path = AuthPath::kHomeOnline;
+
+  GetVectorRequest request;
+  request.serving_network = id_;
+  request.supi = attach->supi;
+  request.suci = attach->suci;
+
+  sim::RpcOptions options;
+  options.timeout = config_.home_auth_timeout;
+  rpc_.call(
+      node_, static_cast<sim::NodeIndex>(attach->home_entry->address), "home.get_vector",
+      request.encode(), options,
+      [this, attach](Bytes reply) {
+        if (attach->done) return;
+        set_home_health(attach->home, true);
+        AuthVectorBundle bundle;
+        try {
+          bundle = AuthVectorBundle::decode(reply);
+        } catch (const wire::WireError&) {
+          finish(attach, {false, AuthPath::kHomeOnline, {}, "malformed vector from home"});
+          return;
+        }
+        rpc_.network().node(node_).execute(config_.costs.signature_verify, [this, attach,
+                                                                            bundle] {
+          if (!bundle.verify(attach->home_entry->signing_key)) {
+            finish(attach, {false, AuthPath::kHomeOnline, {}, "bad home signature"});
+            return;
+          }
+          attach->supi = bundle.supi;  // resolved by home on the SUCI path
+          send_challenge(attach, bundle);
+        });
+      },
+      [this, attach](sim::RpcError) {
+        if (attach->done) return;
+        // Home unreachable: remember and fall back to the backup scheme.
+        set_home_health(attach->home, false);
+        ++metrics_.home_fallbacks;
+        attach->fell_back = true;
+        start_backup_auth(attach);
+      });
+}
+
+void ServingNetwork::start_backup_auth(const std::shared_ptr<Attach>& attach) {
+  attach->path = AuthPath::kBackup;
+  directory_.get_backups(attach->home, [this, attach](
+                                           std::optional<directory::BackupsEntry> entry) {
+    if (!entry || entry->backups.empty()) {
+      finish(attach, {false, AuthPath::kBackup, {}, "no backup networks"});
+      return;
+    }
+    // Resolve every backup's address+key (cached after the first attach).
+    auto remaining = std::make_shared<std::size_t>(entry->backups.size());
+    for (const NetworkId& backup : entry->backups) {
+      directory_.get_network(backup, [this, attach, remaining](
+                                         std::optional<directory::NetworkEntry> net) {
+        if (net) attach->backups.push_back(*net);
+        if (--*remaining == 0) {
+          if (attach->backups.empty()) {
+            finish(attach, {false, AuthPath::kBackup, {}, "backups unresolvable"});
+          } else {
+            request_backup_vector(attach);
+          }
+        }
+      });
+    }
+  });
+}
+
+void ServingNetwork::request_backup_vector(const std::shared_ptr<Attach>& attach) {
+  GetVectorRequest request;
+  request.serving_network = id_;
+  request.supi = attach->supi;
+  request.suci = attach->suci;
+  const Bytes encoded = request.encode();
+
+  // §5.1 optimization 3: race the request against several random backups.
+  std::vector<std::size_t> order(attach->backups.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto& rng = rpc_.network().simulator().rng();
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  const std::size_t race_width =
+      std::max<std::size_t>(1, std::min(config_.vector_race_width, order.size()));
+
+  auto got_vector = std::make_shared<bool>(false);
+  auto failures = std::make_shared<std::size_t>(0);
+  sim::RpcOptions options;
+  options.timeout = config_.backup_auth_timeout;
+
+  // A racer that errors, returns garbage, or fails signature verification
+  // counts as a failure; when every racer has failed, the attach fails fast
+  // instead of waiting out the UE's timeout.
+  auto racer_failed = [this, attach, got_vector, failures, race_width](
+                          const std::string& reason) {
+    if (attach->done || *got_vector) return;
+    if (++*failures == race_width) {
+      finish(attach, {false, AuthPath::kBackup, {}, "no backup vector: " + reason});
+    }
+  };
+
+  for (std::size_t i = 0; i < race_width; ++i) {
+    const directory::NetworkEntry& backup = attach->backups[order[i]];
+    rpc_.call(
+        node_, static_cast<sim::NodeIndex>(backup.address), "backup.get_vector", encoded,
+        options,
+        [this, attach, got_vector, racer_failed](Bytes reply) {
+          if (attach->done || *got_vector) return;  // a racer already won
+          AuthVectorBundle bundle;
+          try {
+            bundle = AuthVectorBundle::decode(reply);
+          } catch (const wire::WireError&) {
+            racer_failed("malformed bundle");
+            return;
+          }
+          rpc_.network().node(node_).execute(
+              config_.costs.signature_verify,
+              [this, attach, got_vector, racer_failed, bundle] {
+                if (attach->done || *got_vector) return;
+                if (!bundle.verify(attach->home_entry->signing_key)) {
+                  racer_failed("bad home signature");
+                  return;
+                }
+                *got_vector = true;
+                attach->supi = bundle.supi;
+                send_challenge(attach, bundle);
+              });
+        },
+        [racer_failed](sim::RpcError error) { racer_failed(error.message); });
+  }
+}
+
+void ServingNetwork::resolve_foreign_guti(const std::shared_ptr<Attach>& attach,
+                                          const NetworkId& prior_serving,
+                                          std::uint64_t value) {
+  directory_.get_network(prior_serving, [this, attach, value](
+                                            std::optional<directory::NetworkEntry> prior) {
+    if (!prior) {
+      request_identity(attach);
+      return;
+    }
+    wire::Writer w;
+    w.u64(value);
+    sim::RpcOptions options;
+    options.timeout = config_.home_auth_timeout;
+    rpc_.call(
+        node_, static_cast<sim::NodeIndex>(prior->address), "serving.resolve_guti",
+        std::move(w).take(), options,
+        [this, attach](Bytes reply) {
+          if (attach->done) return;
+          try {
+            wire::Reader r(reply);
+            attach->supi = Supi(r.string());
+            attach->home = NetworkId(r.string());
+            r.expect_done();
+          } catch (const wire::WireError&) {
+            request_identity(attach);
+            return;
+          }
+          if (attach->home == id_ && local_home_ != nullptr) {
+            start_local_auth(attach);
+            return;
+          }
+          directory_.get_network(
+              attach->home, [this, attach](std::optional<directory::NetworkEntry> entry) {
+                if (!entry) {
+                  finish(attach,
+                         {false, AuthPath::kHomeOnline, {}, "unknown home network"});
+                  return;
+                }
+                attach->home_entry = entry;
+                try_home_auth(attach);
+              });
+        },
+        [this, attach](sim::RpcError) {
+          if (attach->done) return;
+          // Prior serving network unreachable: §4.1 — "the serving network
+          // can request that the UE provide a long-lived identifier".
+          request_identity(attach);
+        });
+  });
+}
+
+void ServingNetwork::request_identity(const std::shared_ptr<Attach>& attach) {
+  if (attach->done || !attach->challenge_responder) return;
+  attach->done = true;
+  wire::Writer w;
+  w.u64(attach->id);
+  w.u8(2);  // reply kind: IdentityRequest
+  attach->challenge_responder->reply(std::move(w).take());
+  attach->challenge_responder.reset();
+  attaches_.erase(attach->id);
+}
+
+void ServingNetwork::handle_resolve_guti(ByteView request, sim::Responder responder) {
+  std::uint64_t value = 0;
+  try {
+    wire::Reader r(request);
+    value = r.u64();
+    r.expect_done();
+  } catch (const wire::WireError&) {
+    responder.fail("malformed guti lookup");
+    return;
+  }
+  const auto it = guti_table_.find(value);
+  if (it == guti_table_.end()) {
+    responder.fail("unknown guti");
+    return;
+  }
+  wire::Writer w;
+  w.string(it->second.supi.str());
+  w.string(it->second.home.str());
+  responder.reply(std::move(w).take());
+}
+
+void ServingNetwork::handle_handover_request(ByteView request, sim::Responder responder) {
+  // From the UE (via the target gNB): {prior serving id, guti value}.
+  // This network is the TARGET; fetch the context from the source.
+  std::string source_id;
+  std::uint64_t guti_value = 0;
+  try {
+    wire::Reader r(request);
+    source_id = r.string();
+    guti_value = r.u64();
+    r.expect_done();
+  } catch (const wire::WireError&) {
+    responder.fail("malformed handover request");
+    return;
+  }
+
+  directory_.get_network(NetworkId(source_id), [this, guti_value, responder](
+                                                   std::optional<directory::NetworkEntry>
+                                                       source) {
+    if (!source) {
+      responder.fail("unknown source network");
+      return;
+    }
+    // Signed context request proves the target's identity to the source.
+    wire::Writer w;
+    w.u64(guti_value);
+    w.string(id_.str());
+    const auto payload = std::move(w).take();
+    const auto signature = crypto::ed25519_sign(payload, signing_key_);
+    wire::Writer framed;
+    framed.bytes(payload);
+    framed.fixed(signature);
+
+    sim::RpcOptions options;
+    options.timeout = config_.home_auth_timeout;
+    rpc_.call(
+        node_, static_cast<sim::NodeIndex>(source->address), "serving.handover_context",
+        std::move(framed).take(), options,
+        [this, responder](Bytes reply) {
+          Supi supi;
+          NetworkId home;
+          crypto::Key256 k_ho{};
+          std::uint32_t counter = 0;
+          try {
+            wire::Reader r(reply);
+            supi = Supi(r.string());
+            home = NetworkId(r.string());
+            k_ho = r.fixed<32>();
+            counter = r.u32();
+            r.expect_done();
+          } catch (const wire::WireError&) {
+            responder.fail("malformed handover context");
+            return;
+          }
+          // Admit the session under a fresh GUTI anchored to K_ho.
+          const std::uint64_t new_guti = next_guti_++;
+          guti_table_[new_guti] = GutiRecord{supi, home, k_ho, 0};
+
+          wire::Writer out;
+          out.string(id_.str());
+          out.u64(new_guti);
+          out.u32(counter);
+          out.fixed(crypto::hmac_sha256(k_ho, as_bytes("dauth-ho")));
+          responder.reply(std::move(out).take());
+        },
+        [responder](sim::RpcError error) {
+          responder.fail("handover context fetch failed: " + error.message);
+        });
+  });
+}
+
+void ServingNetwork::handle_handover_context(ByteView request, sim::Responder responder) {
+  // From the target network: signed {guti value, target id}. This network is
+  // the SOURCE; it derives and releases the horizontal key.
+  Bytes payload;
+  crypto::Ed25519Signature signature{};
+  std::uint64_t guti_value = 0;
+  std::string target_id;
+  try {
+    wire::Reader r(request);
+    payload = r.bytes();
+    signature = r.fixed<64>();
+    r.expect_done();
+    wire::Reader pr(payload);
+    guti_value = pr.u64();
+    target_id = pr.string();
+    pr.expect_done();
+  } catch (const wire::WireError&) {
+    responder.fail("malformed context request");
+    return;
+  }
+
+  const auto session_it = guti_table_.find(guti_value);
+  if (session_it == guti_table_.end()) {
+    responder.fail("unknown session");
+    return;
+  }
+
+  directory_.get_network(NetworkId(target_id), [this, payload, signature, guti_value,
+                                                target_id, responder](
+                                                   std::optional<directory::NetworkEntry>
+                                                       target) {
+    if (!target || !crypto::ed25519_verify(payload, signature, target->signing_key)) {
+      responder.fail("invalid target signature");
+      return;
+    }
+    auto live_session = guti_table_.find(guti_value);
+    if (live_session == guti_table_.end()) {
+      responder.fail("unknown session");
+      return;
+    }
+    GutiRecord& session = live_session->second;
+    const std::uint32_t counter = ++session.handover_counter;
+    const crypto::Key256 k_ho =
+        derive_handover_key(session.k_session, NetworkId(target_id), counter);
+
+    wire::Writer w;
+    w.string(session.supi.str());
+    w.string(session.home.str());
+    w.fixed(k_ho);
+    w.u32(counter);
+    responder.reply(std::move(w).take());
+    // The session has moved; retire the local anchor (one handover per GUTI).
+    guti_table_.erase(guti_value);
+  });
+}
+
+void ServingNetwork::send_challenge(const std::shared_ptr<Attach>& attach,
+                                    const AuthVectorBundle& bundle) {
+  if (attach->done || !attach->challenge_responder) return;
+  attach->bundle = bundle;
+  wire::Writer w;
+  if (attach->resynced) {
+    // Retry challenge delivered as the reply to the failed auth_response.
+    w.u8(2);
+  } else {
+    w.u64(attach->id);
+    w.u8(1);  // reply kind: AuthRequest
+  }
+  w.fixed(bundle.rand);
+  w.fixed(bundle.autn);
+  attach->challenge_responder->reply(std::move(w).take());
+  attach->challenge_responder.reset();
+}
+
+void ServingNetwork::handle_auth_response(ByteView request, sim::Responder responder) {
+  std::uint64_t attach_id = 0;
+  crypto::ResStar res_star{};
+  bool has_auts = false;
+  ByteArray<6> auts_sqn{};
+  crypto::MacS auts_mac{};
+  try {
+    wire::Reader r(request);
+    attach_id = r.u64();
+    res_star = r.fixed<16>();
+    has_auts = r.boolean();
+    if (has_auts) {
+      auts_sqn = r.fixed<6>();
+      auts_mac = r.fixed<8>();
+    }
+    r.expect_done();
+  } catch (const wire::WireError&) {
+    responder.fail("malformed auth response");
+    return;
+  }
+
+  const auto it = attaches_.find(attach_id);
+  if (it == attaches_.end()) {
+    responder.fail("unknown attach id");
+    return;
+  }
+  const std::shared_ptr<Attach> attach = it->second;
+  attach->outcome_responder = responder;
+
+  if (has_auts) {
+    // SQN resynchronisation (TS 33.102 §6.3.5): the UE rejected the
+    // challenge as stale and revealed SQNms inside the AUTS. Retry once.
+    if (attach->resynced) {
+      finish(attach, {false, attach->path, {}, "resync retry also failed"});
+      return;
+    }
+    attach->resynced = true;
+
+    auto retry_with = [this, attach](const AuthVectorBundle& fresh) {
+      attach->bundle = fresh;
+      attach->supi = fresh.supi;
+      wire::Writer w;
+      w.u8(2);  // retry challenge
+      w.fixed(fresh.rand);
+      w.fixed(fresh.autn);
+      attach->outcome_responder->reply(std::move(w).take());
+      attach->outcome_responder.reset();
+    };
+
+    if (attach->path == AuthPath::kLocal) {
+      crypto::Key256 k_seaf{};
+      const auto fresh = local_home_->resync_and_generate_local(
+          attach->supi, attach->bundle.rand, auts_sqn, auts_mac, k_seaf);
+      if (!fresh) {
+        finish(attach, {false, AuthPath::kLocal, {}, "invalid auts"});
+        return;
+      }
+      attach->local_k_seaf = k_seaf;
+      retry_with(*fresh);
+      return;
+    }
+    if (attach->path == AuthPath::kHomeOnline) {
+      wire::Writer w;
+      w.string(attach->supi.str());
+      w.fixed(attach->bundle.rand);
+      w.fixed(auts_sqn);
+      w.fixed(auts_mac);
+      sim::RpcOptions options;
+      options.timeout = config_.home_auth_timeout;
+      rpc_.call(
+          node_, static_cast<sim::NodeIndex>(attach->home_entry->address), "home.resync",
+          std::move(w).take(), options,
+          [this, attach, retry_with](Bytes reply) {
+            if (attach->done) return;
+            AuthVectorBundle fresh;
+            try {
+              fresh = AuthVectorBundle::decode(reply);
+            } catch (const wire::WireError&) {
+              finish(attach, {false, AuthPath::kHomeOnline, {}, "bad resync vector"});
+              return;
+            }
+            if (!fresh.verify(attach->home_entry->signing_key)) {
+              finish(attach, {false, AuthPath::kHomeOnline, {}, "bad resync signature"});
+              return;
+            }
+            retry_with(fresh);
+          },
+          [this, attach](sim::RpcError error) {
+            if (attach->done) return;
+            finish(attach, {false, AuthPath::kHomeOnline, {},
+                            std::string("resync failed: ") + error.message});
+          });
+      return;
+    }
+    // Backup path: the stale vector came from one backup's (possibly
+    // superseded) slice; vectors in other slices are unaffected — fetch
+    // another one and retry. (Backups cannot resynchronise the home's
+    // allocator; the AUTS is reported to the home when it returns.)
+    auto original_responder = *attach->outcome_responder;
+    attach->outcome_responder.reset();
+    attach->challenge_responder.reset();
+    // Reuse the vector-request machinery with a shim that converts the new
+    // challenge into a retry reply on the auth_response channel.
+    attach->challenge_responder = original_responder;  // reply path for kind 2
+    // send_challenge() writes {attach_id, kind=1,...}; for the retry we need
+    // kind 2 without an id — handled below by flagging.
+    request_backup_vector(attach);
+    return;
+  }
+
+  // Serving-side check of the UE response: H(RES*) must match the bundle.
+  if (!ct_equal(hxres_index(res_star), attach->bundle.hxres_star)) {
+    ++metrics_.ue_rejected;
+    finish(attach, {false, attach->path, {}, "ue response mismatch"});
+    return;
+  }
+
+  switch (attach->path) {
+    case AuthPath::kLocal:
+      finish(attach, {true, AuthPath::kLocal, attach->local_k_seaf, {}});
+      break;
+    case AuthPath::kHomeOnline:
+      complete_with_home_key(attach, res_star);
+      break;
+    case AuthPath::kBackup:
+      collect_key_shares(attach, res_star);
+      break;
+  }
+}
+
+namespace {
+
+UsageProof make_proof(const NetworkId& serving, const std::shared_ptr<void>&,
+                      const Supi& supi, const ByteArray<16>& hxres,
+                      const crypto::ResStar& res_star, Time now,
+                      const crypto::Ed25519KeyPair& key) {
+  UsageProof proof;
+  proof.serving_network = serving;
+  proof.supi = supi;
+  proof.hxres_star = hxres;
+  proof.res_star = res_star;
+  proof.timestamp = now;
+  proof.serving_signature = crypto::ed25519_sign(proof.signed_payload(), key);
+  return proof;
+}
+
+}  // namespace
+
+void ServingNetwork::complete_with_home_key(const std::shared_ptr<Attach>& attach,
+                                            const crypto::ResStar& res_star) {
+  const UsageProof proof =
+      make_proof(id_, nullptr, attach->supi, attach->bundle.hxres_star, res_star,
+                 rpc_.network().simulator().now(), signing_key_);
+  sim::RpcOptions options;
+  options.timeout = config_.key_share_timeout;
+  rpc_.call(
+      node_, static_cast<sim::NodeIndex>(attach->home_entry->address), "home.get_key",
+      proof.encode(), options,
+      [this, attach](Bytes reply) {
+        if (attach->done) return;
+        if (reply.size() != 32) {
+          finish(attach, {false, AuthPath::kHomeOnline, {}, "bad key from home"});
+          return;
+        }
+        AttachOutcome outcome;
+        outcome.success = true;
+        outcome.path = AuthPath::kHomeOnline;
+        outcome.k_seaf = take<32>(reply);
+        finish(attach, outcome);
+      },
+      [this, attach](sim::RpcError error) {
+        if (attach->done) return;
+        set_home_health(attach->home, false);
+        finish(attach, {false, AuthPath::kHomeOnline, {},
+                        std::string("home key fetch failed: ") + error.message});
+      });
+}
+
+void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
+                                        const crypto::ResStar& res_star) {
+  const UsageProof proof =
+      make_proof(id_, nullptr, attach->supi, attach->bundle.hxres_star, res_star,
+                 rpc_.network().simulator().now(), signing_key_);
+  const Bytes encoded = proof.encode();
+
+  struct CollectState {
+    std::vector<KeyShareBundle> bundles;
+    std::size_t outstanding = 0;
+    bool combined = false;
+  };
+  auto state = std::make_shared<CollectState>();
+  state->outstanding = attach->backups.size();
+
+  sim::RpcOptions options;
+  options.timeout = config_.key_share_timeout;
+
+  // Fires whenever a backup leg concludes without contributing a share; if
+  // every leg has concluded and we never reached the threshold, fail.
+  auto share_rejected = [this, attach, state] {
+    if (state->combined || attach->done) return;
+    if (state->outstanding == 0 && state->bundles.size() < config_.threshold) {
+      finish(attach, {false, AuthPath::kBackup, {}, "insufficient key shares"});
+    }
+  };
+
+  auto combine_shares = [this, attach, state] {
+    state->combined = true;
+    const Time combine_cost =
+        config_.costs.share_combine_base +
+        config_.costs.share_combine_per_share * static_cast<Time>(state->bundles.size());
+    rpc_.network().node(node_).execute(combine_cost, [this, attach, state] {
+      crypto::Key256 k_seaf{};
+      try {
+        if (config_.use_verifiable_shares) {
+          std::vector<crypto::FeldmanShare> shares;
+          shares.reserve(state->bundles.size());
+          for (const auto& b : state->bundles) shares.push_back(*b.feldman_share);
+          k_seaf = take<32>(crypto::feldman_combine(shares, 32));
+        } else {
+          std::vector<crypto::ShamirShare> shares;
+          shares.reserve(state->bundles.size());
+          for (const auto& b : state->bundles) shares.push_back(b.share);
+          const Bytes secret = crypto::shamir_combine(shares);
+          if (secret.size() != 32) throw std::runtime_error("bad secret size");
+          k_seaf = take<32>(secret);
+        }
+      } catch (const std::exception& e) {
+        finish(attach, {false, AuthPath::kBackup, {},
+                        std::string("share combination failed: ") + e.what()});
+        return;
+      }
+      AttachOutcome outcome;
+      outcome.success = true;
+      outcome.path = AuthPath::kBackup;
+      outcome.k_seaf = k_seaf;
+      finish(attach, outcome);
+    });
+  };
+
+  // §6.4: the proof is broadcast to ALL backups concurrently; the first
+  // `threshold` distinct valid shares reconstruct K_seaf.
+  for (const directory::NetworkEntry& backup : attach->backups) {
+    rpc_.call(
+        node_, static_cast<sim::NodeIndex>(backup.address), "backup.get_share", encoded,
+        options,
+        [this, attach, state, share_rejected, combine_shares](Bytes reply) {
+          if (state->combined || attach->done) {
+            --state->outstanding;
+            return;
+          }
+          KeyShareBundle bundle;
+          try {
+            bundle = KeyShareBundle::decode(reply);
+          } catch (const wire::WireError&) {
+            --state->outstanding;
+            share_rejected();
+            return;
+          }
+          const Time verify_cost =
+              config_.costs.signature_verify +
+              (config_.use_verifiable_shares ? config_.costs.feldman_verify_per_share
+                                             : Time{0});
+          rpc_.network().node(node_).execute(
+              verify_cost, [this, attach, state, share_rejected, combine_shares, bundle] {
+                --state->outstanding;
+                if (state->combined || attach->done) return;
+                if (!bundle.verify(attach->home_entry->signing_key)) {
+                  share_rejected();
+                  return;
+                }
+                if (config_.use_verifiable_shares &&
+                    (!bundle.feldman_share || !bundle.feldman_commitments ||
+                     !crypto::feldman_verify(*bundle.feldman_share,
+                                             *bundle.feldman_commitments))) {
+                  share_rejected();
+                  return;
+                }
+                // Distinct x-coordinates only.
+                const std::uint8_t x = config_.use_verifiable_shares
+                                           ? bundle.feldman_share->x
+                                           : bundle.share.x;
+                for (const auto& existing : state->bundles) {
+                  const std::uint8_t ex = config_.use_verifiable_shares
+                                              ? existing.feldman_share->x
+                                              : existing.share.x;
+                  if (ex == x) {
+                    share_rejected();
+                    return;
+                  }
+                }
+                state->bundles.push_back(bundle);
+                if (state->bundles.size() >= config_.threshold) combine_shares();
+              });
+        },
+        [state, share_rejected](sim::RpcError) {
+          --state->outstanding;
+          share_rejected();
+        });
+  }
+}
+
+void ServingNetwork::finish(const std::shared_ptr<Attach>& attach,
+                            const AttachOutcome& outcome) {
+  if (attach->done) return;
+  attach->done = true;
+
+  if (outcome.success) {
+    ++metrics_.attaches_succeeded;
+    switch (outcome.path) {
+      case AuthPath::kLocal: ++metrics_.local_auths; break;
+      case AuthPath::kHomeOnline: ++metrics_.home_auths; break;
+      case AuthPath::kBackup: ++metrics_.backup_auths; break;
+    }
+  } else {
+    ++metrics_.attaches_failed;
+  }
+
+  // Successful registration: allocate a fresh GUTI so the UE's next attach
+  // can skip identity resolution (and avoid exposing its SUPI again).
+  std::uint64_t assigned_guti = 0;
+  if (outcome.success) {
+    assigned_guti = next_guti_++;
+    guti_table_[assigned_guti] =
+        GutiRecord{attach->supi, attach->home, outcome.k_seaf, 0};
+    if (attach->guti_value != 0 && attach->guti_issuer == id_.str()) {
+      guti_table_.erase(attach->guti_value);  // old GUTI is spent
+    }
+    // Bound the table: evict the oldest allocations (lowest values) once it
+    // grows past the cap — a real AMF recycles its GUTI space similarly.
+    constexpr std::size_t kGutiTableCap = 65536;
+    while (guti_table_.size() > kGutiTableCap) guti_table_.erase(guti_table_.begin());
+  }
+
+  wire::Writer w;
+  w.u8(1);  // reply kind: outcome
+  w.boolean(outcome.success);
+  w.string(to_string(outcome.path));
+  // SecurityModeCommand key confirmation: HMAC(K_seaf, "dauth-smc"). The UE
+  // recomputes this with its own derived key; a mismatch aborts the attach.
+  const auto confirmation = crypto::hmac_sha256(outcome.k_seaf, as_bytes("dauth-smc"));
+  w.fixed(confirmation);
+  w.string(outcome.failure);
+  w.string(id_.str());   // GUTI issuer
+  w.u64(assigned_guti);  // 0 when the attach failed
+  const Bytes reply = std::move(w).take();
+
+  if (attach->outcome_responder) {
+    attach->outcome_responder->reply(reply);
+  } else if (attach->challenge_responder) {
+    // Failed before the challenge was ever sent: fail the attach_request.
+    attach->challenge_responder->fail(outcome.failure.empty() ? "attach failed"
+                                                              : outcome.failure);
+  }
+  attaches_.erase(attach->id);
+}
+
+}  // namespace dauth::core

@@ -1,0 +1,150 @@
+// Serving-network role: runs Algorithm 1 of the paper.
+//
+// For each attach the serving network:
+//   1. resolves the subscriber's home network (SUCI routing or directory);
+//   2. if the user is local, generates the vector itself (LocalAuth);
+//   3. else tries the home network directly (§4.1); on failure or on a
+//      cached "home is down" hint it falls back to the backup scheme
+//      (§4.2.2): race GetVector across `vector_race_width` backups, verify
+//      the home signature, challenge the UE, then broadcast the signed
+//      RES* usage proof to ALL backups and combine the first `threshold`
+//      valid key shares into K_seaf.
+//
+// The UE-facing side is exposed as two RPC services so a gNB/UE emulator
+// can drive it over the simulated network:
+//   "serving.attach_request"  {supi|suci|guti} -> {attach_id, RAND, AUTN}
+//                                              or an IdentityRequest when a
+//                                              GUTI cannot be resolved
+//   "serving.auth_response"   {attach_id, RES*} -> {result, key-confirmation,
+//                                                   fresh GUTI}
+// plus network-facing services:
+//   "serving.resolve_guti"    {guti value} -> {supi, home network}
+//   "serving.handover_context" {guti value, target}σ -> {supi, home, K_ho}
+// per §4.1: a GUTI names the *prior* serving network, which either maps it
+// back to the subscriber or the new serving network asks the UE for a
+// long-lived identifier.
+//
+// §7.4 extension — inter-organizational handover: an attached UE moves to
+// another federated serving network WITHOUT re-running AKA. The source
+// network derives a horizontal key K_ho = KDF(K_seaf, target, counter),
+// hands it to the (signature-verified) target along with the subscriber
+// identity, and the UE derives the same key locally — one context-transfer
+// RPC plus one UE round trip instead of a full authentication.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/home_network.h"
+#include "core/messages.h"
+#include "core/metrics.h"
+#include "directory/client.h"
+#include "sim/rpc.h"
+
+namespace dauth::core {
+
+enum class AuthPath { kLocal, kHomeOnline, kBackup };
+const char* to_string(AuthPath path) noexcept;
+
+/// Outcome handed back to the UE in the SecurityModeCommand step.
+struct AttachOutcome {
+  bool success = false;
+  AuthPath path = AuthPath::kLocal;
+  crypto::Key256 k_seaf{};  // session key (network side)
+  std::string failure;
+};
+
+class ServingNetwork {
+ public:
+  /// `local_home` is this network's own HomeNetwork role (for LocalAuth);
+  /// may be null for a pure serving deployment.
+  ServingNetwork(sim::Rpc& rpc, sim::NodeIndex node, NetworkId id,
+                 crypto::Ed25519KeyPair signing_key, directory::DirectoryClient& directory,
+                 FederationConfig config, HomeNetwork* local_home);
+
+  const NetworkId& id() const noexcept { return id_; }
+
+  /// Registers the UE-facing services. Call once.
+  void bind_services();
+
+  /// Number of GUTI mappings currently held (tests).
+  std::size_t guti_count() const noexcept { return guti_table_.size(); }
+
+  /// Number of active sessions (successful attaches/handovers) held (tests).
+  std::size_t session_count() const noexcept;
+
+  /// Marks a home network as (un)reachable in the health cache; normally
+  /// learned from timeouts, but tests/benches can inject it so steady-state
+  /// backup performance isn't polluted by the first discovery timeout.
+  void set_home_health(const NetworkId& home, bool reachable);
+
+  const ServingMetrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  struct Attach;  // in-flight attach state
+
+  void handle_attach_request(ByteView request, sim::Responder responder);
+  void handle_auth_response(ByteView request, sim::Responder responder);
+  void handle_resolve_guti(ByteView request, sim::Responder responder);
+  void handle_handover_request(ByteView request, sim::Responder responder);
+  void handle_handover_context(ByteView request, sim::Responder responder);
+  void resolve_foreign_guti(const std::shared_ptr<Attach>& attach,
+                            const NetworkId& prior_serving, std::uint64_t value);
+  void request_identity(const std::shared_ptr<Attach>& attach);
+
+  void resolve_home(const std::shared_ptr<Attach>& attach);
+  void start_local_auth(const std::shared_ptr<Attach>& attach);
+  void try_home_auth(const std::shared_ptr<Attach>& attach);
+  void start_backup_auth(const std::shared_ptr<Attach>& attach);
+  void request_backup_vector(const std::shared_ptr<Attach>& attach);
+  void send_challenge(const std::shared_ptr<Attach>& attach, const AuthVectorBundle& bundle);
+  void complete_with_home_key(const std::shared_ptr<Attach>& attach,
+                              const crypto::ResStar& res_star);
+  void collect_key_shares(const std::shared_ptr<Attach>& attach,
+                          const crypto::ResStar& res_star);
+  void finish(const std::shared_ptr<Attach>& attach, const AttachOutcome& outcome);
+  bool home_reachable(const NetworkId& home) const;
+  /// Fires an asynchronous liveness probe ("home.ping") so an expired
+  /// "home is down" verdict is refreshed WITHOUT an in-line attach paying
+  /// the discovery timeout.
+  void probe_home(const NetworkId& home, sim::NodeIndex address);
+
+  sim::Rpc& rpc_;
+  sim::NodeIndex node_;
+  NetworkId id_;
+  crypto::Ed25519KeyPair signing_key_;
+  directory::DirectoryClient& directory_;
+  FederationConfig config_;
+  HomeNetwork* local_home_;
+
+  std::uint64_t next_attach_id_ = 1;
+  std::map<std::uint64_t, std::shared_ptr<Attach>> attaches_;
+
+  // GUTI allocations made by THIS network: value -> (supi, home, session
+  // key). The session key enables §7.4 handover without re-authentication.
+  struct GutiRecord {
+    Supi supi;
+    NetworkId home;
+    crypto::Key256 k_session{};
+    std::uint32_t handover_counter = 0;
+  };
+  std::uint64_t next_guti_ = 0x4000000000000001ULL;
+  std::map<std::uint64_t, GutiRecord> guti_table_;
+
+  // Home-network health cache: home id -> (reachable, observed_at).
+  struct HealthEntry {
+    bool reachable = true;
+    Time observed_at = 0;
+    bool probe_in_flight = false;
+  };
+  std::map<NetworkId, HealthEntry> home_health_;
+  Time health_ttl_ = sec(30);
+
+  ServingMetrics metrics_;
+};
+
+}  // namespace dauth::core

@@ -1,0 +1,34 @@
+// AES-128 block cipher (FIPS 197), encryption direction only.
+//
+// Milenage (TS 35.206) uses the AES-128 *encryption* primitive exclusively,
+// as does AES-CTR keystream generation for SUCI concealment, so the
+// decryption schedule is intentionally not implemented.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dauth::crypto {
+
+using AesKey = ByteArray<16>;
+using AesBlock = ByteArray<16>;
+
+/// Key-expanded AES-128 context.
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key) noexcept;
+
+  /// Encrypts a single 16-byte block (ECB primitive).
+  AesBlock encrypt_block(const AesBlock& plaintext) const noexcept;
+
+ private:
+  std::uint32_t round_keys_[44];
+};
+
+/// CTR-mode keystream XOR: encrypts/decrypts `data` in place using a 16-byte
+/// initial counter block (big-endian increment of the low 32 bits).
+void aes128_ctr_xor(const Aes128& cipher, const AesBlock& initial_counter,
+                    MutableByteView data) noexcept;
+
+}  // namespace dauth::crypto

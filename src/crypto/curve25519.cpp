@@ -1,0 +1,434 @@
+#include "crypto/curve25519.h"
+
+#include <cstring>
+
+namespace dauth::crypto::curve25519 {
+namespace {
+
+constexpr std::uint64_t kMask51 = (std::uint64_t{1} << 51) - 1;
+
+using u128 = unsigned __int128;
+
+inline std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+Fe fe_from_bytes(const std::uint8_t (&b)[32]) noexcept {
+  Fe r;
+  r.v[0] = load_le64(b + 0) & kMask51;
+  r.v[1] = (load_le64(b + 6) >> 3) & kMask51;
+  r.v[2] = (load_le64(b + 12) >> 6) & kMask51;
+  r.v[3] = (load_le64(b + 19) >> 1) & kMask51;
+  r.v[4] = (load_le64(b + 24) >> 12) & kMask51;
+  return r;
+}
+
+}  // namespace
+
+const Fe kZero = {{0, 0, 0, 0, 0}};
+const Fe kOne = {{1, 0, 0, 0, 0}};
+
+// Constants from RFC 7748/8032, little-endian byte encodings.
+const Fe kD = [] {
+  const std::uint8_t b[32] = {0xa3, 0x78, 0x59, 0x13, 0xca, 0x4d, 0xeb, 0x75,
+                              0xab, 0xd8, 0x41, 0x41, 0x4d, 0x0a, 0x70, 0x00,
+                              0x98, 0xe8, 0x79, 0x77, 0x79, 0x40, 0xc7, 0x8c,
+                              0x73, 0xfe, 0x6f, 0x2b, 0xee, 0x6c, 0x03, 0x52};
+  return fe_from_bytes(b);
+}();
+
+const Fe kD2 = [] {
+  const std::uint8_t b[32] = {0x59, 0xf1, 0xb2, 0x26, 0x94, 0x9b, 0xd6, 0xeb,
+                              0x56, 0xb1, 0x83, 0x82, 0x9a, 0x14, 0xe0, 0x00,
+                              0x30, 0xd1, 0xf3, 0xee, 0xf2, 0x80, 0x8e, 0x19,
+                              0xe7, 0xfc, 0xdf, 0x56, 0xdc, 0xd9, 0x06, 0x24};
+  return fe_from_bytes(b);
+}();
+
+const Fe kSqrtM1 = [] {
+  const std::uint8_t b[32] = {0xb0, 0xa0, 0x0e, 0x4a, 0x27, 0x1b, 0xee, 0xc4,
+                              0x78, 0xe4, 0x2f, 0xad, 0x06, 0x18, 0x43, 0x2f,
+                              0xa7, 0xd7, 0xfb, 0x3d, 0x99, 0x00, 0x4d, 0x2b,
+                              0x0b, 0xdf, 0xc1, 0x4f, 0x80, 0x24, 0x83, 0x2b};
+  return fe_from_bytes(b);
+}();
+
+const Fe kBaseX = [] {
+  const std::uint8_t b[32] = {0x1a, 0xd5, 0x25, 0x8f, 0x60, 0x2d, 0x56, 0xc9,
+                              0xb2, 0xa7, 0x25, 0x95, 0x60, 0xc7, 0x2c, 0x69,
+                              0x5c, 0xdc, 0xd6, 0xfd, 0x31, 0xe2, 0xa4, 0xc0,
+                              0xfe, 0x53, 0x6e, 0xcd, 0xd3, 0x36, 0x69, 0x21};
+  return fe_from_bytes(b);
+}();
+
+const Fe kBaseY = [] {
+  const std::uint8_t b[32] = {0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+                              0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+                              0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+                              0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66};
+  return fe_from_bytes(b);
+}();
+
+namespace {
+
+// Group order L (little-endian bytes).
+constexpr std::uint8_t kL[32] = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                                 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                                 0,    0,    0,    0,    0,    0,    0,    0,
+                                 0,    0,    0,    0,    0,    0,    0,    0x10};
+
+inline void fe_sel(Fe& p, Fe& q, int b) noexcept {
+  const std::uint64_t mask = ~(static_cast<std::uint64_t>(b) - 1);
+  for (int i = 0; i < 5; ++i) {
+    const std::uint64_t t = mask & (p.v[i] ^ q.v[i]);
+    p.v[i] ^= t;
+    q.v[i] ^= t;
+  }
+}
+
+}  // namespace
+
+void fe_carry(Fe& o) noexcept {
+  std::uint64_t c;
+  c = o.v[0] >> 51; o.v[0] &= kMask51; o.v[1] += c;
+  c = o.v[1] >> 51; o.v[1] &= kMask51; o.v[2] += c;
+  c = o.v[2] >> 51; o.v[2] &= kMask51; o.v[3] += c;
+  c = o.v[3] >> 51; o.v[3] &= kMask51; o.v[4] += c;
+  c = o.v[4] >> 51; o.v[4] &= kMask51; o.v[0] += 19 * c;
+  c = o.v[0] >> 51; o.v[0] &= kMask51; o.v[1] += c;
+}
+
+void fe_cswap(Fe& a, Fe& b, int bit) noexcept { fe_sel(a, b, bit); }
+
+void fe_add(Fe& o, const Fe& a, const Fe& b) noexcept {
+  for (int i = 0; i < 5; ++i) o.v[i] = a.v[i] + b.v[i];
+}
+
+void fe_sub(Fe& o, const Fe& a, const Fe& b) noexcept {
+  // a + 2p - b keeps limbs non-negative (inputs < 2^52 after carry).
+  o.v[0] = a.v[0] + 0xfffffffffffdaULL - b.v[0];
+  o.v[1] = a.v[1] + 0xffffffffffffeULL - b.v[1];
+  o.v[2] = a.v[2] + 0xffffffffffffeULL - b.v[2];
+  o.v[3] = a.v[3] + 0xffffffffffffeULL - b.v[3];
+  o.v[4] = a.v[4] + 0xffffffffffffeULL - b.v[4];
+}
+
+void fe_mul(Fe& o, const Fe& a, const Fe& b) noexcept {
+  const std::uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const std::uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  const std::uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19, b4_19 = b4 * 19;
+
+  u128 t0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 + (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 + (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 + (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 + (u128)a4 * b4_19;
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 + (u128)a4 * b0;
+
+  std::uint64_t r0, r1, r2, r3, r4, carry;
+  r0 = (std::uint64_t)t0 & kMask51; carry = (std::uint64_t)(t0 >> 51);
+  t1 += carry;
+  r1 = (std::uint64_t)t1 & kMask51; carry = (std::uint64_t)(t1 >> 51);
+  t2 += carry;
+  r2 = (std::uint64_t)t2 & kMask51; carry = (std::uint64_t)(t2 >> 51);
+  t3 += carry;
+  r3 = (std::uint64_t)t3 & kMask51; carry = (std::uint64_t)(t3 >> 51);
+  t4 += carry;
+  r4 = (std::uint64_t)t4 & kMask51; carry = (std::uint64_t)(t4 >> 51);
+  r0 += carry * 19;
+  carry = r0 >> 51; r0 &= kMask51;
+  r1 += carry;
+
+  o.v[0] = r0;
+  o.v[1] = r1;
+  o.v[2] = r2;
+  o.v[3] = r3;
+  o.v[4] = r4;
+}
+
+void fe_sq(Fe& o, const Fe& a) noexcept { fe_mul(o, a, a); }
+
+void fe_inv(Fe& o, const Fe& a) noexcept {
+  // a^(p-2) with the tweetnacl exponent schedule.
+  Fe c = a;
+  for (int i = 253; i >= 0; --i) {
+    fe_sq(c, c);
+    if (i != 2 && i != 4) fe_mul(c, c, a);
+  }
+  o = c;
+}
+
+void fe_pow2523(Fe& o, const Fe& a) noexcept {
+  Fe c = a;
+  for (int i = 250; i >= 0; --i) {
+    fe_sq(c, c);
+    if (i != 1) fe_mul(c, c, a);
+  }
+  o = c;
+}
+
+void fe_pack(ByteArray<32>& out, const Fe& a) noexcept {
+  Fe t = a;
+  fe_carry(t);
+  fe_carry(t);
+
+  // Canonicalize: conditionally subtract p (twice to be safe).
+  for (int pass = 0; pass < 2; ++pass) {
+    std::uint64_t m[5];
+    std::uint64_t borrow = 0;
+    const std::uint64_t p0 = kMask51 - 18;  // 2^51 - 19
+    m[0] = t.v[0] - p0;
+    borrow = (t.v[0] < p0) ? 1 : 0;
+    for (int i = 1; i < 5; ++i) {
+      const std::uint64_t sub = kMask51 + borrow;
+      m[i] = t.v[i] - sub;
+      borrow = (t.v[i] < sub) ? 1 : 0;
+    }
+    // borrow == 0 means t >= p: take m. Constant-time select.
+    const std::uint64_t keep = 0 - borrow;  // all-ones if borrow (keep t)
+    for (int i = 0; i < 5; ++i) {
+      t.v[i] = (t.v[i] & keep) | ((m[i] & kMask51) & ~keep);
+    }
+  }
+
+  // Pack 5x51 bits into 32 bytes.
+  std::uint64_t w0 = t.v[0] | (t.v[1] << 51);
+  std::uint64_t w1 = (t.v[1] >> 13) | (t.v[2] << 38);
+  std::uint64_t w2 = (t.v[2] >> 26) | (t.v[3] << 25);
+  std::uint64_t w3 = (t.v[3] >> 39) | (t.v[4] << 12);
+  const std::uint64_t words[4] = {w0, w1, w2, w3};
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 8; ++i) {
+      out[8 * w + i] = static_cast<std::uint8_t>(words[w] >> (8 * i));
+    }
+  }
+}
+
+void fe_unpack(Fe& out, const ByteArray<32>& in) noexcept {
+  std::uint8_t b[32];
+  std::memcpy(b, in.data(), 32);
+  out = fe_from_bytes(b);
+}
+
+bool fe_equal(const Fe& a, const Fe& b) noexcept {
+  ByteArray<32> pa, pb;
+  fe_pack(pa, a);
+  fe_pack(pb, b);
+  return ct_equal(pa, pb);
+}
+
+int fe_parity(const Fe& a) noexcept {
+  ByteArray<32> packed;
+  fe_pack(packed, a);
+  return packed[0] & 1;
+}
+
+GroupElement ge_identity() noexcept {
+  GroupElement p;
+  p.x = kZero;
+  p.y = kOne;
+  p.z = kOne;
+  p.t = kZero;
+  return p;
+}
+
+GroupElement ge_base() noexcept {
+  GroupElement p;
+  p.x = kBaseX;
+  p.y = kBaseY;
+  p.z = kOne;
+  fe_mul(p.t, kBaseX, kBaseY);
+  return p;
+}
+
+void ge_add(GroupElement& p, const GroupElement& q) noexcept {
+  Fe a, b, c, d, t, e, f, g, h;
+  fe_sub(a, p.y, p.x);
+  fe_sub(t, q.y, q.x);
+  fe_mul(a, a, t);
+  fe_add(b, p.x, p.y);
+  fe_add(t, q.x, q.y);
+  fe_mul(b, b, t);
+  fe_mul(c, p.t, q.t);
+  fe_mul(c, c, kD2);
+  fe_mul(d, p.z, q.z);
+  fe_add(d, d, d);
+  fe_sub(e, b, a);
+  fe_sub(f, d, c);
+  fe_add(g, d, c);
+  fe_add(h, b, a);
+  fe_mul(p.x, e, f);
+  fe_mul(p.y, h, g);
+  fe_mul(p.z, g, f);
+  fe_mul(p.t, e, h);
+}
+
+namespace {
+
+void ge_cswap(GroupElement& p, GroupElement& q, int bit) noexcept {
+  fe_sel(p.x, q.x, bit);
+  fe_sel(p.y, q.y, bit);
+  fe_sel(p.z, q.z, bit);
+  fe_sel(p.t, q.t, bit);
+}
+
+}  // namespace
+
+void ge_scalarmult(GroupElement& r, const GroupElement& q_in, const ByteArray<32>& scalar) noexcept {
+  GroupElement q = q_in;
+  r = ge_identity();
+  for (int i = 255; i >= 0; --i) {
+    const int b = (scalar[i / 8] >> (i & 7)) & 1;
+    ge_cswap(r, q, b);
+    ge_add(q, r);
+    ge_add(r, r);
+    ge_cswap(r, q, b);
+  }
+}
+
+void ge_scalarmult_base(GroupElement& r, const ByteArray<32>& scalar) noexcept {
+  // Precomputed table: kBaseTable[i] = 2^i * B, built once. Base-point
+  // multiplication (key generation, signing, Feldman commitments) then
+  // costs at most 255 additions with no doublings.
+  static const GroupElement* kBaseTable = [] {
+    static GroupElement table[256];
+    table[0] = ge_base();
+    for (int i = 1; i < 256; ++i) {
+      table[i] = table[i - 1];
+      ge_add(table[i], table[i - 1]);
+    }
+    return table;
+  }();
+
+  r = ge_identity();
+  for (int i = 0; i < 256; ++i) {
+    if ((scalar[i / 8] >> (i & 7)) & 1) ge_add(r, kBaseTable[i]);
+  }
+}
+
+ByteArray<32> ge_pack(const GroupElement& p) noexcept {
+  Fe zi, tx, ty;
+  fe_inv(zi, p.z);
+  fe_mul(tx, p.x, zi);
+  fe_mul(ty, p.y, zi);
+  ByteArray<32> out;
+  fe_pack(out, ty);
+  out[31] = static_cast<std::uint8_t>(out[31] ^ (fe_parity(tx) << 7));
+  return out;
+}
+
+bool ge_unpack(GroupElement& out, const ByteArray<32>& encoded, bool negate) noexcept {
+  Fe t, chk, num, den, den2, den4, den6;
+  out.z = kOne;
+  fe_unpack(out.y, encoded);
+
+  // Recover x from y: x^2 = (y^2 - 1) / (d y^2 + 1).
+  fe_sq(num, out.y);
+  fe_mul(den, num, kD);
+  fe_sub(num, num, out.z);
+  fe_add(den, out.z, den);
+
+  fe_sq(den2, den);
+  fe_sq(den4, den2);
+  fe_mul(den6, den4, den2);
+  fe_mul(t, den6, num);
+  fe_mul(t, t, den);
+
+  fe_pow2523(t, t);
+  fe_mul(t, t, num);
+  fe_mul(t, t, den);
+  fe_mul(t, t, den);
+  fe_mul(out.x, t, den);
+
+  fe_sq(chk, out.x);
+  fe_mul(chk, chk, den);
+  if (!fe_equal(chk, num)) fe_mul(out.x, out.x, kSqrtM1);
+
+  fe_sq(chk, out.x);
+  fe_mul(chk, chk, den);
+  if (!fe_equal(chk, num)) return false;
+
+  const int want_negative = encoded[31] >> 7;
+  int flip = (fe_parity(out.x) != want_negative) ? 1 : 0;
+  if (negate) flip ^= 1;
+  if (flip) fe_sub(out.x, kZero, out.x);
+
+  fe_mul(out.t, out.x, out.y);
+  return true;
+}
+
+bool ge_equal(const GroupElement& a, const GroupElement& b) noexcept {
+  const ByteArray<32> pa = ge_pack(a);
+  const ByteArray<32> pb = ge_pack(b);
+  return ct_equal(pa, pb);
+}
+
+namespace {
+
+/// Reduces the 64-limb byte-valued integer x mod L, writing 32 bytes into r.
+void mod_l(std::uint8_t* r, std::int64_t x[64]) noexcept {
+  std::int64_t carry;
+  for (int i = 63; i >= 32; --i) {
+    carry = 0;
+    int j;
+    for (j = i - 32; j < i - 12; ++j) {
+      x[j] += carry - 16 * x[i] * kL[j - (i - 32)];
+      carry = (x[j] + 128) >> 8;
+      x[j] -= carry << 8;
+    }
+    x[j] += carry;
+    x[i] = 0;
+  }
+  carry = 0;
+  for (int j = 0; j < 32; ++j) {
+    x[j] += carry - (x[31] >> 4) * kL[j];
+    carry = x[j] >> 8;
+    x[j] &= 255;
+  }
+  for (int j = 0; j < 32; ++j) x[j] -= carry * kL[j];
+  for (int i = 0; i < 32; ++i) {
+    x[i + 1] += x[i] >> 8;
+    r[i] = static_cast<std::uint8_t>(x[i] & 255);
+  }
+}
+
+}  // namespace
+
+Scalar scalar_reduce64(const ByteArray<64>& wide) noexcept {
+  std::int64_t x[64];
+  for (int i = 0; i < 64; ++i) x[i] = wide[i];
+  Scalar out;
+  mod_l(out.data(), x);
+  return out;
+}
+
+Scalar scalar_add(const Scalar& a, const Scalar& b) noexcept {
+  std::int64_t x[64] = {};
+  for (int i = 0; i < 32; ++i) x[i] = std::int64_t{a[i]} + std::int64_t{b[i]};
+  Scalar out;
+  mod_l(out.data(), x);
+  return out;
+}
+
+Scalar scalar_mul(const Scalar& a, const Scalar& b) noexcept {
+  return scalar_muladd(a, b, scalar_from_u64(0));
+}
+
+Scalar scalar_muladd(const Scalar& a, const Scalar& b, const Scalar& c) noexcept {
+  std::int64_t x[64] = {};
+  for (int i = 0; i < 32; ++i) x[i] = c[i];
+  for (int i = 0; i < 32; ++i)
+    for (int j = 0; j < 32; ++j) x[i + j] += std::int64_t{a[i]} * std::int64_t{b[j]};
+  Scalar out;
+  mod_l(out.data(), x);
+  return out;
+}
+
+Scalar scalar_from_u64(std::uint64_t v) noexcept {
+  Scalar out{};
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return out;
+}
+
+}  // namespace dauth::crypto::curve25519

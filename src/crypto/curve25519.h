@@ -1,0 +1,96 @@
+// Curve25519 field/group arithmetic shared by Ed25519, X25519 and Feldman VSS.
+//
+// Field elements mod p = 2^255-19 use the donna-style 5x51-bit limb
+// representation with 128-bit intermediate products; Edwards points use
+// extended coordinates (X:Y:Z:T). All branches on secret data are avoided
+// (constant-time swaps/selects).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dauth::crypto::curve25519 {
+
+/// Field element mod 2^255-19: 5 limbs of 51 bits (radix 2^51).
+/// Invariant between operations: limbs < 2^52; add/sub outputs may reach
+/// 2^54, which fe_mul/fe_sq absorb.
+struct Fe {
+  std::uint64_t v[5];
+};
+
+extern const Fe kZero;
+extern const Fe kOne;
+extern const Fe kD;        // Edwards curve constant d
+extern const Fe kD2;       // 2d
+extern const Fe kSqrtM1;   // sqrt(-1)
+extern const Fe kBaseX;    // base point x
+extern const Fe kBaseY;    // base point y
+
+void fe_add(Fe& o, const Fe& a, const Fe& b) noexcept;
+void fe_sub(Fe& o, const Fe& a, const Fe& b) noexcept;
+void fe_mul(Fe& o, const Fe& a, const Fe& b) noexcept;
+void fe_sq(Fe& o, const Fe& a) noexcept;
+void fe_inv(Fe& o, const Fe& a) noexcept;       // a^(p-2)
+void fe_pow2523(Fe& o, const Fe& a) noexcept;   // a^((p-5)/8)
+void fe_carry(Fe& o) noexcept;
+
+/// Constant-time conditional swap of a and b when bit == 1.
+void fe_cswap(Fe& a, Fe& b, int bit) noexcept;
+
+/// Canonical 32-byte little-endian encoding (fully reduced).
+void fe_pack(ByteArray<32>& out, const Fe& a) noexcept;
+void fe_unpack(Fe& out, const ByteArray<32>& in) noexcept;  // ignores top bit
+
+bool fe_equal(const Fe& a, const Fe& b) noexcept;
+int fe_parity(const Fe& a) noexcept;  // low bit of canonical encoding
+
+/// Edwards point in extended coordinates (X:Y:Z:T) with T = XY/Z.
+struct GroupElement {
+  Fe x, y, z, t;
+};
+
+/// Neutral element (0 : 1 : 1 : 0).
+GroupElement ge_identity() noexcept;
+/// The standard base point B.
+GroupElement ge_base() noexcept;
+
+/// p += q (unified Edwards addition; works for doubling too).
+void ge_add(GroupElement& p, const GroupElement& q) noexcept;
+
+/// r = scalar * q; scalar is a 32-byte little-endian integer.
+void ge_scalarmult(GroupElement& r, const GroupElement& q, const ByteArray<32>& scalar) noexcept;
+
+/// r = scalar * B.
+void ge_scalarmult_base(GroupElement& r, const ByteArray<32>& scalar) noexcept;
+
+/// Compressed 32-byte encoding (y with sign-of-x in the top bit).
+ByteArray<32> ge_pack(const GroupElement& p) noexcept;
+
+/// Decompresses an encoded point. Returns false for invalid encodings.
+/// If `negate` is true the x-coordinate is negated (as used by Ed25519
+/// signature verification).
+bool ge_unpack(GroupElement& out, const ByteArray<32>& encoded, bool negate) noexcept;
+
+bool ge_equal(const GroupElement& a, const GroupElement& b) noexcept;
+
+// ---- Scalar arithmetic mod the group order L = 2^252 + δ -------------------
+
+using Scalar = ByteArray<32>;  // little-endian, canonical (< L)
+
+/// Reduces a 64-byte little-endian integer mod L.
+Scalar scalar_reduce64(const ByteArray<64>& wide) noexcept;
+
+/// (a + b) mod L.
+Scalar scalar_add(const Scalar& a, const Scalar& b) noexcept;
+
+/// (a * b) mod L.
+Scalar scalar_mul(const Scalar& a, const Scalar& b) noexcept;
+
+/// (a * b + c) mod L.
+Scalar scalar_muladd(const Scalar& a, const Scalar& b, const Scalar& c) noexcept;
+
+/// Canonical scalar from a small integer.
+Scalar scalar_from_u64(std::uint64_t v) noexcept;
+
+}  // namespace dauth::crypto::curve25519

@@ -1,0 +1,62 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace dauth::crypto {
+
+DeterministicDrbg::DeterministicDrbg(ByteView seed_material) {
+  key_.fill(0x00);
+  value_.fill(0x01);
+  update(seed_material);
+}
+
+DeterministicDrbg::DeterministicDrbg(std::string_view label, std::uint64_t seed) {
+  Bytes material = to_bytes(as_bytes(label));
+  for (int i = 0; i < 8; ++i)
+    material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+  key_.fill(0x00);
+  value_.fill(0x01);
+  update(material);
+}
+
+void DeterministicDrbg::update(ByteView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  Bytes input = concat(value_, ByteArray<1>{0x00}, provided);
+  key_ = hmac_sha256(key_, input);
+  value_ = hmac_sha256(key_, value_);
+  if (!provided.empty()) {
+    input = concat(value_, ByteArray<1>{0x01}, provided);
+    key_ = hmac_sha256(key_, input);
+    value_ = hmac_sha256(key_, value_);
+  }
+}
+
+void DeterministicDrbg::fill(MutableByteView out) {
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    value_ = hmac_sha256(key_, value_);
+    const std::size_t n = out.size() - offset < 32 ? out.size() - offset : 32;
+    std::memcpy(out.data() + offset, value_.data(), n);
+    offset += n;
+  }
+  update({});
+}
+
+Bytes DeterministicDrbg::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+std::uint64_t DeterministicDrbg::next_u64() {
+  ByteArray<8> raw = array<8>();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{raw[i]} << (8 * i);
+  return v;
+}
+
+void DeterministicDrbg::reseed(ByteView additional) { update(additional); }
+
+}  // namespace dauth::crypto

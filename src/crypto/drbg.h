@@ -1,0 +1,45 @@
+// Deterministic random bit generator (HMAC_DRBG, NIST SP 800-90A style).
+//
+// All key material in tests, benches and simulations is drawn from a DRBG
+// seeded explicitly, which makes every run byte-for-byte reproducible. The
+// construction is the standard HMAC-SHA-256 DRBG update/generate loop.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/shamir.h"  // RandomSource
+#include "crypto/sha256.h"
+
+namespace dauth::crypto {
+
+class DeterministicDrbg final : public RandomSource {
+ public:
+  /// Seeds from arbitrary entropy input (e.g. a label + numeric seed).
+  explicit DeterministicDrbg(ByteView seed_material);
+
+  /// Convenience: seed from a label and 64-bit seed.
+  DeterministicDrbg(std::string_view label, std::uint64_t seed);
+
+  void fill(MutableByteView out) override;
+
+  Bytes bytes(std::size_t n);
+
+  template <std::size_t N>
+  ByteArray<N> array() {
+    ByteArray<N> out;
+    fill(out);
+    return out;
+  }
+
+  std::uint64_t next_u64();
+
+  /// Mixes additional input into the state (domain separation / reseeding).
+  void reseed(ByteView additional);
+
+ private:
+  void update(ByteView provided);
+
+  ByteArray<32> key_;
+  ByteArray<32> value_;
+};
+
+}  // namespace dauth::crypto

@@ -1,0 +1,120 @@
+#include "crypto/ed25519.h"
+
+#include <cstring>
+
+#include "crypto/curve25519.h"
+#include "crypto/sha512.h"
+
+namespace dauth::crypto {
+
+namespace cv = curve25519;
+
+namespace {
+
+/// Clamped secret scalar from the seed hash (RFC 8032 §5.1.5 step 2).
+ByteArray<32> clamp_scalar(const Sha512Digest& seed_hash) noexcept {
+  ByteArray<32> a;
+  std::memcpy(a.data(), seed_hash.data(), 32);
+  a[0] &= 248;
+  a[31] &= 127;
+  a[31] |= 64;
+  return a;
+}
+
+cv::Scalar reduce_digest(const Sha512Digest& digest) noexcept {
+  ByteArray<64> wide;
+  std::memcpy(wide.data(), digest.data(), 64);
+  return cv::scalar_reduce64(wide);
+}
+
+}  // namespace
+
+Ed25519KeyPair ed25519_keypair(const Ed25519Seed& seed) {
+  const Sha512Digest h = sha512(seed);
+  const ByteArray<32> a = clamp_scalar(h);
+  cv::GroupElement p;
+  cv::ge_scalarmult_base(p, a);
+  Ed25519KeyPair kp;
+  kp.seed = seed;
+  kp.public_key = cv::ge_pack(p);
+  return kp;
+}
+
+Ed25519KeyPair ed25519_generate(RandomSource& random) {
+  Ed25519Seed seed;
+  random.fill(seed);
+  return ed25519_keypair(seed);
+}
+
+Ed25519Signature ed25519_sign(ByteView message, const Ed25519KeyPair& key_pair) {
+  const Sha512Digest seed_hash = sha512(key_pair.seed);
+  const ByteArray<32> a = clamp_scalar(seed_hash);
+  const ByteView prefix(seed_hash.data() + 32, 32);
+
+  // r = H(prefix || message) mod L
+  Sha512 hr;
+  hr.update(prefix);
+  hr.update(message);
+  const cv::Scalar r = reduce_digest(hr.finish());
+
+  // R = r * B
+  cv::GroupElement rp;
+  cv::ge_scalarmult_base(rp, r);
+  const ByteArray<32> r_enc = cv::ge_pack(rp);
+
+  // k = H(R || A || message) mod L
+  Sha512 hk;
+  hk.update(r_enc);
+  hk.update(key_pair.public_key);
+  hk.update(message);
+  const cv::Scalar k = reduce_digest(hk.finish());
+
+  // s = (r + k * a) mod L
+  const cv::Scalar s = cv::scalar_muladd(k, a, r);
+
+  Ed25519Signature sig;
+  std::memcpy(sig.data(), r_enc.data(), 32);
+  std::memcpy(sig.data() + 32, s.data(), 32);
+  return sig;
+}
+
+bool ed25519_verify(ByteView message, const Ed25519Signature& signature,
+                    const Ed25519PublicKey& public_key) {
+  // Decode -A (negated so the check becomes R == s*B + k*(-A)).
+  cv::GroupElement neg_a;
+  if (!cv::ge_unpack(neg_a, public_key, /*negate=*/true)) return false;
+
+  ByteArray<32> r_enc;
+  std::memcpy(r_enc.data(), signature.data(), 32);
+  ByteArray<32> s;
+  std::memcpy(s.data(), signature.data() + 32, 32);
+
+  // Reject s >= L (malleability check, RFC 8032 §5.1.7).
+  static constexpr std::uint8_t kL[32] = {
+      0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7,
+      0xa2, 0xde, 0xf9, 0xde, 0x14, 0,    0,    0,    0,    0,    0,
+      0,    0,    0,    0,    0,    0,    0,    0,    0,    0x10};
+  for (int i = 31; i >= 0; --i) {
+    if (s[i] < kL[i]) break;
+    if (s[i] > kL[i]) return false;
+    if (i == 0) return false;  // s == L
+  }
+
+  // k = H(R || A || message) mod L
+  Sha512 hk;
+  hk.update(r_enc);
+  hk.update(public_key);
+  hk.update(message);
+  const cv::Scalar k = reduce_digest(hk.finish());
+
+  cv::GroupElement check;
+  cv::ge_scalarmult(check, neg_a, k);  // k * (-A)
+  cv::GroupElement sb;
+  cv::ge_scalarmult_base(sb, s);  // s * B
+  cv::ge_add(check, sb);          // s*B + k*(-A)
+
+  const ByteArray<32> packed = cv::ge_pack(check);
+  return ct_equal(packed, r_enc);
+}
+
+}  // namespace dauth::crypto

@@ -1,0 +1,36 @@
+// Ed25519 signatures (RFC 8032).
+//
+// Every network in a dAuth federation holds an Ed25519 key pair (SK, PK);
+// auth-vector bundles, key-share bundles, directory entries and usage proofs
+// are all signed. Public keys are published through the directory service.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace dauth::crypto {
+
+using Ed25519Seed = ByteArray<32>;
+using Ed25519PublicKey = ByteArray<32>;
+using Ed25519Signature = ByteArray<64>;
+
+struct Ed25519KeyPair {
+  Ed25519Seed seed;
+  Ed25519PublicKey public_key;
+};
+
+/// Derives the key pair for a 32-byte seed (RFC 8032 §5.1.5).
+Ed25519KeyPair ed25519_keypair(const Ed25519Seed& seed);
+
+/// Generates a fresh key pair from a random source.
+Ed25519KeyPair ed25519_generate(RandomSource& random);
+
+/// Signs `message` (RFC 8032 §5.1.6; deterministic, no randomness needed).
+Ed25519Signature ed25519_sign(ByteView message, const Ed25519KeyPair& key_pair);
+
+/// Verifies a signature (RFC 8032 §5.1.7). Strictness matches the reference
+/// implementation: rejects out-of-range s and non-decodable points.
+bool ed25519_verify(ByteView message, const Ed25519Signature& signature,
+                    const Ed25519PublicKey& public_key);
+
+}  // namespace dauth::crypto

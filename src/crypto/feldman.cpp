@@ -1,0 +1,190 @@
+#include "crypto/feldman.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dauth::crypto {
+
+namespace cv = curve25519;
+
+namespace {
+
+constexpr std::size_t kChunkSize = 16;
+
+std::size_t chunk_count(std::size_t secret_length) {
+  return (secret_length + kChunkSize - 1) / kChunkSize;
+}
+
+/// Loads up to 16 secret bytes into a (canonical) scalar.
+cv::Scalar chunk_to_scalar(ByteView secret, std::size_t chunk_index) {
+  cv::Scalar s{};
+  const std::size_t begin = chunk_index * kChunkSize;
+  const std::size_t end = std::min(begin + kChunkSize, secret.size());
+  for (std::size_t i = begin; i < end; ++i) s[i - begin] = secret[i];
+  return s;
+}
+
+cv::Scalar random_scalar(RandomSource& random) {
+  ByteArray<64> wide;
+  random.fill(wide);
+  return cv::scalar_reduce64(wide);
+}
+
+/// Evaluates the polynomial with coefficients `coeffs` (degree ascending,
+/// coeffs[0] = secret chunk) at scalar x, mod L.
+cv::Scalar poly_eval(const std::vector<cv::Scalar>& coeffs, const cv::Scalar& x) {
+  cv::Scalar acc{};  // zero
+  for (std::size_t d = coeffs.size(); d-- > 0;) {
+    acc = cv::scalar_muladd(acc, x, coeffs[d]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+cv::Scalar scalar_invert(const cv::Scalar& a) {
+  // exponent = L - 2 (L's low byte is 0xed, so L-2 just changes it to 0xeb).
+  static constexpr std::uint8_t kLm2[32] = {
+      0xeb, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7,
+      0xa2, 0xde, 0xf9, 0xde, 0x14, 0,    0,    0,    0,    0,    0,
+      0,    0,    0,    0,    0,    0,    0,    0,    0,    0x10};
+  cv::Scalar result = cv::scalar_from_u64(1);
+  cv::Scalar base = a;
+  for (int bit = 0; bit < 253; ++bit) {
+    if ((kLm2[bit / 8] >> (bit & 7)) & 1) result = cv::scalar_mul(result, base);
+    base = cv::scalar_mul(base, base);
+  }
+  return result;
+}
+
+FeldmanSharing feldman_split(ByteView secret, std::size_t threshold, std::size_t share_count,
+                             RandomSource& random) {
+  if (threshold == 0) throw std::invalid_argument("feldman_split: threshold must be >= 1");
+  if (threshold > share_count)
+    throw std::invalid_argument("feldman_split: threshold exceeds share count");
+  if (share_count > 255) throw std::invalid_argument("feldman_split: at most 255 shares");
+
+  const std::size_t chunks = chunk_count(secret.size());
+
+  FeldmanSharing out;
+  out.commitments.secret_length = secret.size();
+  out.commitments.per_chunk.resize(chunks);
+  out.shares.resize(share_count);
+  for (std::size_t s = 0; s < share_count; ++s) {
+    out.shares[s].x = static_cast<std::uint8_t>(s + 1);
+    out.shares[s].chunks.reserve(chunks);
+  }
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::vector<cv::Scalar> coeffs(threshold);
+    coeffs[0] = chunk_to_scalar(secret, c);
+    for (std::size_t d = 1; d < threshold; ++d) coeffs[d] = random_scalar(random);
+
+    // Commitments C_j = coeff_j * B.
+    auto& commitments = out.commitments.per_chunk[c];
+    commitments.reserve(threshold);
+    for (const auto& coeff : coeffs) {
+      cv::GroupElement p;
+      cv::ge_scalarmult_base(p, coeff);
+      commitments.push_back(cv::ge_pack(p));
+    }
+
+    for (std::size_t s = 0; s < share_count; ++s) {
+      const cv::Scalar x = cv::scalar_from_u64(out.shares[s].x);
+      out.shares[s].chunks.push_back(poly_eval(coeffs, x));
+    }
+  }
+  return out;
+}
+
+bool feldman_verify(const FeldmanShare& share, const FeldmanCommitments& commitments) {
+  if (share.x == 0) return false;
+  if (share.chunks.size() != commitments.per_chunk.size()) return false;
+
+  const cv::Scalar x = cv::scalar_from_u64(share.x);
+  for (std::size_t c = 0; c < share.chunks.size(); ++c) {
+    const auto& chunk_commitments = commitments.per_chunk[c];
+    if (chunk_commitments.empty()) return false;
+
+    // lhs = y * B
+    cv::GroupElement lhs;
+    cv::ge_scalarmult_base(lhs, share.chunks[c]);
+
+    // rhs = sum_j x^j * C_j
+    cv::GroupElement rhs = cv::ge_identity();
+    cv::Scalar x_pow = cv::scalar_from_u64(1);
+    for (const auto& encoded : chunk_commitments) {
+      cv::GroupElement commitment;
+      if (!cv::ge_unpack(commitment, encoded, /*negate=*/false)) return false;
+      cv::GroupElement term;
+      cv::ge_scalarmult(term, commitment, x_pow);
+      cv::ge_add(rhs, term);
+      x_pow = cv::scalar_mul(x_pow, x);
+    }
+
+    if (!cv::ge_equal(lhs, rhs)) return false;
+  }
+  return true;
+}
+
+Bytes feldman_combine(const std::vector<FeldmanShare>& shares, std::size_t secret_length) {
+  if (shares.empty()) throw std::invalid_argument("feldman_combine: no shares");
+  const std::size_t chunks = chunk_count(secret_length);
+  for (const auto& share : shares) {
+    if (share.x == 0) throw std::invalid_argument("feldman_combine: x must be non-zero");
+    if (share.chunks.size() != chunks)
+      throw std::invalid_argument("feldman_combine: wrong chunk count");
+  }
+  for (std::size_t i = 0; i < shares.size(); ++i)
+    for (std::size_t j = i + 1; j < shares.size(); ++j)
+      if (shares[i].x == shares[j].x)
+        throw std::invalid_argument("feldman_combine: duplicate x-coordinate");
+
+  // Lagrange basis at 0: L_i(0) = prod_{j != i} x_j / (x_j - x_i) mod L.
+  std::vector<cv::Scalar> basis(shares.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    cv::Scalar numerator = cv::scalar_from_u64(1);
+    cv::Scalar denominator = cv::scalar_from_u64(1);
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) continue;
+      numerator = cv::scalar_mul(numerator, cv::scalar_from_u64(shares[j].x));
+      // x_j - x_i mod L (signed difference of small ints).
+      const int diff = static_cast<int>(shares[j].x) - static_cast<int>(shares[i].x);
+      cv::Scalar diff_scalar;
+      if (diff > 0) {
+        diff_scalar = cv::scalar_from_u64(static_cast<std::uint64_t>(diff));
+      } else {
+        // -d mod L == (L-1)*d + (d - d) ... simplest: L - d via scalar_mul by
+        // (L-1) of d: (-1) mod L multiplication.
+        static const cv::Scalar kMinusOne = [] {
+          // L - 1: low byte 0xec, rest same as L.
+          cv::Scalar m{};
+          const std::uint8_t kLm1[32] = {0xec, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                                         0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                                         0,    0,    0,    0,    0,    0,    0,    0,
+                                         0,    0,    0,    0,    0,    0,    0,    0x10};
+          std::memcpy(m.data(), kLm1, 32);
+          return m;
+        }();
+        diff_scalar = cv::scalar_mul(kMinusOne,
+                                     cv::scalar_from_u64(static_cast<std::uint64_t>(-diff)));
+      }
+      denominator = cv::scalar_mul(denominator, diff_scalar);
+    }
+    basis[i] = cv::scalar_mul(numerator, scalar_invert(denominator));
+  }
+
+  Bytes secret(secret_length, 0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    cv::Scalar acc{};
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      acc = cv::scalar_muladd(basis[i], shares[i].chunks[c], acc);
+    }
+    const std::size_t begin = c * kChunkSize;
+    const std::size_t end = std::min(begin + kChunkSize, secret_length);
+    for (std::size_t i = begin; i < end; ++i) secret[i] = acc[i - begin];
+  }
+  return secret;
+}
+
+}  // namespace dauth::crypto

@@ -1,0 +1,63 @@
+// Feldman verifiable secret sharing (Feldman, FOCS 1987).
+//
+// The paper (§3.5.2) uses plain Shamir sharing because every share travels
+// inside a home-network-signed bundle, but explicitly notes that "the usage
+// of a scheme such as Feldman's verifiable secret sharing provides validity
+// guarantees for each share with a minimal cryptographic overhead". This
+// module implements that extension over the Ed25519 group: shares are
+// scalars mod the group order L, and the dealer publishes commitments
+// C_j = a_j * B to the polynomial coefficients, letting anyone check
+//   y_i * B == sum_j (x_i^j) * C_j
+// without learning the secret.
+//
+// Secrets longer than 16 bytes are split into 16-byte chunks, each shared
+// with an independent polynomial (chunk values < 2^128 < L always fit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/curve25519.h"
+#include "crypto/shamir.h"  // RandomSource
+
+namespace dauth::crypto {
+
+/// A verifiable share of one participant: x-coordinate plus one scalar per
+/// 16-byte secret chunk.
+struct FeldmanShare {
+  std::uint8_t x = 0;
+  std::vector<curve25519::Scalar> chunks;
+
+  bool operator==(const FeldmanShare&) const = default;
+};
+
+/// Public commitment set: per chunk, `threshold` compressed group elements.
+struct FeldmanCommitments {
+  std::size_t secret_length = 0;
+  std::vector<std::vector<ByteArray<32>>> per_chunk;
+
+  bool operator==(const FeldmanCommitments&) const = default;
+};
+
+struct FeldmanSharing {
+  std::vector<FeldmanShare> shares;
+  FeldmanCommitments commitments;
+};
+
+/// Splits `secret` into `share_count` verifiable shares with threshold
+/// `threshold` (1 <= threshold <= share_count <= 255).
+FeldmanSharing feldman_split(ByteView secret, std::size_t threshold, std::size_t share_count,
+                             RandomSource& random);
+
+/// Checks a single share against the dealer's commitments.
+bool feldman_verify(const FeldmanShare& share, const FeldmanCommitments& commitments);
+
+/// Reconstructs the secret from >= threshold verified shares.
+/// Throws on malformed input (duplicate x, inconsistent chunk counts).
+Bytes feldman_combine(const std::vector<FeldmanShare>& shares, std::size_t secret_length);
+
+/// Scalar inverse mod L via Fermat (exposed for tests).
+curve25519::Scalar scalar_invert(const curve25519::Scalar& a);
+
+}  // namespace dauth::crypto

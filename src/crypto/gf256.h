@@ -1,0 +1,49 @@
+// Arithmetic in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11b).
+//
+// This is the field underlying our Shamir secret sharing: each byte of the
+// secret is shared with an independent random polynomial over GF(2^8).
+#pragma once
+
+#include <cstdint>
+
+namespace dauth::crypto::gf256 {
+
+/// Addition and subtraction are both XOR in GF(2^8).
+constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) noexcept {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+
+/// Carry-less multiplication reduced mod 0x11b. Branch-free (constant time).
+constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept {
+  std::uint8_t product = 0;
+  for (int i = 0; i < 8; ++i) {
+    product ^= static_cast<std::uint8_t>(-(b & 1) & a);
+    const std::uint8_t high = static_cast<std::uint8_t>(-(a >> 7));
+    a = static_cast<std::uint8_t>((a << 1) ^ (high & 0x1b));
+    b >>= 1;
+  }
+  return product;
+}
+
+/// Raises `a` to `e` by square-and-multiply.
+constexpr std::uint8_t pow(std::uint8_t a, unsigned e) noexcept {
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  while (e != 0) {
+    if (e & 1) result = mul(result, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+/// Multiplicative inverse via Fermat: a^254. inv(0) is defined as 0 but must
+/// never be relied upon by callers.
+constexpr std::uint8_t inv(std::uint8_t a) noexcept { return pow(a, 254); }
+
+/// Division a/b = a * inv(b).
+constexpr std::uint8_t div(std::uint8_t a, std::uint8_t b) noexcept {
+  return mul(a, inv(b));
+}
+
+}  // namespace dauth::crypto::gf256

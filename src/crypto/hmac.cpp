@@ -1,0 +1,68 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dauth::crypto {
+namespace {
+
+constexpr std::size_t kBlockSize = 64;
+
+}  // namespace
+
+Sha256Digest hmac_sha256(ByteView key, ByteView data) {
+  std::uint8_t key_block[kBlockSize] = {};
+  if (key.size() > kBlockSize) {
+    const Sha256Digest hashed = sha256(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[kBlockSize];
+  std::uint8_t opad[kBlockSize];
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ByteView(ipad, kBlockSize));
+  inner.update(data);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(ByteView(opad, kBlockSize));
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Sha256Digest hkdf_extract(ByteView salt, ByteView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  constexpr std::size_t kHashLen = 32;
+  if (length > 255 * kHashLen) throw std::invalid_argument("hkdf_expand: length too large");
+
+  Bytes okm;
+  okm.reserve(length);
+  Bytes t;  // T(i-1)
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block = concat(t, info, ByteView(&counter, 1));
+    const Sha256Digest digest = hmac_sha256(prk, block);
+    t.assign(digest.begin(), digest.end());
+    const std::size_t need = length - okm.size();
+    append(okm, ByteView(t.data(), need < kHashLen ? need : kHashLen));
+    ++counter;
+  }
+  return okm;
+}
+
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length) {
+  const Sha256Digest prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace dauth::crypto

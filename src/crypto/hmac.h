@@ -1,0 +1,24 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1) and HKDF (RFC 5869).
+//
+// HMAC-SHA-256 is the PRF underlying the 3GPP key-derivation function
+// (TS 33.220 Annex B); HKDF is used by the SUCI ECIES concealment profile.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace dauth::crypto {
+
+/// HMAC-SHA-256 of `data` under `key` (any key length).
+Sha256Digest hmac_sha256(ByteView key, ByteView data);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: derives `length` (<= 255*32) bytes from PRK and info.
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+}  // namespace dauth::crypto

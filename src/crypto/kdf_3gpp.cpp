@@ -1,0 +1,81 @@
+#include "crypto/kdf_3gpp.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace dauth::crypto {
+
+Key256 kdf_3gpp(ByteView key, std::uint8_t fc, std::initializer_list<ByteView> params) {
+  Bytes s;
+  s.push_back(fc);
+  for (ByteView p : params) {
+    append(s, p);
+    s.push_back(static_cast<std::uint8_t>(p.size() >> 8));
+    s.push_back(static_cast<std::uint8_t>(p.size() & 0xff));
+  }
+  return hmac_sha256(key, s);
+}
+
+namespace {
+
+Bytes ck_ik(const Ck& ck, const Ik& ik) { return concat(ck, ik); }
+
+}  // namespace
+
+Key256 derive_k_ausf(const Ck& ck, const Ik& ik, std::string_view serving_network_name_str,
+                     const ByteArray<6>& sqn_xor_ak) {
+  return kdf_3gpp(ck_ik(ck, ik), 0x6a,
+                  {as_bytes(serving_network_name_str), ByteView(sqn_xor_ak)});
+}
+
+ResStar derive_res_star(const Ck& ck, const Ik& ik, std::string_view serving_network_name_str,
+                        const Rand& rand, const Res& res) {
+  const Key256 full = kdf_3gpp(ck_ik(ck, ik), 0x6b,
+                               {as_bytes(serving_network_name_str), ByteView(rand), ByteView(res)});
+  // RES* is the 128 least significant bits (last 16 bytes) of the output.
+  ResStar out;
+  std::memcpy(out.data(), full.data() + 16, 16);
+  return out;
+}
+
+ByteArray<16> derive_hres_star(const Rand& rand, const ResStar& res_star) {
+  const Sha256Digest digest = sha256(concat(rand, res_star));
+  // HRES* is the 128 *most* significant bits (first 16 bytes).
+  ByteArray<16> out;
+  std::memcpy(out.data(), digest.data(), 16);
+  return out;
+}
+
+Key256 derive_k_seaf(const Key256& k_ausf, std::string_view serving_network_name_str) {
+  return kdf_3gpp(k_ausf, 0x6c, {as_bytes(serving_network_name_str)});
+}
+
+Key256 derive_k_amf(const Key256& k_seaf, std::string_view supi, const ByteArray<2>& abba) {
+  return kdf_3gpp(k_seaf, 0x6d, {as_bytes(supi), ByteView(abba)});
+}
+
+Key256 derive_k_gnb(const Key256& k_amf, std::uint32_t uplink_nas_count) {
+  const ByteArray<4> count{static_cast<std::uint8_t>(uplink_nas_count >> 24),
+                           static_cast<std::uint8_t>(uplink_nas_count >> 16),
+                           static_cast<std::uint8_t>(uplink_nas_count >> 8),
+                           static_cast<std::uint8_t>(uplink_nas_count)};
+  const ByteArray<1> access_type{0x01};  // 3GPP access
+  return kdf_3gpp(k_amf, 0x6e, {ByteView(count), ByteView(access_type)});
+}
+
+Key256 derive_k_asme(const Ck& ck, const Ik& ik, ByteView plmn_id,
+                     const ByteArray<6>& sqn_xor_ak) {
+  return kdf_3gpp(ck_ik(ck, ik), 0x10, {plmn_id, ByteView(sqn_xor_ak)});
+}
+
+std::string serving_network_name(std::string_view mcc, std::string_view mnc) {
+  std::string out = "5G:mnc";
+  out += mnc;
+  out += ".mcc";
+  out += mcc;
+  out += ".3gppnetwork.org";
+  return out;
+}
+
+}  // namespace dauth::crypto

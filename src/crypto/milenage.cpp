@@ -1,0 +1,73 @@
+#include "crypto/milenage.h"
+
+#include <cstring>
+
+namespace dauth::crypto {
+namespace {
+
+// TS 35.206 §4.1 constants: rotation amounts (bits) and round constants.
+// c1 = 0...000, c2 = 0...001, c3 = 0...010, c4 = 0...100, c5 = 0...1000.
+constexpr int kR1 = 64, kR2 = 0, kR3 = 32, kR4 = 64, kR5 = 96;
+
+AesBlock rotate_left_bits(const AesBlock& in, int bits) noexcept {
+  // All Milenage rotation amounts are byte multiples.
+  const int byte_shift = bits / 8;
+  AesBlock out;
+  for (int i = 0; i < 16; ++i) out[i] = in[(i + byte_shift) & 0x0f];
+  return out;
+}
+
+AesBlock with_low_bit_constant(std::uint8_t low_byte) noexcept {
+  AesBlock c{};
+  c[15] = low_byte;
+  return c;
+}
+
+}  // namespace
+
+MilenageOpc derive_opc(const MilenageKey& k, const MilenageOp& op) noexcept {
+  const Aes128 cipher(k);
+  const AesBlock enc = cipher.encrypt_block(op);
+  return xor_arrays(op, enc);
+}
+
+MilenageOutput milenage(const MilenageKey& k, const MilenageOpc& opc, const Rand& rand,
+                        const Sqn& sqn, const Amf& amf) noexcept {
+  const Aes128 cipher(k);
+  const AesBlock temp = cipher.encrypt_block(xor_arrays(rand, opc));
+
+  // IN1 = SQN || AMF || SQN || AMF
+  AesBlock in1;
+  std::memcpy(in1.data(), sqn.data(), 6);
+  std::memcpy(in1.data() + 6, amf.data(), 2);
+  std::memcpy(in1.data() + 8, sqn.data(), 6);
+  std::memcpy(in1.data() + 14, amf.data(), 2);
+
+  // OUT1 = E_K(TEMP ^ rot(IN1 ^ OPc, r1) ^ c1) ^ OPc
+  const AesBlock rot1 = rotate_left_bits(xor_arrays(in1, opc), kR1);
+  AesBlock out1_in = xor_arrays(temp, rot1);  // c1 == 0
+  const AesBlock out1 = xor_arrays(cipher.encrypt_block(out1_in), opc);
+
+  auto out_n = [&](int rot_bits, std::uint8_t c_low) noexcept {
+    const AesBlock rotated = rotate_left_bits(xor_arrays(temp, opc), rot_bits);
+    const AesBlock input = xor_arrays(rotated, with_low_bit_constant(c_low));
+    return xor_arrays(cipher.encrypt_block(input), opc);
+  };
+
+  const AesBlock out2 = out_n(kR2, 0x01);
+  const AesBlock out3 = out_n(kR3, 0x02);
+  const AesBlock out4 = out_n(kR4, 0x04);
+  const AesBlock out5 = out_n(kR5, 0x08);
+
+  MilenageOutput out;
+  std::memcpy(out.mac_a.data(), out1.data(), 8);
+  std::memcpy(out.mac_s.data(), out1.data() + 8, 8);
+  std::memcpy(out.res.data(), out2.data() + 8, 8);
+  std::memcpy(out.ak.data(), out2.data(), 6);
+  std::memcpy(out.ck.data(), out3.data(), 16);
+  std::memcpy(out.ik.data(), out4.data(), 16);
+  std::memcpy(out.ak_star.data(), out5.data(), 6);
+  return out;
+}
+
+}  // namespace dauth::crypto

@@ -1,0 +1,53 @@
+// Milenage authentication algorithm set (3GPP TS 35.205/35.206).
+//
+// Milenage instantiates the AKA functions f1..f5* on top of AES-128. The
+// same functions run inside the subscriber's SIM card and in the home
+// network's authentication centre; dAuth's home networks use them to
+// pre-generate the authentication vectors that are disseminated to backups.
+//
+//   f1  -> MAC-A   network authentication code inside AUTN
+//   f1* -> MAC-S   resynchronisation authentication code (AUTS)
+//   f2  -> RES     subscriber's response to the challenge
+//   f3  -> CK      cipher key
+//   f4  -> IK      integrity key
+//   f5  -> AK      anonymity key (masks SQN in AUTN)
+//   f5* -> AK*     anonymity key for resynchronisation
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/aes128.h"
+
+namespace dauth::crypto {
+
+using MilenageKey = ByteArray<16>;  // subscriber key K
+using MilenageOp = ByteArray<16>;   // operator variant algorithm config OP
+using MilenageOpc = ByteArray<16>;  // OPc = OP ^ E_K(OP)
+using Rand = ByteArray<16>;
+using Sqn = ByteArray<6>;
+using Amf = ByteArray<2>;
+using MacA = ByteArray<8>;
+using MacS = ByteArray<8>;
+using Res = ByteArray<8>;
+using Ck = ByteArray<16>;
+using Ik = ByteArray<16>;
+using Ak = ByteArray<6>;
+
+/// Derives OPc from OP under subscriber key K (TS 35.206 §4.1).
+MilenageOpc derive_opc(const MilenageKey& k, const MilenageOp& op) noexcept;
+
+/// All Milenage outputs for one (K, OPc, RAND, SQN, AMF) input.
+struct MilenageOutput {
+  MacA mac_a;
+  MacS mac_s;
+  Res res;
+  Ck ck;
+  Ik ik;
+  Ak ak;
+  Ak ak_star;
+};
+
+/// Computes f1..f5* in one pass (they share the TEMP = E_K(RAND ^ OPc) value).
+MilenageOutput milenage(const MilenageKey& k, const MilenageOpc& opc, const Rand& rand,
+                        const Sqn& sqn, const Amf& amf) noexcept;
+
+}  // namespace dauth::crypto

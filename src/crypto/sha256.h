@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for H(XRES) share indices, bundle digests, and as the PRF core of
+// HMAC-SHA-256 in the 3GPP key-derivation function (TS 33.220 Annex B).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dauth::crypto {
+
+using Sha256Digest = ByteArray<32>;
+
+/// Incremental SHA-256 context. Typical use:
+///   Sha256 h; h.update(a); h.update(b); auto d = h.finish();
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(ByteView data) noexcept;
+  /// Finalizes and returns the digest. The context must be reset() before
+  /// further use.
+  Sha256Digest finish() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot convenience wrapper.
+Sha256Digest sha256(ByteView data) noexcept;
+
+}  // namespace dauth::crypto

@@ -1,0 +1,37 @@
+// SHA-512 (FIPS 180-4), implemented from scratch.
+//
+// Required by the Ed25519 signature scheme (RFC 8032) used for all
+// inter-network message signing in dAuth.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dauth::crypto {
+
+using Sha512Digest = ByteArray<64>;
+
+/// Incremental SHA-512 context; same usage pattern as Sha256.
+class Sha512 {
+ public:
+  Sha512() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(ByteView data) noexcept;
+  Sha512Digest finish() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint64_t state_[8];
+  std::uint64_t total_len_ = 0;  // bytes; < 2^61 is plenty here
+  std::uint8_t buffer_[128];
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot convenience wrapper.
+Sha512Digest sha512(ByteView data) noexcept;
+
+}  // namespace dauth::crypto

@@ -1,0 +1,79 @@
+#include "crypto/shamir.h"
+
+#include <stdexcept>
+
+#include "crypto/gf256.h"
+
+namespace dauth::crypto {
+
+std::vector<ShamirShare> shamir_split(ByteView secret, std::size_t threshold,
+                                      std::size_t share_count, RandomSource& random) {
+  if (threshold == 0) throw std::invalid_argument("shamir_split: threshold must be >= 1");
+  if (threshold > share_count)
+    throw std::invalid_argument("shamir_split: threshold exceeds share count");
+  if (share_count > 255) throw std::invalid_argument("shamir_split: at most 255 shares");
+
+  // coefficients[d] holds the degree-(d+1) coefficient for every secret byte;
+  // the constant term (degree 0) is the secret itself.
+  std::vector<Bytes> coefficients(threshold - 1);
+  for (auto& coeff_row : coefficients) {
+    coeff_row.resize(secret.size());
+    random.fill(coeff_row);
+  }
+
+  std::vector<ShamirShare> shares(share_count);
+  for (std::size_t s = 0; s < share_count; ++s) {
+    const auto x = static_cast<std::uint8_t>(s + 1);
+    shares[s].x = x;
+    shares[s].y.resize(secret.size());
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+      // Horner evaluation: ((c_{k-1} x + c_{k-2}) x + ...) x + secret.
+      std::uint8_t acc = 0;
+      for (std::size_t d = coefficients.size(); d-- > 0;) {
+        acc = gf256::add(gf256::mul(acc, x), coefficients[d][i]);
+      }
+      acc = gf256::add(gf256::mul(acc, x), secret[i]);
+      shares[s].y[i] = acc;
+    }
+  }
+  return shares;
+}
+
+Bytes shamir_combine(const std::vector<ShamirShare>& shares) {
+  if (shares.empty()) throw std::invalid_argument("shamir_combine: no shares");
+  const std::size_t length = shares.front().y.size();
+  for (const auto& share : shares) {
+    if (share.x == 0) throw std::invalid_argument("shamir_combine: x must be non-zero");
+    if (share.y.size() != length)
+      throw std::invalid_argument("shamir_combine: inconsistent share lengths");
+  }
+  for (std::size_t i = 0; i < shares.size(); ++i)
+    for (std::size_t j = i + 1; j < shares.size(); ++j)
+      if (shares[i].x == shares[j].x)
+        throw std::invalid_argument("shamir_combine: duplicate x-coordinate");
+
+  // Lagrange basis at x = 0: L_i(0) = prod_{j != i} x_j / (x_j - x_i).
+  // In GF(2^8) subtraction is XOR.
+  std::vector<std::uint8_t> basis(shares.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    std::uint8_t numerator = 1;
+    std::uint8_t denominator = 1;
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) continue;
+      numerator = gf256::mul(numerator, shares[j].x);
+      denominator = gf256::mul(denominator,
+                               gf256::add(shares[j].x, shares[i].x));
+    }
+    basis[i] = gf256::div(numerator, denominator);
+  }
+
+  Bytes secret(length, 0);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    for (std::size_t b = 0; b < length; ++b) {
+      secret[b] = gf256::add(secret[b], gf256::mul(basis[i], shares[i].y[b]));
+    }
+  }
+  return secret;
+}
+
+}  // namespace dauth::crypto

@@ -1,0 +1,52 @@
+// Shamir secret sharing over GF(2^8) (Shamir, CACM 1979).
+//
+// dAuth splits the session key K_seaf/asme into N shares with threshold M:
+// any M shares reconstruct the key, while M-1 shares reveal *nothing*
+// (information-theoretic security). Each byte of the secret is shared with
+// its own degree-(M-1) polynomial; a share is the evaluation of all of those
+// polynomials at the share's non-zero x-coordinate.
+//
+// Plain Shamir shares cannot be individually validated; dAuth compensates by
+// signing the bundles that carry them (paper §3.5.2), and this library also
+// provides Feldman VSS (feldman.h) as the verifiable extension the paper
+// references.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dauth::crypto {
+
+/// One Shamir share: the x-coordinate (1..255) and per-byte y values.
+struct ShamirShare {
+  std::uint8_t x = 0;
+  Bytes y;
+
+  bool operator==(const ShamirShare&) const = default;
+};
+
+/// A source of random bytes for polynomial coefficients.
+/// Implemented by DeterministicDrbg; kept abstract so callers control
+/// reproducibility.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  virtual void fill(MutableByteView out) = 0;
+};
+
+/// Splits `secret` into `share_count` shares with reconstruction threshold
+/// `threshold` (1 <= threshold <= share_count <= 255). Shares receive
+/// x-coordinates 1..share_count.
+std::vector<ShamirShare> shamir_split(ByteView secret, std::size_t threshold,
+                                      std::size_t share_count, RandomSource& random);
+
+/// Reconstructs the secret from >= threshold distinct shares by Lagrange
+/// interpolation at x = 0. The caller passes exactly the shares to use; with
+/// fewer than threshold shares the result is garbage (by design,
+/// indistinguishable from random), and with inconsistent share lengths or
+/// duplicate x-coordinates an exception is thrown.
+Bytes shamir_combine(const std::vector<ShamirShare>& shares);
+
+}  // namespace dauth::crypto

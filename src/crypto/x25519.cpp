@@ -1,0 +1,70 @@
+#include "crypto/x25519.h"
+
+#include "crypto/curve25519.h"
+
+namespace dauth::crypto {
+
+namespace cv = curve25519;
+
+namespace {
+
+const cv::Fe k121665 = {{121665, 0, 0, 0, 0}};
+
+}  // namespace
+
+X25519Point x25519(const X25519Scalar& scalar, const X25519Point& point) {
+  ByteArray<32> z = scalar;
+  z[0] &= 248;
+  z[31] = static_cast<std::uint8_t>((z[31] & 127) | 64);
+
+  cv::Fe x;
+  cv::fe_unpack(x, point);
+
+  cv::Fe a = cv::kOne, b = x, c = cv::kZero, d = cv::kOne, e, f;
+  for (int i = 254; i >= 0; --i) {
+    const int bit = (z[i >> 3] >> (i & 7)) & 1;
+    cv::fe_cswap(a, b, bit);
+    cv::fe_cswap(c, d, bit);
+    cv::fe_add(e, a, c);
+    cv::fe_sub(a, a, c);
+    cv::fe_add(c, b, d);
+    cv::fe_sub(b, b, d);
+    cv::fe_sq(d, e);
+    cv::fe_sq(f, a);
+    cv::fe_mul(a, c, a);
+    cv::fe_mul(c, b, e);
+    cv::fe_add(e, a, c);
+    cv::fe_sub(a, a, c);
+    cv::fe_sq(b, a);
+    cv::fe_sub(c, d, f);
+    cv::fe_mul(a, c, k121665);
+    cv::fe_add(a, a, d);
+    cv::fe_mul(c, c, a);
+    cv::fe_mul(a, d, f);
+    cv::fe_mul(d, b, x);
+    cv::fe_sq(b, e);
+    cv::fe_cswap(a, b, bit);
+    cv::fe_cswap(c, d, bit);
+  }
+  cv::Fe zi;
+  cv::fe_inv(zi, c);
+  cv::fe_mul(a, a, zi);
+  X25519Point out;
+  cv::fe_pack(out, a);
+  return out;
+}
+
+X25519Point x25519_base(const X25519Scalar& scalar) {
+  X25519Point base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+X25519KeyPair x25519_generate(RandomSource& random) {
+  X25519KeyPair kp;
+  random.fill(kp.secret);
+  kp.public_key = x25519_base(kp.secret);
+  return kp;
+}
+
+}  // namespace dauth::crypto

@@ -1,0 +1,31 @@
+// X25519 Diffie-Hellman (RFC 7748).
+//
+// Used by the SUCI concealment scheme (TS 33.501 Annex C, ECIES Profile A):
+// the home network publishes an X25519 public key; a UE encrypts its SUPI to
+// that key with an ephemeral key pair, and — in dAuth — the home network
+// shares the decryption key with its backup networks so they can de-conceal
+// SUCIs while the home network is offline (paper §4.2.1).
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace dauth::crypto {
+
+using X25519Scalar = ByteArray<32>;
+using X25519Point = ByteArray<32>;
+
+/// scalar * point (general Diffie-Hellman function).
+X25519Point x25519(const X25519Scalar& scalar, const X25519Point& point);
+
+/// scalar * base point (public key derivation).
+X25519Point x25519_base(const X25519Scalar& scalar);
+
+struct X25519KeyPair {
+  X25519Scalar secret;
+  X25519Point public_key;
+};
+
+X25519KeyPair x25519_generate(RandomSource& random);
+
+}  // namespace dauth::crypto

@@ -1,0 +1,155 @@
+#include "directory/client.h"
+
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace dauth::directory {
+
+DirectoryClient::DirectoryClient(sim::Rpc& rpc, sim::NodeIndex self,
+                                 sim::NodeIndex directory_node, ClientConfig config)
+    : rpc_(rpc), self_(self), directory_node_(directory_node), config_(config) {}
+
+template <typename Entry>
+std::optional<Entry> DirectoryClient::cache_lookup(std::map<std::string, Cached<Entry>>& cache,
+                                                   const std::string& key) {
+  const auto it = cache.find(key);
+  if (it == cache.end()) return std::nullopt;
+  const Time now = rpc_.network().simulator().now();
+  if (now - it->second.fetched_at > config_.cache_ttl) {
+    cache.erase(it);
+    return std::nullopt;
+  }
+  return it->second.entry;
+}
+
+template <typename Entry>
+void DirectoryClient::cache_store(std::map<std::string, Cached<Entry>>& cache,
+                                  const std::string& key, const Entry& entry) {
+  cache[key] = Cached<Entry>{entry, rpc_.network().simulator().now()};
+}
+
+void DirectoryClient::get_network(const NetworkId& id, NetworkCallback callback) {
+  if (auto cached = cache_lookup(network_cache_, id.str())) {
+    ++cache_hits_;
+    callback(std::move(cached));
+    return;
+  }
+  ++cache_misses_;
+
+  wire::Writer w;
+  w.string(id.str());
+  sim::RpcOptions options;
+  options.timeout = config_.lookup_timeout;
+  rpc_.call(
+      self_, directory_node_, "dir.get_network", std::move(w).take(), options,
+      [this, callback](Bytes reply) {
+        NetworkEntry entry;
+        try {
+          entry = NetworkEntry::decode(reply);
+        } catch (const wire::WireError&) {
+          callback(std::nullopt);
+          return;
+        }
+        if (!entry.verify()) {
+          callback(std::nullopt);  // tampered directory response
+          return;
+        }
+        cache_store(network_cache_, entry.id.str(), entry);
+        callback(entry);
+      },
+      [callback](sim::RpcError) { callback(std::nullopt); });
+}
+
+void DirectoryClient::get_home(const Supi& supi, UserCallback callback) {
+  if (auto cached = cache_lookup(user_cache_, supi.str())) {
+    ++cache_hits_;
+    callback(std::move(cached));
+    return;
+  }
+  ++cache_misses_;
+
+  wire::Writer w;
+  w.string(supi.str());
+  sim::RpcOptions options;
+  options.timeout = config_.lookup_timeout;
+  rpc_.call(
+      self_, directory_node_, "dir.get_home", std::move(w).take(), options,
+      [this, supi, callback](Bytes reply) {
+        UserEntry entry;
+        try {
+          entry = UserEntry::decode(reply);
+        } catch (const wire::WireError&) {
+          callback(std::nullopt);
+          return;
+        }
+        // Verify against the home network's key (cached or fetched).
+        get_network(entry.home_network, [this, entry, callback](
+                                            std::optional<NetworkEntry> home) {
+          if (!home || !entry.verify(home->signing_key)) {
+            callback(std::nullopt);
+            return;
+          }
+          cache_store(user_cache_, entry.supi.str(), entry);
+          callback(entry);
+        });
+      },
+      [callback](sim::RpcError) { callback(std::nullopt); });
+}
+
+void DirectoryClient::get_backups(const NetworkId& home, BackupsCallback callback) {
+  if (auto cached = cache_lookup(backups_cache_, home.str())) {
+    ++cache_hits_;
+    callback(std::move(cached));
+    return;
+  }
+  ++cache_misses_;
+
+  wire::Writer w;
+  w.string(home.str());
+  sim::RpcOptions options;
+  options.timeout = config_.lookup_timeout;
+  rpc_.call(
+      self_, directory_node_, "dir.get_backups", std::move(w).take(), options,
+      [this, callback](Bytes reply) {
+        BackupsEntry entry;
+        try {
+          entry = BackupsEntry::decode(reply);
+        } catch (const wire::WireError&) {
+          callback(std::nullopt);
+          return;
+        }
+        get_network(entry.home_network, [this, entry, callback](
+                                            std::optional<NetworkEntry> home_net) {
+          if (!home_net || !entry.verify(home_net->signing_key)) {
+            callback(std::nullopt);
+            return;
+          }
+          cache_store(backups_cache_, entry.home_network.str(), entry);
+          callback(entry);
+        });
+      },
+      [callback](sim::RpcError) { callback(std::nullopt); });
+}
+
+void DirectoryClient::publish_backups(const BackupsEntry& entry,
+                                      std::function<void(bool)> done) {
+  sim::RpcOptions options;
+  options.timeout = config_.lookup_timeout;
+  rpc_.call(
+      self_, directory_node_, "dir.set_backups", entry.encode(), options,
+      [this, entry, done](Bytes) {
+        cache_store(backups_cache_, entry.home_network.str(), entry);
+        if (done) done(true);
+      },
+      [done](sim::RpcError) {
+        if (done) done(false);
+      });
+}
+
+void DirectoryClient::invalidate() {
+  network_cache_.clear();
+  user_cache_.clear();
+  backups_cache_.clear();
+}
+
+}  // namespace dauth::directory

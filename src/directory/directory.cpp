@@ -1,0 +1,279 @@
+#include "directory/directory.h"
+
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace dauth::directory {
+namespace {
+
+constexpr std::string_view kNetworkPrefix = "dir/net/";
+constexpr std::string_view kUserPrefix = "dir/user/";
+constexpr std::string_view kBackupsPrefix = "dir/backups/";
+
+}  // namespace
+
+// ---- NetworkEntry -----------------------------------------------------------
+
+Bytes NetworkEntry::signed_payload() const {
+  wire::Writer w;
+  w.string("network-entry-v1");
+  w.string(id.str());
+  w.fixed(signing_key);
+  w.fixed(suci_key);
+  w.u64(address);
+  return std::move(w).take();
+}
+
+Bytes NetworkEntry::encode() const {
+  wire::Writer w;
+  w.string(id.str());
+  w.fixed(signing_key);
+  w.fixed(suci_key);
+  w.u64(address);
+  w.fixed(signature);
+  return std::move(w).take();
+}
+
+NetworkEntry NetworkEntry::decode(ByteView data) {
+  wire::Reader r(data);
+  NetworkEntry e;
+  e.id = NetworkId(r.string());
+  e.signing_key = r.fixed<32>();
+  e.suci_key = r.fixed<32>();
+  e.address = r.u64();
+  e.signature = r.fixed<64>();
+  r.expect_done();
+  return e;
+}
+
+bool NetworkEntry::verify() const {
+  return crypto::ed25519_verify(signed_payload(), signature, signing_key);
+}
+
+// ---- UserEntry --------------------------------------------------------------
+
+Bytes UserEntry::signed_payload() const {
+  wire::Writer w;
+  w.string("user-entry-v1");
+  w.string(supi.str());
+  w.string(home_network.str());
+  return std::move(w).take();
+}
+
+Bytes UserEntry::encode() const {
+  wire::Writer w;
+  w.string(supi.str());
+  w.string(home_network.str());
+  w.fixed(signature);
+  return std::move(w).take();
+}
+
+UserEntry UserEntry::decode(ByteView data) {
+  wire::Reader r(data);
+  UserEntry e;
+  e.supi = Supi(r.string());
+  e.home_network = NetworkId(r.string());
+  e.signature = r.fixed<64>();
+  r.expect_done();
+  return e;
+}
+
+bool UserEntry::verify(const crypto::Ed25519PublicKey& home_key) const {
+  return crypto::ed25519_verify(signed_payload(), signature, home_key);
+}
+
+// ---- BackupsEntry -----------------------------------------------------------
+
+Bytes BackupsEntry::signed_payload() const {
+  wire::Writer w;
+  w.string("backups-entry-v1");
+  w.string(home_network.str());
+  w.u32(static_cast<std::uint32_t>(backups.size()));
+  for (const NetworkId& b : backups) w.string(b.str());
+  return std::move(w).take();
+}
+
+Bytes BackupsEntry::encode() const {
+  wire::Writer w;
+  w.string(home_network.str());
+  w.u32(static_cast<std::uint32_t>(backups.size()));
+  for (const NetworkId& b : backups) w.string(b.str());
+  w.fixed(signature);
+  return std::move(w).take();
+}
+
+BackupsEntry BackupsEntry::decode(ByteView data) {
+  wire::Reader r(data);
+  BackupsEntry e;
+  e.home_network = NetworkId(r.string());
+  const std::uint32_t count = r.u32();
+  e.backups.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) e.backups.emplace_back(r.string());
+  e.signature = r.fixed<64>();
+  r.expect_done();
+  return e;
+}
+
+bool BackupsEntry::verify(const crypto::Ed25519PublicKey& home_key) const {
+  return crypto::ed25519_verify(signed_payload(), signature, home_key);
+}
+
+// ---- Builders ---------------------------------------------------------------
+
+NetworkEntry make_network_entry(const NetworkId& id, const crypto::Ed25519KeyPair& key_pair,
+                                const crypto::X25519Point& suci_key, std::uint64_t address) {
+  NetworkEntry e;
+  e.id = id;
+  e.signing_key = key_pair.public_key;
+  e.suci_key = suci_key;
+  e.address = address;
+  e.signature = crypto::ed25519_sign(e.signed_payload(), key_pair);
+  return e;
+}
+
+UserEntry make_user_entry(const Supi& supi, const NetworkId& home,
+                          const crypto::Ed25519KeyPair& home_key) {
+  UserEntry e;
+  e.supi = supi;
+  e.home_network = home;
+  e.signature = crypto::ed25519_sign(e.signed_payload(), home_key);
+  return e;
+}
+
+BackupsEntry make_backups_entry(const NetworkId& home, std::vector<NetworkId> backups,
+                                const crypto::Ed25519KeyPair& home_key) {
+  BackupsEntry e;
+  e.home_network = home;
+  e.backups = std::move(backups);
+  e.signature = crypto::ed25519_sign(e.signed_payload(), home_key);
+  return e;
+}
+
+// ---- DirectoryServer --------------------------------------------------------
+
+DirectoryServer::DirectoryServer(store::KvStore* persistent) : store_(persistent) {
+  if (store_ != nullptr) load_persisted();
+}
+
+void DirectoryServer::persist(const std::string& key, ByteView value) {
+  if (store_ != nullptr) store_->put(key, value);
+}
+
+void DirectoryServer::load_persisted() {
+  for (const auto& key : store_->keys_with_prefix(std::string(kNetworkPrefix))) {
+    const auto entry = NetworkEntry::decode(*store_->get(key));
+    networks_[entry.id] = entry;
+  }
+  for (const auto& key : store_->keys_with_prefix(std::string(kUserPrefix))) {
+    const auto entry = UserEntry::decode(*store_->get(key));
+    users_[entry.supi] = entry;
+  }
+  for (const auto& key : store_->keys_with_prefix(std::string(kBackupsPrefix))) {
+    const auto entry = BackupsEntry::decode(*store_->get(key));
+    backups_[entry.home_network] = entry;
+  }
+}
+
+bool DirectoryServer::register_network(const NetworkEntry& entry) {
+  if (!entry.verify()) return false;
+  networks_[entry.id] = entry;
+  persist(std::string(kNetworkPrefix) + entry.id.str(), entry.encode());
+  return true;
+}
+
+bool DirectoryServer::register_user(const UserEntry& entry) {
+  const auto home = networks_.find(entry.home_network);
+  if (home == networks_.end()) return false;
+  if (!entry.verify(home->second.signing_key)) return false;
+  users_[entry.supi] = entry;
+  persist(std::string(kUserPrefix) + entry.supi.str(), entry.encode());
+  return true;
+}
+
+bool DirectoryServer::set_backups(const BackupsEntry& entry) {
+  const auto home = networks_.find(entry.home_network);
+  if (home == networks_.end()) return false;
+  if (!entry.verify(home->second.signing_key)) return false;
+  backups_[entry.home_network] = entry;
+  persist(std::string(kBackupsPrefix) + entry.home_network.str(), entry.encode());
+  return true;
+}
+
+std::optional<NetworkEntry> DirectoryServer::network(const NetworkId& id) const {
+  const auto it = networks_.find(id);
+  if (it == networks_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<UserEntry> DirectoryServer::user(const Supi& supi) const {
+  const auto it = users_.find(supi);
+  if (it == users_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<BackupsEntry> DirectoryServer::backups(const NetworkId& home) const {
+  const auto it = backups_.find(home);
+  if (it == backups_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DirectoryServer::bind(sim::Rpc& rpc, sim::NodeIndex node) {
+  rpc.register_service(node, "dir.get_network", [this](ByteView req, sim::Responder r) {
+    wire::Reader reader(req);
+    const NetworkId id(reader.string());
+    const auto entry = network(id);
+    if (!entry) {
+      r.fail("unknown network " + id.str());
+      return;
+    }
+    r.reply(entry->encode());
+  });
+
+  rpc.register_service(node, "dir.get_home", [this](ByteView req, sim::Responder r) {
+    wire::Reader reader(req);
+    const Supi supi(reader.string());
+    const auto entry = user(supi);
+    if (!entry) {
+      r.fail("unknown user");
+      return;
+    }
+    r.reply(entry->encode());
+  });
+
+  rpc.register_service(node, "dir.get_backups", [this](ByteView req, sim::Responder r) {
+    wire::Reader reader(req);
+    const NetworkId home(reader.string());
+    const auto entry = backups(home);
+    if (!entry) {
+      r.fail("no backups registered for " + home.str());
+      return;
+    }
+    r.reply(entry->encode());
+  });
+
+  rpc.register_service(node, "dir.register_network", [this](ByteView req, sim::Responder r) {
+    if (register_network(NetworkEntry::decode(req))) {
+      r.reply({});
+    } else {
+      r.fail("invalid network entry signature");
+    }
+  });
+
+  rpc.register_service(node, "dir.register_user", [this](ByteView req, sim::Responder r) {
+    if (register_user(UserEntry::decode(req))) {
+      r.reply({});
+    } else {
+      r.fail("invalid user entry");
+    }
+  });
+
+  rpc.register_service(node, "dir.set_backups", [this](ByteView req, sim::Responder r) {
+    if (set_backups(BackupsEntry::decode(req))) {
+      r.reply({});
+    } else {
+      r.fail("invalid backups entry");
+    }
+  });
+}
+
+}  // namespace dauth::directory

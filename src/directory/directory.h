@@ -1,0 +1,110 @@
+// Public distributed directory service (paper §3.4, §5.3).
+//
+// The directory holds only *non-sensitive, slow-changing* data:
+//   * per-network entries: Ed25519 signing key, X25519 SUCI key, address —
+//     self-signed by the network;
+//   * subscriber -> home-network mappings — signed by the home network;
+//   * home-network -> backup-network lists — signed by the home network.
+// Because every entry carries its owner's signature, the directory itself
+// needs no trust: clients verify signatures against the network keys
+// (anchored the same way a verifiable key directory / DNSSEC chain would
+// be). Entries change rarely, so clients cache aggressively (§5.1 opt. 2).
+//
+// DirectoryServer exposes both a synchronous local API (for tests) and RPC
+// services ("dir.*") when bound to a simulator node.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "crypto/ed25519.h"
+#include "crypto/x25519.h"
+#include "sim/rpc.h"
+#include "store/kv_store.h"
+
+namespace dauth::directory {
+
+/// Self-signed descriptor of one federation member.
+struct NetworkEntry {
+  NetworkId id;
+  crypto::Ed25519PublicKey signing_key{};
+  crypto::X25519Point suci_key{};
+  std::uint64_t address = 0;  // sim::NodeIndex of the network's dAuth daemon
+  crypto::Ed25519Signature signature{};
+
+  Bytes signed_payload() const;
+  Bytes encode() const;
+  static NetworkEntry decode(ByteView data);
+  bool verify() const;
+};
+
+/// Subscriber -> home mapping, signed by the home network.
+struct UserEntry {
+  Supi supi;
+  NetworkId home_network;
+  crypto::Ed25519Signature signature{};
+
+  Bytes signed_payload() const;
+  Bytes encode() const;
+  static UserEntry decode(ByteView data);
+  bool verify(const crypto::Ed25519PublicKey& home_key) const;
+};
+
+/// Home -> elected backup networks, signed by the home network.
+struct BackupsEntry {
+  NetworkId home_network;
+  std::vector<NetworkId> backups;
+  crypto::Ed25519Signature signature{};
+
+  Bytes signed_payload() const;
+  Bytes encode() const;
+  static BackupsEntry decode(ByteView data);
+  bool verify(const crypto::Ed25519PublicKey& home_key) const;
+};
+
+class DirectoryServer {
+ public:
+  /// `store` may be null for a purely in-memory directory.
+  explicit DirectoryServer(store::KvStore* persistent = nullptr);
+
+  // -- Local (synchronous) API ------------------------------------------------
+  /// Accepts an entry after verifying its self-signature.
+  bool register_network(const NetworkEntry& entry);
+  /// Accepts a mapping after verifying the home network's signature.
+  bool register_user(const UserEntry& entry);
+  bool set_backups(const BackupsEntry& entry);
+
+  std::optional<NetworkEntry> network(const NetworkId& id) const;
+  std::optional<UserEntry> user(const Supi& supi) const;
+  std::optional<BackupsEntry> backups(const NetworkId& home) const;
+
+  std::size_t network_count() const noexcept { return networks_.size(); }
+
+  // -- RPC binding -------------------------------------------------------------
+  /// Registers "dir.get_network" / "dir.get_home" / "dir.get_backups" /
+  /// "dir.register_*" services on `node`.
+  void bind(sim::Rpc& rpc, sim::NodeIndex node);
+
+ private:
+  void persist(const std::string& key, ByteView value);
+  void load_persisted();
+
+  std::map<NetworkId, NetworkEntry> networks_;
+  std::map<Supi, UserEntry> users_;
+  std::map<NetworkId, BackupsEntry> backups_;
+  store::KvStore* store_;
+};
+
+/// Signing helpers used by networks when producing their own entries.
+NetworkEntry make_network_entry(const NetworkId& id, const crypto::Ed25519KeyPair& key_pair,
+                                const crypto::X25519Point& suci_key, std::uint64_t address);
+UserEntry make_user_entry(const Supi& supi, const NetworkId& home,
+                          const crypto::Ed25519KeyPair& home_key);
+BackupsEntry make_backups_entry(const NetworkId& home, std::vector<NetworkId> backups,
+                                const crypto::Ed25519KeyPair& home_key);
+
+}  // namespace dauth::directory

@@ -1,0 +1,24 @@
+#include "ran/gnb.h"
+
+namespace dauth::ran {
+
+UeConfig emulated_ran_profile(std::string serving_network_name) {
+  UeConfig config;
+  config.radio_setup = ms(2);
+  config.radio_setup_jitter_sigma = 0.2;
+  config.retransmission_prob = 0.0;
+  config.serving_network_name = std::move(serving_network_name);
+  return config;
+}
+
+UeConfig physical_ran_profile(std::string serving_network_name) {
+  UeConfig config;
+  config.radio_setup = ms(170);
+  config.radio_setup_jitter_sigma = 0.12;
+  config.retransmission_prob = 0.03;  // rare outliers (Fig. 3a)
+  config.retransmission_delay = ms(210);
+  config.serving_network_name = std::move(serving_network_name);
+  return config;
+}
+
+}  // namespace dauth::ran

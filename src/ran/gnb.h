@@ -1,0 +1,29 @@
+// gNB site descriptor and RAN profiles.
+//
+// The gNB itself is intentionally thin: in both srsRAN and UERANSIM the
+// base station's contribution to attach latency is the radio-side setup
+// (modelled inside ran::Ue) plus forwarding NAS messages to the core,
+// which our Ue does directly over the simulated network from the gNB's
+// node. Gnb bundles the placement (which node hosts the RAN) with the UE
+// timing profile appropriate for the experiment.
+#pragma once
+
+#include "ran/ue.h"
+
+namespace dauth::ran {
+
+struct Gnb {
+  sim::NodeIndex ran_node = 0;   // where the gNB / UE emulator runs
+  sim::NodeIndex core_node = 0;  // the serving core it is wired to
+  UeConfig ue_profile;
+};
+
+/// UERANSIM-like emulated RAN (§6.3): negligible radio setup, no
+/// retransmission outliers.
+UeConfig emulated_ran_profile(std::string serving_network_name);
+
+/// Physical Baicells eNodeB + srsUE profile (§6.2): ~220ms of cell sync,
+/// RACH and RRC setup, with rare retransmission outliers.
+UeConfig physical_ran_profile(std::string serving_network_name);
+
+}  // namespace dauth::ran

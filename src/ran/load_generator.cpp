@@ -1,0 +1,76 @@
+#include "ran/load_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dauth::ran {
+
+Ue* LoadGenerator::next_idle_ue() {
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    Ue* ue = pool_[(round_robin_ + i) % pool_.size()];
+    if (!ue->busy()) {
+      round_robin_ = (round_robin_ + i + 1) % pool_.size();
+      return ue;
+    }
+  }
+  return nullptr;
+}
+
+LoadResult LoadGenerator::run(double per_minute, Time duration, bool poisson) {
+  auto result = std::make_shared<LoadResult>();
+  if (per_minute <= 0.0 || pool_.empty()) return std::move(*result);
+
+  const double mean_interarrival_ns = static_cast<double>(kMinute) / per_minute;
+  auto& rng = simulator_.rng();
+
+  // Pre-compute all arrival times (deterministic given the seed).
+  std::vector<Time> arrivals;
+  double t = 0;
+  while (true) {
+    double step = mean_interarrival_ns;
+    if (poisson) {
+      double u = rng.next_double();
+      if (u <= 0.0) u = 1e-12;
+      step = -mean_interarrival_ns * std::log(u);
+    }
+    t += step;
+    if (t >= static_cast<double>(duration)) break;
+    arrivals.push_back(simulator_.now() + static_cast<Time>(t));
+  }
+
+  for (const Time when : arrivals) {
+    simulator_.at(when, [this, result] {
+      Ue* ue = next_idle_ue();
+      if (ue == nullptr) {
+        ++result->skipped_busy;
+        return;
+      }
+      ++result->attempted;
+      ue->attach([result](const AttachRecord& record) {
+        if (record.success) {
+          ++result->succeeded;
+          result->latencies.add_time(record.latency());
+        } else {
+          ++result->failed;
+          if (std::find(result->failures.begin(), result->failures.end(), record.failure) ==
+              result->failures.end()) {
+            result->failures.push_back(record.failure);
+          }
+        }
+      });
+    });
+  }
+
+  // Run past the arrival window, then keep going until every attach has
+  // concluded (bounded grace period). run_until is used instead of run()
+  // so recurring timers (backup reporting) don't wedge the generator.
+  simulator_.run_until(simulator_.now() + duration);
+  const Time grace_deadline = simulator_.now() + minutes(2);
+  while (result->succeeded + result->failed < result->attempted &&
+         simulator_.now() < grace_deadline) {
+    simulator_.run_until(simulator_.now() + sec(1));
+  }
+  return std::move(*result);
+}
+
+}  // namespace dauth::ran

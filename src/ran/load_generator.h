@@ -1,0 +1,46 @@
+// Open-loop registration load generator (the UERANSIM driver of §6.3).
+//
+// Launches attaches at a configured rate — "new UEs at a regular interval
+// for each load level to simulate new users entering and authenticating to
+// the network, possibly overlapping" — against a pool of pre-provisioned
+// subscribers, and records per-attach latency. The arrival process can be
+// uniform (the paper's regular interval) or Poisson.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "ran/ue.h"
+
+namespace dauth::ran {
+
+struct LoadResult {
+  SampleSet latencies;                // milliseconds, successful attaches
+  std::size_t attempted = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::size_t skipped_busy = 0;       // arrivals with no idle UE in the pool
+  std::vector<std::string> failures;  // distinct failure reasons observed
+};
+
+class LoadGenerator {
+ public:
+  /// The generator borrows the UE pool; UEs must outlive it.
+  LoadGenerator(sim::Simulator& simulator, std::vector<Ue*> pool)
+      : simulator_(simulator), pool_(std::move(pool)) {}
+
+  /// Schedules `duration` worth of arrivals at `per_minute`, then runs the
+  /// simulator until every attach concludes. Returns the collected stats.
+  LoadResult run(double per_minute, Time duration, bool poisson = false);
+
+ private:
+  Ue* next_idle_ue();
+
+  sim::Simulator& simulator_;
+  std::vector<Ue*> pool_;
+  std::size_t round_robin_ = 0;
+};
+
+}  // namespace dauth::ran

@@ -1,0 +1,34 @@
+#include "sim/event_loop.h"
+
+#include <stdexcept>
+
+namespace dauth::sim {
+
+void Simulator::at(Time when, std::function<void()> fn) {
+  if (when < now_) throw std::logic_error("Simulator::at: scheduling in the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    // The queue owns the top event; move it out before popping.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    ++processed_;
+    event.fn();
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    ++processed_;
+    event.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace dauth::sim

@@ -1,0 +1,63 @@
+#include "sim/failure.h"
+
+#include <cmath>
+
+namespace dauth::sim {
+
+const std::vector<Outage> FailureInjector::kNoOutages = {};
+
+void FailureInjector::schedule_outage(NodeIndex node, Time start, Time duration) {
+  outages_[node].push_back({start, duration});
+  auto& simulator = network_.simulator();
+  simulator.at(start, [this, node] {
+    network_.node(node).set_online(false);
+    if (rpc_ != nullptr) rpc_->reset_connections(node);
+  });
+  simulator.at(start + duration, [this, node] { network_.node(node).set_online(true); });
+}
+
+std::vector<Outage> FailureInjector::schedule_random_outages(NodeIndex node, Time mtbf,
+                                                             Time mttr, Time horizon) {
+  auto& rng = network_.simulator().rng();
+  auto sample_exponential = [&rng](Time mean) {
+    double u = rng.next_double();
+    if (u <= 0.0) u = 1e-12;
+    return static_cast<Time>(-static_cast<double>(mean) * std::log(u));
+  };
+
+  std::vector<Outage> sampled;
+  Time t = network_.simulator().now();
+  for (;;) {
+    t += sample_exponential(mtbf);  // time running until next failure
+    if (t >= horizon) break;
+    Time duration = sample_exponential(mttr);
+    if (t + duration > horizon) duration = horizon - t;
+    if (duration > 0) {
+      schedule_outage(node, t, duration);
+      sampled.push_back({t, duration});
+    }
+    t += duration;
+  }
+  return sampled;
+}
+
+Time FailureInjector::downtime(NodeIndex node) const {
+  Time total = 0;
+  if (const auto it = outages_.find(node); it != outages_.end()) {
+    for (const Outage& outage : it->second) total += outage.duration;
+  }
+  return total;
+}
+
+double FailureInjector::availability(NodeIndex node, Time horizon) const {
+  if (horizon <= 0) return 1.0;
+  const double down = static_cast<double>(downtime(node));
+  return 1.0 - down / static_cast<double>(horizon);
+}
+
+const std::vector<Outage>& FailureInjector::outages(NodeIndex node) const {
+  const auto it = outages_.find(node);
+  return it == outages_.end() ? kNoOutages : it->second;
+}
+
+}  // namespace dauth::sim

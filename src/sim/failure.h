@@ -1,0 +1,52 @@
+// Failure injection: deterministic and random outage schedules.
+//
+// Table 1 of the paper shows SCN sites with 87-99% availability, driven by
+// equipment failures and upstream ISP misconfigurations. The injector
+// schedules node down/up transitions on the event loop, clears cached RPC
+// connections on failure (a rebooted daemon loses its sockets), and keeps
+// per-node downtime accounting so benches can report availability.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/rpc.h"
+
+namespace dauth::sim {
+
+struct Outage {
+  Time start;
+  Time duration;
+};
+
+class FailureInjector {
+ public:
+  /// `rpc` may be null; when provided, cached connections involving a failed
+  /// node are dropped at failure time.
+  FailureInjector(Network& network, Rpc* rpc = nullptr) : network_(network), rpc_(rpc) {}
+
+  /// Schedules one outage (down at `start`, back up after `duration`).
+  void schedule_outage(NodeIndex node, Time start, Time duration);
+
+  /// Samples alternating up/down periods (exponential MTBF / MTTR) over
+  /// [0, horizon) and schedules them. Returns the sampled outage list.
+  std::vector<Outage> schedule_random_outages(NodeIndex node, Time mtbf, Time mttr,
+                                              Time horizon);
+
+  /// Total scheduled downtime within [0, horizon).
+  Time downtime(NodeIndex node) const;
+
+  /// 0..1 availability over the horizon implied by scheduled outages.
+  double availability(NodeIndex node, Time horizon) const;
+
+  const std::vector<Outage>& outages(NodeIndex node) const;
+
+ private:
+  Network& network_;
+  Rpc* rpc_;
+  std::map<NodeIndex, std::vector<Outage>> outages_;
+  static const std::vector<Outage> kNoOutages;
+};
+
+}  // namespace dauth::sim

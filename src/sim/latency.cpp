@@ -1,0 +1,30 @@
+#include "sim/latency.h"
+
+#include <cmath>
+
+namespace dauth::sim {
+
+double sample_standard_normal(Xoshiro256StarStar& rng) {
+  // Box-Muller; guard against log(0).
+  double u1 = rng.next_double();
+  if (u1 <= 0.0) u1 = 1e-12;
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double sample_lognormal_multiplier(Xoshiro256StarStar& rng, double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  return std::exp(sigma * sample_standard_normal(rng));
+}
+
+Time LatencyModel::sample(Xoshiro256StarStar& rng) const {
+  const double multiplier = sample_lognormal_multiplier(rng, jitter_sigma);
+  const double delay = static_cast<double>(base) * multiplier;
+  return static_cast<Time>(delay);
+}
+
+bool LatencyModel::drop(Xoshiro256StarStar& rng) const {
+  return loss > 0.0 && rng.next_double() < loss;
+}
+
+}  // namespace dauth::sim

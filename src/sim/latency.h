@@ -1,0 +1,35 @@
+// Link latency models.
+//
+// A LatencyModel turns "this is a residential cable link" into per-message
+// one-way delays: a base propagation delay plus log-normal jitter (heavy
+// right tail, matching measured internet paths) and an optional loss
+// probability. The Appendix C node classes are defined in topology.h.
+#pragma once
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace dauth::sim {
+
+struct LatencyModel {
+  /// Median one-way delay.
+  Time base = ms(5);
+  /// Log-normal jitter scale: sigma of ln(multiplier). 0 disables jitter.
+  double jitter_sigma = 0.0;
+  /// Probability a message is dropped entirely.
+  double loss = 0.0;
+
+  /// Samples a one-way delay.
+  Time sample(Xoshiro256StarStar& rng) const;
+
+  /// Samples whether the message is lost.
+  bool drop(Xoshiro256StarStar& rng) const;
+};
+
+/// Standard normal via Box-Muller (one value per call; simple and adequate).
+double sample_standard_normal(Xoshiro256StarStar& rng);
+
+/// Log-normal multiplier with median 1 and ln-scale sigma.
+double sample_lognormal_multiplier(Xoshiro256StarStar& rng, double sigma);
+
+}  // namespace dauth::sim

@@ -1,0 +1,76 @@
+#include "sim/network.h"
+
+namespace dauth::sim {
+
+NodeIndex Network::add_node(const NodeConfig& config) {
+  nodes_.push_back(
+      std::make_unique<Node>(simulator_, config.name, config.speed_factor, config.workers));
+  configs_.push_back(config);
+  return nodes_.size() - 1;
+}
+
+void Network::set_link(NodeIndex a, NodeIndex b, LatencyModel model) {
+  link_overrides_[key(a, b)] = model;
+}
+
+Time Network::sample_delay(NodeIndex from, NodeIndex to, std::size_t size_bytes) {
+  auto& rng = simulator_.rng();
+  Time propagation;
+  if (const auto it = link_overrides_.find(key(from, to)); it != link_overrides_.end()) {
+    propagation = it->second.sample(rng);
+  } else {
+    propagation = configs_[from].access.sample(rng) + configs_[to].access.sample(rng);
+  }
+  // Serialization delay on the slower of the two access links.
+  const double mbps = std::min(configs_[from].access_mbps, configs_[to].access_mbps);
+  const Time transfer =
+      mbps > 0 ? usf(static_cast<double>(size_bytes) * 8.0 / mbps) : Time{0};
+  return propagation + transfer;
+}
+
+Time Network::median_rtt(NodeIndex a, NodeIndex b) const {
+  if (const auto it = link_overrides_.find(key(a, b)); it != link_overrides_.end()) {
+    return 2 * it->second.base;
+  }
+  return 2 * (configs_[a].access.base + configs_[b].access.base);
+}
+
+void Network::send(NodeIndex from, NodeIndex to, std::size_t size_bytes,
+                   std::function<void()> deliver) {
+  if (!node(from).online()) {
+    ++messages_dropped_;
+    return;
+  }
+  auto& rng = simulator_.rng();
+  const LatencyModel* loss_model;
+  if (const auto it = link_overrides_.find(key(from, to)); it != link_overrides_.end()) {
+    loss_model = &it->second;
+  } else {
+    loss_model = &configs_[from].access;  // loss dominated by the access link
+  }
+
+  // TCP-like loss handling: each sampled loss adds an RTO before the
+  // retransmission; only repeated losses drop the message entirely.
+  Time retransmit_penalty = 0;
+  int losses = 0;
+  while (loss_model->drop(rng) || configs_[to].access.drop(rng)) {
+    if (++losses > kMaxRetransmits) {
+      ++messages_dropped_;
+      return;
+    }
+    retransmit_penalty += kRetransmitTimeout + sample_delay(from, to, size_bytes);
+  }
+
+  ++messages_sent_;
+  bytes_sent_ += size_bytes;
+  const Time delay = retransmit_penalty + sample_delay(from, to, size_bytes);
+  simulator_.after(delay, [this, to, deliver = std::move(deliver)] {
+    if (!node(to).online()) {
+      ++messages_dropped_;
+      return;
+    }
+    deliver();
+  });
+}
+
+}  // namespace dauth::sim

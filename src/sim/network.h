@@ -1,0 +1,90 @@
+// Simulated network: a set of nodes plus a delay model between each pair.
+//
+// Each node has an "access link" (its path to the internet backbone); the
+// one-way delay between two nodes is the sum of both access delays plus
+// per-message serialization time. Specific pairs can be overridden (e.g.
+// the ~5ms RTT between a RAN site and its nearby datacenter in Fig. 4/5).
+// This mirrors how the paper's testbed was wired: heterogeneous sites
+// meshed over the public internet via Tailscale.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "sim/latency.h"
+#include "sim/node.h"
+
+namespace dauth::sim {
+
+struct NodeConfig {
+  std::string name;
+  double speed_factor = 1.0;
+  int workers = 2;
+  LatencyModel access;           // delay contribution of this node's access link
+  double access_mbps = 100.0;    // serialization rate for payload bytes
+};
+
+class Network {
+ public:
+  explicit Network(Simulator& simulator) : simulator_(simulator) {}
+
+  NodeIndex add_node(const NodeConfig& config);
+
+  Node& node(NodeIndex index) { return *nodes_.at(index); }
+  const Node& node(NodeIndex index) const { return *nodes_.at(index); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Overrides the delay model for a specific (unordered) pair.
+  void set_link(NodeIndex a, NodeIndex b, LatencyModel model);
+
+  /// Samples a one-way network delay for a `size_bytes` message.
+  Time sample_delay(NodeIndex from, NodeIndex to, std::size_t size_bytes);
+
+  /// Median round-trip time between two nodes (no jitter), for planning.
+  Time median_rtt(NodeIndex a, NodeIndex b) const;
+
+  /// Delivers a `size_bytes` message from one node to another after a
+  /// sampled delay. Transport is TCP-like: a sampled loss triggers a
+  /// retransmission after an RTO penalty (so loss shows up as a latency
+  /// tail, exactly the "rare outliers when packets must be retransmitted"
+  /// of Fig. 3a); after `kMaxRetransmits` consecutive losses the message is
+  /// dropped. Messages are also dropped when the sender is offline now or
+  /// the receiver is offline at delivery time.
+  void send(NodeIndex from, NodeIndex to, std::size_t size_bytes,
+            std::function<void()> deliver);
+
+  static constexpr int kMaxRetransmits = 3;
+  static constexpr Time kRetransmitTimeout = ms(250);
+
+  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+  Simulator& simulator() noexcept { return simulator_; }
+
+ private:
+  struct PairKey {
+    NodeIndex a, b;
+    bool operator<(const PairKey& other) const noexcept {
+      return std::pair{a, b} < std::pair{other.a, other.b};
+    }
+  };
+  static PairKey key(NodeIndex a, NodeIndex b) noexcept {
+    return a < b ? PairKey{a, b} : PairKey{b, a};
+  }
+
+  Simulator& simulator_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<NodeConfig> configs_;
+  std::map<PairKey, LatencyModel> link_overrides_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace dauth::sim

@@ -1,0 +1,54 @@
+#include "sim/node.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dauth::sim {
+
+Node::Node(Simulator& simulator, std::string name, double speed_factor, int workers)
+    : simulator_(simulator), name_(std::move(name)), speed_factor_(speed_factor) {
+  if (workers < 1) throw std::invalid_argument("Node: need at least one worker");
+  if (speed_factor <= 0.0) throw std::invalid_argument("Node: speed factor must be positive");
+  worker_free_.assign(static_cast<std::size_t>(workers), 0);
+}
+
+void Node::set_online(bool online) {
+  if (online_ == online) return;
+  online_ = online;
+  if (!online) {
+    // Drop all in-flight work and reset the queue: a crashed node does not
+    // finish its jobs after rebooting.
+    ++epoch_;
+    std::fill(worker_free_.begin(), worker_free_.end(), simulator_.now());
+  }
+}
+
+void Node::execute(Time cost, std::function<void()> fn) {
+  if (!online_) return;  // dropped; caller's timeout handles it
+
+  const Time service = static_cast<Time>(static_cast<double>(cost) * speed_factor_);
+  // Earliest-free worker takes the job.
+  auto it = std::min_element(worker_free_.begin(), worker_free_.end());
+  const Time start = std::max(simulator_.now(), *it);
+  const Time finish = start + service;
+  *it = finish;
+  busy_time_ += service;
+
+  const std::uint64_t scheduled_epoch = epoch_;
+  simulator_.at(finish, [this, scheduled_epoch, fn = std::move(fn)] {
+    if (epoch_ != scheduled_epoch || !online_) return;  // node failed meanwhile
+    ++jobs_completed_;
+    fn();
+  });
+}
+
+int Node::queued_jobs() const {
+  const Time now = simulator_.now();
+  int busy = 0;
+  for (Time free_at : worker_free_) {
+    if (free_at > now) ++busy;
+  }
+  return busy;
+}
+
+}  // namespace dauth::sim

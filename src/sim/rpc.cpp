@@ -1,0 +1,142 @@
+#include "sim/rpc.h"
+
+namespace dauth::sim {
+
+const char* to_string(RpcErrorCode code) noexcept {
+  switch (code) {
+    case RpcErrorCode::kTimeout: return "timeout";
+    case RpcErrorCode::kUnreachable: return "unreachable";
+    case RpcErrorCode::kNoService: return "no-service";
+    case RpcErrorCode::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+struct Rpc::CallState {
+  NodeIndex from;
+  NodeIndex to;
+  ReplyCallback on_reply;
+  ErrorCallback on_error;
+  bool done = false;
+};
+
+void Rpc::register_service(NodeIndex node, std::string service, ServiceHandler handler) {
+  services_[{node, std::move(service)}] = std::move(handler);
+}
+
+void Rpc::call(NodeIndex from, NodeIndex to, const std::string& service, Bytes request,
+               const RpcOptions& options, ReplyCallback on_reply, ErrorCallback on_error) {
+  ++calls_started_;
+  auto state = std::make_shared<CallState>();
+  state->from = from;
+  state->to = to;
+  state->on_reply = std::move(on_reply);
+  state->on_error = std::move(on_error);
+
+  auto& simulator = network_.simulator();
+
+  if (!network_.node(from).online()) {
+    // Deliver the error asynchronously to keep callback ordering uniform.
+    simulator.after(0, [this, state] {
+      finish_error(state, {RpcErrorCode::kUnreachable, "caller offline"});
+    });
+    return;
+  }
+
+  // Client-side timeout covers handshake + request + service + response.
+  simulator.after(options.timeout, [this, state] {
+    if (!state->done) {
+      ++calls_timed_out_;
+      finish_error(state, {RpcErrorCode::kTimeout, "rpc deadline exceeded"});
+    }
+  });
+
+  const bool reuse_allowed = config_.connection_reuse && !options.force_new_connection;
+  const bool have_connection = reuse_allowed && connections_.contains({from, to});
+  if (have_connection) {
+    send_request(from, to, service, std::move(request), std::move(state));
+    return;
+  }
+
+  // Cold connection: pay handshake round trips, then remember the connection.
+  ++handshakes_;
+  Time handshake_delay = 0;
+  for (int i = 0; i < config_.handshake_rtts; ++i) {
+    handshake_delay += network_.sample_delay(from, to, 64);
+    handshake_delay += network_.sample_delay(to, from, 64);
+  }
+  simulator.after(handshake_delay,
+                  [this, from, to, service, request = std::move(request), state,
+                   reuse_allowed]() mutable {
+                    if (state->done) return;  // timed out during handshake
+                    if (!network_.node(to).online()) return;  // server down: let timeout fire
+                    if (reuse_allowed) connections_.insert({from, to});
+                    send_request(from, to, service, std::move(request), std::move(state));
+                  });
+}
+
+void Rpc::send_request(NodeIndex from, NodeIndex to, const std::string& service, Bytes request,
+                       std::shared_ptr<CallState> state) {
+  const std::size_t request_size = request.size() + 64;  // framing overhead
+  network_.send(from, to, request_size,
+                [this, from, to, service, request = std::move(request), state]() mutable {
+    if (state->done) return;
+
+    const auto handler_it = services_.find({to, service});
+    if (handler_it == services_.end()) {
+      // A NACK still crosses the network back to the caller.
+      network_.send(to, from, 64, [this, state, service] {
+        finish_error(state, {RpcErrorCode::kNoService, "no handler for " + service});
+      });
+      return;
+    }
+
+    // Queue the request on the server's worker pool, then run the handler.
+    network_.node(to).execute(
+        config_.server_base_cost,
+        [this, from, to, handler = &handler_it->second, request = std::move(request), state] {
+          auto reply_fn = std::make_shared<Responder::ReplyFn>(
+              [this, from, to, state](Bytes reply, bool is_error, std::string reason) {
+                const std::size_t reply_size = reply.size() + 64;
+                network_.send(to, from, reply_size,
+                              [this, state, reply = std::move(reply), is_error,
+                               reason = std::move(reason)]() mutable {
+                                if (is_error) {
+                                  finish_error(state,
+                                               {RpcErrorCode::kRejected, std::move(reason)});
+                                } else {
+                                  finish_ok(state, std::move(reply));
+                                }
+                              });
+              });
+          (*handler)(request, Responder(std::move(reply_fn)));
+        });
+  });
+}
+
+void Rpc::finish_ok(const std::shared_ptr<CallState>& state, Bytes reply) {
+  if (state->done) return;
+  state->done = true;
+  ++calls_succeeded_;
+  if (state->on_reply) state->on_reply(std::move(reply));
+}
+
+void Rpc::finish_error(const std::shared_ptr<CallState>& state, RpcError error) {
+  if (state->done) return;
+  state->done = true;
+  if (state->on_error) state->on_error(std::move(error));
+}
+
+void Rpc::reset_connections(NodeIndex node) {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->first == node || it->second == node) {
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Rpc::reset_all_connections() { connections_.clear(); }
+
+}  // namespace dauth::sim

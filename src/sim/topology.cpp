@@ -1,0 +1,117 @@
+#include "sim/topology.h"
+
+namespace dauth::sim {
+namespace {
+
+constexpr double kTailscaleOneWayMs = 1.5;  // measured ~3ms RTT penalty
+
+LatencyModel access(double base_ms, double jitter_sigma, double loss = 0.0) {
+  LatencyModel m;
+  m.base = msf(base_ms + kTailscaleOneWayMs);
+  m.jitter_sigma = jitter_sigma;
+  m.loss = loss;
+  return m;
+}
+
+}  // namespace
+
+NodeConfig profile(NodeClass node_class, std::string name) {
+  NodeConfig config;
+  config.name = std::move(name);
+  switch (node_class) {
+    case NodeClass::kScnEdge:
+      // Celeron/i5 boxes: slower than a cloud vCPU, fiber backhaul.
+      config.speed_factor = 1.4;
+      config.workers = 2;
+      config.access = access(2.5, 0.30);
+      config.access_mbps = 300.0;
+      break;
+    case NodeClass::kUniLab:
+      config.speed_factor = 1.2;
+      config.workers = 4;
+      config.access = access(1.0, 0.20);
+      config.access_mbps = 900.0;
+      break;
+    case NodeClass::kCloud:
+      // 2-vCPU VMs; excellent network, modest sustained CPU.
+      config.speed_factor = 1.0;
+      config.workers = 2;
+      config.access = access(1.0, 0.15);
+      config.access_mbps = 1000.0;
+      break;
+    case NodeClass::kResidentialEdge:
+      // Celeron N3160 boxes behind cable internet: slow CPU, jittery link.
+      config.speed_factor = 1.8;
+      config.workers = 2;
+      config.access = access(9.0, 0.45, 0.001);
+      config.access_mbps = 30.0;
+      break;
+    case NodeClass::kSlowAtom:
+      // The straggler from Fig. 3: low-power CPU, high-latency backhaul.
+      config.speed_factor = 4.0;
+      config.workers = 2;
+      config.access = access(22.0, 0.55, 0.002);
+      config.access_mbps = 15.0;
+      break;
+    case NodeClass::kRanSite:
+      config.speed_factor = 1.0;
+      config.workers = 4;
+      config.access = access(2.0, 0.25);
+      config.access_mbps = 300.0;
+      break;
+  }
+  return config;
+}
+
+std::vector<NodeIndex> Testbed::core_nodes() const {
+  std::vector<NodeIndex> all;
+  all.insert(all.end(), scn_edges.begin(), scn_edges.end());
+  all.insert(all.end(), cloud.begin(), cloud.end());
+  all.insert(all.end(), residential.begin(), residential.end());
+  all.insert(all.end(), uni_lab.begin(), uni_lab.end());
+  return all;
+}
+
+Testbed build_appendix_c_testbed(Network& network) {
+  Testbed t;
+  // 2 production SCN nodes (library Protectli, community-center Qotom).
+  t.scn_edges.push_back(network.add_node(profile(NodeClass::kScnEdge, "scn-library")));
+  t.scn_edges.push_back(network.add_node(profile(NodeClass::kScnEdge, "scn-community-center")));
+  // 4 cloud VMs at different providers.
+  t.cloud.push_back(network.add_node(profile(NodeClass::kCloud, "cloud-azure-uswest2")));
+  t.cloud.push_back(network.add_node(profile(NodeClass::kCloud, "cloud-aws-uswest2")));
+  t.cloud.push_back(network.add_node(profile(NodeClass::kCloud, "cloud-do-sf2")));
+  t.cloud.push_back(network.add_node(profile(NodeClass::kCloud, "cloud-gcp-uscentral1")));
+  // 2 residential edge boxes; home-b (SATA1 HDD Zotac on cable) is the slow
+  // Atom-class straggler called out in §6.2.2.
+  t.residential.push_back(
+      network.add_node(profile(NodeClass::kResidentialEdge, "home-a-zotac")));
+  t.residential.push_back(network.add_node(profile(NodeClass::kSlowAtom, "home-b-zotac")));
+  // 2 university machines.
+  t.uni_lab.push_back(network.add_node(profile(NodeClass::kUniLab, "uni-qotom")));
+  t.uni_lab.push_back(network.add_node(profile(NodeClass::kUniLab, "uni-zotac")));
+  // 2 RAN hosts (UERANSIM in the paper; our ran::Gnb attaches here).
+  t.ran_sites.push_back(network.add_node(profile(NodeClass::kRanSite, "ran-home-a")));
+  t.ran_sites.push_back(network.add_node(profile(NodeClass::kRanSite, "ran-uni-lab")));
+  return t;
+}
+
+const char* to_string(Scenario scenario) noexcept {
+  switch (scenario) {
+    case Scenario::kEdgeFiber: return "1-edge-pc-fiber";
+    case Scenario::kEdgeResidential: return "2-edge-pc-residential";
+    case Scenario::kCloudFiber: return "3-cloud-host-fiber";
+    case Scenario::kCloudResidential: return "4-cloud-host-residential";
+  }
+  return "unknown";
+}
+
+bool is_cloud(Scenario scenario) noexcept {
+  return scenario == Scenario::kCloudFiber || scenario == Scenario::kCloudResidential;
+}
+
+bool is_residential(Scenario scenario) noexcept {
+  return scenario == Scenario::kEdgeResidential || scenario == Scenario::kCloudResidential;
+}
+
+}  // namespace dauth::sim

@@ -1,0 +1,64 @@
+// Node profiles and testbed topologies matching Appendix C of the paper.
+//
+// The evaluation testbed mixes four classes of machines:
+//   * SCN edge boxes (Protectli/Qotom, Celeron/i5-class, fiber backhaul)
+//   * University-lab machines (good CPUs, campus backbone)
+//   * Cloud VMs at four providers (2 vCPU, ~5ms from the RAN sites)
+//   * Low-power residential-edge boxes (Celeron N3160, cable internet)
+// plus one deliberately slow Atom-class outlier with high-latency backhaul
+// (the node that dominates Fig. 3's threshold-6 tail).
+//
+// All nodes ride a Tailscale mesh VPN, which the paper measured at ~3ms
+// extra RTT; profiles fold half of that into each access link.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace dauth::sim {
+
+enum class NodeClass {
+  kScnEdge,          // SCN site box on Lumen/campus fiber
+  kUniLab,           // university lab machine
+  kCloud,            // cloud VM, premium network
+  kResidentialEdge,  // edge box on residential cable
+  kSlowAtom,         // low-power Atom box, high-latency backhaul
+  kRanSite,          // machine hosting the (emulated) RAN
+};
+
+/// Canonical profile for a node class.
+NodeConfig profile(NodeClass node_class, std::string name);
+
+/// The 12-node Appendix C testbed, grouped by role.
+struct Testbed {
+  std::vector<NodeIndex> scn_edges;     // 2 SCN production boxes
+  std::vector<NodeIndex> cloud;         // 4 cloud VMs
+  std::vector<NodeIndex> residential;   // 3 residential edge boxes (one slow Atom)
+  std::vector<NodeIndex> uni_lab;       // 3 university machines
+  std::vector<NodeIndex> ran_sites;     // 2 RAN hosts (UERANSIM in the paper)
+
+  /// All core-capable nodes (everything except RAN hosts).
+  std::vector<NodeIndex> core_nodes() const;
+};
+
+Testbed build_appendix_c_testbed(Network& network);
+
+/// Deployment scenarios of §6.3.1 for Figures 4 and 5.
+enum class Scenario {
+  kEdgeFiber = 1,        // (1) edge core, high-quality internet
+  kEdgeResidential = 2,  // (2) edge core, residential internet
+  kCloudFiber = 3,       // (3) cloud core, RAN site on fiber
+  kCloudResidential = 4, // (4) cloud core, RAN site on residential internet
+};
+
+const char* to_string(Scenario scenario) noexcept;
+
+/// True when the serving core runs in the cloud rather than at the edge.
+bool is_cloud(Scenario scenario) noexcept;
+
+/// True when the RAN site reaches the internet over residential cable.
+bool is_residential(Scenario scenario) noexcept;
+
+}  // namespace dauth::sim

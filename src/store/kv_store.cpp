@@ -1,0 +1,86 @@
+#include "store/kv_store.h"
+
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace dauth::store {
+namespace {
+
+constexpr std::uint8_t kOpPut = 1;
+constexpr std::uint8_t kOpErase = 2;
+
+}  // namespace
+
+KvStore::KvStore(const std::string& path) : wal_(std::make_unique<Wal>(path)) {
+  replayed_ = wal_->replay([this](ByteView record) {
+    wire::Reader r(record);
+    const std::uint8_t op = r.u8();
+    std::string key = r.string();
+    if (op == kOpPut) {
+      map_[std::move(key)] = r.bytes();
+    } else if (op == kOpErase) {
+      map_.erase(key);
+    }
+    // Unknown ops are skipped for forward compatibility.
+  });
+}
+
+void KvStore::log_put(std::string_view key, ByteView value) {
+  if (!wal_) return;
+  wire::Writer w;
+  w.u8(kOpPut);
+  w.string(key);
+  w.bytes(value);
+  wal_->append(w.data());
+}
+
+void KvStore::log_erase(std::string_view key) {
+  if (!wal_) return;
+  wire::Writer w;
+  w.u8(kOpErase);
+  w.string(key);
+  wal_->append(w.data());
+}
+
+void KvStore::put(std::string_view key, ByteView value) {
+  log_put(key, value);
+  map_[std::string(key)] = to_bytes(value);
+}
+
+void KvStore::erase(std::string_view key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return;
+  log_erase(key);
+  map_.erase(it);
+}
+
+std::optional<Bytes> KvStore::get(std::string_view key) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::contains(std::string_view key) const { return map_.contains(std::string(key)); }
+
+std::vector<std::string> KvStore::keys_with_prefix(std::string_view prefix) const {
+  std::vector<std::string> out;
+  for (auto it = map_.lower_bound(prefix); it != map_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+void KvStore::compact() {
+  if (!wal_) return;
+  wal_->reset();
+  for (const auto& [key, value] : map_) {
+    wire::Writer w;
+    w.u8(kOpPut);
+    w.string(key);
+    w.bytes(value);
+    wal_->append(w.data());
+  }
+}
+
+}  // namespace dauth::store

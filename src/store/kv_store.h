@@ -1,0 +1,62 @@
+// Durable key-value store: in-memory map + write-ahead log.
+//
+// This fills the role SQLite plays in the paper's prototype (§5.1): each
+// dAuth daemon persists subscriber keys, sequence-number state, delegated
+// vectors/key shares and pending auth-event reports so they survive a node
+// restart. Keys are namespaced strings ("vectors/<supi>/<idx>"), values are
+// opaque byte strings produced by wire::Writer.
+//
+// Two modes:
+//   * KvStore(path) — durable; every mutation appends to the WAL, state is
+//     rebuilt by replay on open, compact() rewrites the log.
+//   * KvStore()     — ephemeral (no file); used by simulations where running
+//     thousands of nodes with real files would be wasteful.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "store/wal.h"
+
+namespace dauth::store {
+
+class KvStore {
+ public:
+  /// Ephemeral store.
+  KvStore() = default;
+
+  /// Durable store backed by a WAL at `path`; replays existing records.
+  explicit KvStore(const std::string& path);
+
+  void put(std::string_view key, ByteView value);
+  void erase(std::string_view key);
+
+  std::optional<Bytes> get(std::string_view key) const;
+  bool contains(std::string_view key) const;
+  std::size_t size() const noexcept { return map_.size(); }
+
+  /// All keys with the given prefix, in lexicographic order.
+  std::vector<std::string> keys_with_prefix(std::string_view prefix) const;
+
+  /// Rewrites the log as one snapshot record per live key (drops tombstones
+  /// and overwritten versions). No-op for ephemeral stores.
+  void compact();
+
+  /// Number of WAL records replayed at open (0 for ephemeral). For tests.
+  std::size_t replayed() const noexcept { return replayed_; }
+
+ private:
+  void log_put(std::string_view key, ByteView value);
+  void log_erase(std::string_view key);
+
+  std::map<std::string, Bytes, std::less<>> map_;
+  std::unique_ptr<Wal> wal_;
+  std::size_t replayed_ = 0;
+};
+
+}  // namespace dauth::store

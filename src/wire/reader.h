@@ -1,0 +1,59 @@
+// Binary message deserialization (reader side) with strict bounds checking.
+//
+// All reads throw WireError on truncated or malformed input — a network peer
+// is untrusted, so a parse failure must never become undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace dauth::wire {
+
+/// Thrown on any malformed or truncated frame.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteView data) noexcept : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean();
+
+  /// Raw bytes of exactly `n` (for fixed-size fields).
+  ByteView raw(std::size_t n);
+
+  template <std::size_t N>
+  ByteArray<N> fixed() {
+    return take<N>(raw(N));
+  }
+
+  /// Length-prefixed (u32) byte string.
+  Bytes bytes();
+
+  /// Length-prefixed UTF-8 string.
+  std::string string();
+
+  std::size_t remaining() const noexcept { return data_.size() - offset_; }
+  bool done() const noexcept { return remaining() == 0; }
+
+  /// Throws unless the whole frame was consumed — catches trailing garbage.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  ByteView data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace dauth::wire

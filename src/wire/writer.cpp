@@ -1,0 +1,23 @@
+#include "wire/writer.h"
+
+namespace dauth::wire {
+
+void Writer::u16(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::bytes(ByteView data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+}  // namespace dauth::wire

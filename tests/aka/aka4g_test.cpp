@@ -1,0 +1,142 @@
+// 4G/EPS AKA tests (TS 33.401): PLMN encoding, vector generation, USIM-side
+// verification, and interworking with the 5G path on the same SIM.
+#include <gtest/gtest.h>
+
+#include "aka/auth_vector.h"
+#include "aka/sim_card.h"
+#include "crypto/drbg.h"
+
+namespace dauth::aka {
+namespace {
+
+SubscriberKeys test_keys() {
+  SubscriberKeys keys;
+  keys.k = array_from_hex<16>("465b5ce8b199b49faa5f0a2ee238a6bc");
+  keys.opc = array_from_hex<16>("cd63cb71954a9f4e48a5994e37a02baf");
+  return keys;
+}
+
+const ByteArray<3> kPlmn = encode_plmn("315", "010");
+
+crypto::Rand make_rand(crypto::DeterministicDrbg& rng) { return rng.array<16>(); }
+
+TEST(Plmn, ThreeDigitMncEncoding) {
+  // TS 24.301: MCC digit2|digit1, MNC digit3|MCC digit3, MNC digit2|digit1.
+  const auto plmn = encode_plmn("315", "010");
+  EXPECT_EQ(plmn[0], 0x13);  // '1'<<4 | '3'
+  EXPECT_EQ(plmn[1], 0x05);  // mnc3='0'<<4 | mcc3='5'
+  EXPECT_EQ(plmn[2], 0x10);  // mnc2='1'<<4 | mnc1='0'
+}
+
+TEST(Plmn, TwoDigitMncUsesFiller) {
+  const auto plmn = encode_plmn("310", "41");  // AT&T-style
+  EXPECT_EQ(plmn[0], 0x13);
+  EXPECT_EQ(plmn[1], 0xf0);  // filler | mcc3
+  EXPECT_EQ(plmn[2], 0x14);
+}
+
+TEST(Plmn, RejectsBadInput) {
+  EXPECT_THROW(encode_plmn("31", "010"), std::invalid_argument);
+  EXPECT_THROW(encode_plmn("315", "0"), std::invalid_argument);
+  EXPECT_THROW(encode_plmn("3a5", "010"), std::invalid_argument);
+}
+
+TEST(Aka4g, SuccessfulMutualAuthentication) {
+  crypto::DeterministicDrbg rng("4g", 1);
+  const SubscriberKeys keys = test_keys();
+  Usim usim(Supi("315010000000001"), keys);
+  SqnAllocator allocator;
+
+  const AuthVector4G v =
+      generate_auth_vector_4g(keys, allocator.allocate(kHomeSlice), make_rand(rng), kPlmn);
+  const UsimResult4G result = usim.authenticate_4g(v.rand, v.autn, kPlmn);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.response->res, v.xres);
+  EXPECT_EQ(result.response->k_asme, v.k_asme);
+}
+
+TEST(Aka4g, HxresIsHashOfXres) {
+  crypto::DeterministicDrbg rng("4g", 2);
+  const SubscriberKeys keys = test_keys();
+  const AuthVector4G v = generate_auth_vector_4g(keys, 32, make_rand(rng), kPlmn);
+  EXPECT_EQ(v.hxres, take<16>(crypto::sha256(v.xres)));
+}
+
+TEST(Aka4g, KasmeBindsToServingPlmn) {
+  crypto::DeterministicDrbg rng("4g", 3);
+  const SubscriberKeys keys = test_keys();
+  const crypto::Rand rand = make_rand(rng);
+  const AuthVector4G a = generate_auth_vector_4g(keys, 32, rand, encode_plmn("315", "010"));
+  const AuthVector4G b = generate_auth_vector_4g(keys, 32, rand, encode_plmn("310", "41"));
+  EXPECT_EQ(a.autn, b.autn);      // challenge is PLMN-agnostic
+  EXPECT_EQ(a.xres, b.xres);      // so is the response
+  EXPECT_NE(a.k_asme, b.k_asme);  // but the session key binds the PLMN
+}
+
+TEST(Aka4g, ReplayRejectedWithAuts) {
+  crypto::DeterministicDrbg rng("4g", 4);
+  const SubscriberKeys keys = test_keys();
+  Usim usim(Supi("315010000000001"), keys);
+  SqnAllocator allocator;
+
+  const AuthVector4G v =
+      generate_auth_vector_4g(keys, allocator.allocate(kHomeSlice), make_rand(rng), kPlmn);
+  ASSERT_TRUE(usim.authenticate_4g(v.rand, v.autn, kPlmn).ok());
+  const UsimResult4G replay = usim.authenticate_4g(v.rand, v.autn, kPlmn);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_EQ(replay.failure, UsimFailure::kSqnOutOfRange);
+  EXPECT_TRUE(replay.auts.has_value());
+}
+
+TEST(Aka4g, WrongKeyMacFails) {
+  crypto::DeterministicDrbg rng("4g", 5);
+  SubscriberKeys wrong = test_keys();
+  wrong.k[3] ^= 0x40;
+  Usim usim(Supi("315010000000001"), wrong);
+  const AuthVector4G v = generate_auth_vector_4g(test_keys(), 32, make_rand(rng), kPlmn);
+  EXPECT_EQ(usim.authenticate_4g(v.rand, v.autn, kPlmn).failure, UsimFailure::kMacMismatch);
+}
+
+TEST(Aka4g, DualModeSimSharesSqnState) {
+  // A phone alternating 4G and 5G attaches uses one SQN counter: a 5G
+  // vector consumed at SQN n makes a 4G vector with the same SQN stale.
+  crypto::DeterministicDrbg rng("4g", 6);
+  const SubscriberKeys keys = test_keys();
+  Usim usim(Supi("315010000000001"), keys);
+  SqnAllocator allocator;
+  const std::string snn = crypto::serving_network_name("315", "010");
+
+  const std::uint64_t sqn = allocator.allocate(kHomeSlice);
+  const crypto::Rand rand = make_rand(rng);
+  const AuthVector v5 = generate_auth_vector(keys, sqn, rand, snn);
+  ASSERT_TRUE(usim.authenticate(v5.rand, v5.autn, snn).ok());
+
+  const AuthVector4G v4_stale = generate_auth_vector_4g(keys, sqn, make_rand(rng), kPlmn);
+  EXPECT_EQ(usim.authenticate_4g(v4_stale.rand, v4_stale.autn, kPlmn).failure,
+            UsimFailure::kSqnOutOfRange);
+
+  const AuthVector4G v4_fresh =
+      generate_auth_vector_4g(keys, allocator.allocate(kHomeSlice), make_rand(rng), kPlmn);
+  EXPECT_TRUE(usim.authenticate_4g(v4_fresh.rand, v4_fresh.autn, kPlmn).ok());
+}
+
+TEST(Aka4g, InterleavedSlicesAcross4gAnd5g) {
+  // dAuth's slice discipline holds regardless of which radio generation
+  // consumes a slice's vectors.
+  crypto::DeterministicDrbg rng("4g", 7);
+  const SubscriberKeys keys = test_keys();
+  Usim usim(Supi("315010000000001"), keys);
+  SqnAllocator allocator;
+  const std::string snn = crypto::serving_network_name("315", "010");
+
+  for (int round = 0; round < 4; ++round) {
+    const AuthVector4G v4 =
+        generate_auth_vector_4g(keys, allocator.allocate(1), make_rand(rng), kPlmn);
+    EXPECT_TRUE(usim.authenticate_4g(v4.rand, v4.autn, kPlmn).ok());
+    const AuthVector v5 = generate_auth_vector(keys, allocator.allocate(2), make_rand(rng), snn);
+    EXPECT_TRUE(usim.authenticate(v5.rand, v5.autn, snn).ok());
+  }
+}
+
+}  // namespace
+}  // namespace dauth::aka

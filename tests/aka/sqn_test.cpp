@@ -1,0 +1,217 @@
+#include "aka/sqn.h"
+
+#include <gtest/gtest.h>
+
+namespace dauth::aka {
+namespace {
+
+TEST(Sqn, ByteEncodingRoundTrip) {
+  for (std::uint64_t sqn : {std::uint64_t{0}, std::uint64_t{1},
+                            std::uint64_t{0x123456789abc}, kSqnMask}) {
+    EXPECT_EQ(sqn_from_bytes(sqn_to_bytes(sqn)), sqn);
+  }
+}
+
+TEST(Sqn, ByteEncodingIsBigEndian) {
+  const auto bytes = sqn_to_bytes(0x0102030405060ULL >> 4);  // arbitrary
+  const auto again = sqn_to_bytes(0x010203040506ULL);
+  EXPECT_EQ(again[0], 0x01);
+  EXPECT_EQ(again[5], 0x06);
+  (void)bytes;
+}
+
+TEST(Sqn, SliceAssignment) {
+  // Appendix B Table 2: slice = sqn % 32.
+  EXPECT_EQ(sqn_slice(0), 0);
+  EXPECT_EQ(sqn_slice(1), 1);
+  EXPECT_EQ(sqn_slice(31), 31);
+  EXPECT_EQ(sqn_slice(32), 0);
+  EXPECT_EQ(sqn_slice(33), 1);
+  EXPECT_EQ(sqn_slice(65), 1);
+}
+
+TEST(SqnTracker, AcceptsIncreasingWithinSlice) {
+  SqnTracker t;
+  EXPECT_TRUE(t.accept(33));   // slice 1
+  EXPECT_TRUE(t.accept(65));   // slice 1, higher
+  EXPECT_FALSE(t.accept(33));  // replay
+  EXPECT_FALSE(t.accept(65));  // replay
+  EXPECT_TRUE(t.accept(97));   // next in slice 1
+}
+
+TEST(SqnTracker, SlicesAreIndependent) {
+  // Paper Appendix B: "a sqn of 33 (slice 1) would be valid, while 64
+  // (slice 0) would be invalid" after seeing 96 in slice 0.
+  SqnTracker t;
+  EXPECT_TRUE(t.accept(96));   // slice 0
+  EXPECT_TRUE(t.accept(33));   // slice 1: smaller number, different slice -> OK
+  EXPECT_FALSE(t.accept(64));  // slice 0: below 96 -> rejected
+  EXPECT_TRUE(t.accept(66));   // slice 2: fresh slice -> OK
+}
+
+TEST(SqnTracker, Table3ValidState) {
+  // Appendix B Table 3: counters {96, 1, 66, ..., 31} are reachable.
+  SqnTracker t;
+  EXPECT_TRUE(t.accept(1));
+  EXPECT_TRUE(t.accept(66));
+  EXPECT_TRUE(t.accept(31));
+  EXPECT_TRUE(t.accept(96));
+  EXPECT_EQ(t.highest(0), 96u);
+  EXPECT_EQ(t.highest(1), 1u);
+  EXPECT_EQ(t.highest(2), 66u);
+  EXPECT_EQ(t.highest(31), 31u);
+  EXPECT_EQ(t.highest_overall(), 96u);
+}
+
+TEST(SqnTracker, RejectsZeroAndOverflow) {
+  SqnTracker t;
+  EXPECT_FALSE(t.accept(0));
+  EXPECT_FALSE(t.accept(kSqnMask + 1));
+  EXPECT_TRUE(t.accept(kSqnMask));  // the largest legal SQN (slice 31)
+}
+
+TEST(SqnTracker, WouldAcceptDoesNotMutate) {
+  SqnTracker t;
+  EXPECT_TRUE(t.would_accept(33));
+  EXPECT_TRUE(t.would_accept(33));  // still true: no state change
+  EXPECT_TRUE(t.accept(33));
+  EXPECT_FALSE(t.would_accept(33));
+}
+
+TEST(SqnAllocator, AllocatesWithinSlice) {
+  SqnAllocator a;
+  const std::uint64_t first = a.allocate(3);
+  const std::uint64_t second = a.allocate(3);
+  EXPECT_EQ(sqn_slice(first), 3);
+  EXPECT_EQ(sqn_slice(second), 3);
+  EXPECT_EQ(second, first + kSliceCount);
+}
+
+TEST(SqnAllocator, SlicesDoNotInterfere) {
+  SqnAllocator a;
+  const std::uint64_t s1 = a.allocate(1);
+  const std::uint64_t s2 = a.allocate(2);
+  (void)a.allocate(1);
+  EXPECT_EQ(sqn_slice(s1), 1);
+  EXPECT_EQ(sqn_slice(s2), 2);
+  EXPECT_EQ(a.last_allocated(2), s2);
+}
+
+TEST(SqnAllocator, AllocationsAcceptedBySim) {
+  SqnAllocator a;
+  SqnTracker t;
+  // Interleave allocations across slices in arbitrary order; the SIM must
+  // accept all of them (this is the property dAuth's dissemination needs).
+  for (int round = 0; round < 10; ++round) {
+    for (int slice : {5, 1, 30, 2, 17}) {
+      EXPECT_TRUE(t.accept(a.allocate(slice)));
+    }
+  }
+}
+
+TEST(SqnAllocator, OutOfOrderConsumptionAcrossSlices) {
+  // Backup networks are consumed in arbitrary order; SQNs from slice B can be
+  // used before smaller SQNs from slice A.
+  SqnAllocator a;
+  SqnTracker t;
+  std::vector<std::uint64_t> slice1, slice2;
+  for (int i = 0; i < 5; ++i) slice1.push_back(a.allocate(1));
+  for (int i = 0; i < 5; ++i) slice2.push_back(a.allocate(2));
+
+  // Consume all of slice 2 first, then slice 1.
+  for (auto sqn : slice2) EXPECT_TRUE(t.accept(sqn));
+  for (auto sqn : slice1) EXPECT_TRUE(t.accept(sqn));
+}
+
+TEST(SqnAllocator, LastAllocatedStartsAtZero) {
+  SqnAllocator a;
+  EXPECT_EQ(a.last_allocated(4), 0u);
+  const auto sqn = a.allocate(4);
+  EXPECT_EQ(a.last_allocated(4), sqn);
+}
+
+TEST(SqnAllocator, AdvancePastSupersedes) {
+  // The revocation primitive: after advance_past, the next allocation in the
+  // slice exceeds everything previously handed out.
+  SqnAllocator a;
+  std::uint64_t biggest = 0;
+  for (int i = 0; i < 8; ++i) biggest = a.allocate(7);
+  a.advance_past(7, biggest);
+  const auto next = a.allocate(7);
+  EXPECT_GT(next, biggest);
+  EXPECT_EQ(sqn_slice(next), 7);
+
+  // advance_past never moves backwards.
+  a.advance_past(7, 1);
+  EXPECT_GT(a.allocate(7), next);
+}
+
+TEST(SqnAllocator, RevokedVectorsRejectedAfterSupersede) {
+  // Full revocation scenario at the SQN level (paper §4.3): the UE consumes
+  // a vector with a higher SQN in the revoked slice, after which every
+  // outstanding lower-SQN vector in that slice is dead.
+  SqnAllocator a;
+  SqnTracker sim;
+  const int revoked_slice = 9;
+
+  // Vectors previously disseminated to the (now revoked) backup.
+  std::vector<std::uint64_t> outstanding;
+  for (int i = 0; i < 4; ++i) outstanding.push_back(a.allocate(revoked_slice));
+
+  // Home network issues a superseding authentication in that slice.
+  a.advance_past(revoked_slice, outstanding.back());
+  const auto supersede = a.allocate(revoked_slice);
+  EXPECT_TRUE(sim.accept(supersede));
+
+  // All outstanding vectors are now rejected by the SIM.
+  for (auto sqn : outstanding) EXPECT_FALSE(sim.accept(sqn));
+}
+
+TEST(SqnAllocator, ResynchronizeRaisesAllSlices) {
+  SqnAllocator a;
+  const std::uint64_t sqn_ms = 5000;
+  a.resynchronize(sqn_ms);
+  for (int slice = 0; slice < kSliceCount; ++slice) {
+    const auto sqn = a.allocate(slice);
+    EXPECT_GT(sqn, sqn_ms);
+    EXPECT_EQ(sqn_slice(sqn), slice);
+  }
+}
+
+TEST(SqnAllocator, SliceExhaustionThrows) {
+  SqnAllocator a;
+  // Jump the slice to the top of the 48-bit space, then drain it.
+  a.advance_past(3, kSqnMask - 2 * kSliceCount);
+  EXPECT_NO_THROW(a.allocate(3));
+  EXPECT_NO_THROW(a.allocate(3));
+  EXPECT_THROW(a.allocate(3), std::overflow_error);
+}
+
+TEST(SqnAllocator, BadSliceThrows) {
+  SqnAllocator a;
+  EXPECT_THROW(a.allocate(-1), std::out_of_range);
+  EXPECT_THROW(a.allocate(kSliceCount), std::out_of_range);
+  EXPECT_THROW(a.advance_past(99, 0), std::out_of_range);
+  EXPECT_THROW(a.last_allocated(-2), std::out_of_range);
+}
+
+// Property sweep: for every slice, allocator output always lands in that
+// slice and is strictly increasing.
+class SqnSliceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SqnSliceSweep, AllocatorInvariants) {
+  const int slice = GetParam();
+  SqnAllocator a;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto sqn = a.allocate(slice);
+    EXPECT_EQ(sqn_slice(sqn), slice);
+    EXPECT_GT(sqn, prev);
+    prev = sqn;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSlices, SqnSliceSweep, ::testing::Range(0, kSliceCount));
+
+}  // namespace
+}  // namespace dauth::aka

@@ -1,0 +1,86 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace dauth {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+}
+
+TEST(Bytes, HexUpperCaseAccepted) {
+  EXPECT_EQ(from_hex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, ArrayFromHex) {
+  const auto arr = array_from_hex<4>("01020304");
+  EXPECT_EQ(arr, (ByteArray<4>{1, 2, 3, 4}));
+  EXPECT_THROW(array_from_hex<3>("01020304"), std::invalid_argument);
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const ByteArray<2> b = {3, 4};
+  const Bytes combined = concat(a, b);
+  EXPECT_EQ(combined, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Bytes, XorInplace) {
+  Bytes a = {0x0f, 0xf0};
+  const Bytes b = {0xff, 0xff};
+  xor_inplace(a, b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0x0f}));
+
+  Bytes short_buf = {1};
+  EXPECT_THROW(xor_inplace(short_buf, b), std::invalid_argument);
+}
+
+TEST(Bytes, XorArrays) {
+  const ByteArray<3> a = {1, 2, 3};
+  const ByteArray<3> b = {1, 2, 3};
+  EXPECT_EQ(xor_arrays(a, b), (ByteArray<3>{0, 0, 0}));
+}
+
+TEST(Bytes, Take) {
+  const Bytes data = {9, 8, 7, 6};
+  EXPECT_EQ(take<2>(data), (ByteArray<2>{9, 8}));
+  EXPECT_THROW(take<5>(data), std::invalid_argument);
+}
+
+TEST(Bytes, AsBytes) {
+  const auto view = as_bytes("ab");
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0], 'a');
+  EXPECT_EQ(view[1], 'b');
+}
+
+}  // namespace
+}  // namespace dauth

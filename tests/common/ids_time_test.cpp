@@ -1,0 +1,72 @@
+// Tests for the strong identifier types and virtual-time helpers.
+#include <gtest/gtest.h>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace dauth {
+namespace {
+
+TEST(Ids, SupiFieldAccessors) {
+  const Supi supi("315010000000042");
+  EXPECT_EQ(supi.mcc(), "315");
+  EXPECT_EQ(supi.mnc(), "010");
+  EXPECT_EQ(supi.msin(), "000000042");
+  EXPECT_FALSE(supi.empty());
+  EXPECT_TRUE(Supi().empty());
+}
+
+TEST(Ids, NetworkIdOrderingAndHash) {
+  const NetworkId a("alpha"), b("beta"), a2("alpha");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(std::hash<NetworkId>{}(a), std::hash<NetworkId>{}(a2));
+}
+
+TEST(Ids, SupiHashMatchesEquality) {
+  const Supi a("315010000000001"), b("315010000000001"), c("315010000000002");
+  EXPECT_EQ(std::hash<Supi>{}(a), std::hash<Supi>{}(b));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Ids, GutiComparison) {
+  const Guti a{NetworkId("net"), 7};
+  const Guti b{NetworkId("net"), 7};
+  const Guti c{NetworkId("net"), 8};
+  const Guti d{NetworkId("other"), 7};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(Time, UnitArithmetic) {
+  EXPECT_EQ(us(1), 1000 * ns(1));
+  EXPECT_EQ(ms(1), 1000 * us(1));
+  EXPECT_EQ(sec(1), 1000 * ms(1));
+  EXPECT_EQ(minutes(1), 60 * sec(1));
+  EXPECT_EQ(hours(1), 60 * minutes(1));
+  EXPECT_EQ(kDay, 24 * hours(1));
+}
+
+TEST(Time, FractionalConstructors) {
+  EXPECT_EQ(msf(0.5), us(500));
+  EXPECT_EQ(secf(1.5), ms(1500));
+  EXPECT_EQ(usf(2.5), ns(2500));
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_ms(ms(250)), 250.0);
+  EXPECT_DOUBLE_EQ(to_sec(ms(1500)), 1.5);
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(format_time(secf(3.25)), "3.250s");
+  EXPECT_EQ(format_time(msf(12.5)), "12.500ms");
+  EXPECT_EQ(format_time(us(250)), "250.000us");
+  EXPECT_EQ(format_time(ns(42)), "42ns");
+}
+
+}  // namespace
+}  // namespace dauth

@@ -1,0 +1,88 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dauth {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256StarStar a(42);
+  Xoshiro256StarStar b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1);
+  Xoshiro256StarStar b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i)
+    if (a.next() != b.next()) ++differences;
+  EXPECT_GT(differences, 12);
+}
+
+TEST(Rng, NextDoubleInRange) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256StarStar rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Xoshiro256StarStar rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Xoshiro256StarStar rng(123);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Xoshiro256StarStar parent(11);
+  Xoshiro256StarStar child = parent.fork();
+  // Child should not mirror the parent stream.
+  int matches = 0;
+  for (int i = 0; i < 16; ++i)
+    if (parent.next() == child.next()) ++matches;
+  EXPECT_LT(matches, 4);
+}
+
+TEST(Rng, ReseedResets) {
+  Xoshiro256StarStar rng(3);
+  const auto first = rng.next();
+  rng.reseed(3);
+  EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, Splitmix64KnownSequence) {
+  // Reference values for seed 0 (widely published SplitMix64 outputs).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06c45d188009454fULL);
+}
+
+}  // namespace
+}  // namespace dauth

@@ -1,0 +1,101 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dauth {
+namespace {
+
+TEST(Stats, BasicSummaries) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.99), 99.01, 0.1);
+}
+
+TEST(Stats, QuantileEdges) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+}
+
+TEST(Stats, EmptyThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+  EXPECT_EQ(s.summary(), "n=0");
+}
+
+TEST(Stats, QuantileRangeChecked) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Stats, CdfAt) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(100.0), 1.0);
+}
+
+TEST(Stats, CdfPoints) {
+  SampleSet s;
+  for (int i = 0; i <= 100; ++i) s.add(i);
+  const auto points = s.cdf_points(11);
+  ASSERT_EQ(points.size(), 11u);
+  EXPECT_DOUBLE_EQ(points.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(points.back().first, 100.0);
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+  // CDF must be monotone.
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_GE(points[i].second, points[i - 1].second);
+}
+
+TEST(Stats, Stddev) {
+  SampleSet s;
+  s.add(2.0);
+  s.add(4.0);
+  s.add(4.0);
+  s.add(4.0);
+  s.add(5.0);
+  s.add(5.0);
+  s.add(7.0);
+  s.add(9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(Stats, AddTimeConvertsToMs) {
+  SampleSet s;
+  s.add_time(ms(250));
+  EXPECT_DOUBLE_EQ(s.min(), 250.0);
+}
+
+TEST(Stats, SummaryFormat) {
+  SampleSet s;
+  for (int i = 1; i <= 4; ++i) s.add(i);
+  const std::string line = s.summary();
+  EXPECT_NE(line.find("n=4"), std::string::npos);
+  EXPECT_NE(line.find("p50="), std::string::npos);
+  EXPECT_NE(line.find("mean="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dauth

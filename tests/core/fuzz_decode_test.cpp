@@ -1,0 +1,143 @@
+// Decode robustness ("fuzz-lite"): every protocol message decoder must
+// reject truncations and random mutations of valid frames with WireError —
+// never crash, never loop, never accept trailing garbage silently.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/home_network.h"
+#include "core/messages.h"
+#include "crypto/drbg.h"
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace dauth::core {
+namespace {
+
+crypto::Ed25519KeyPair signer() {
+  crypto::DeterministicDrbg rng("fuzz", 1);
+  return crypto::ed25519_generate(rng);
+}
+
+Bytes valid_vector_bundle() {
+  AuthVectorBundle b;
+  b.home_network = NetworkId("home");
+  b.supi = Supi("315010000000001");
+  b.sqn = 1234;
+  b.rand = array_from_hex<16>("00112233445566778899aabbccddeeff");
+  b.autn = array_from_hex<16>("ffeeddccbbaa99887766554433221100");
+  b.hxres_star = array_from_hex<16>("000102030405060708090a0b0c0d0e0f");
+  b.home_signature = crypto::ed25519_sign(b.signed_payload(), signer());
+  return b.encode();
+}
+
+Bytes valid_store_request() {
+  StoreMaterialRequest req;
+  req.home_network = NetworkId("home");
+  req.vectors.push_back(AuthVectorBundle::decode(valid_vector_bundle()));
+  KeyShareBundle share;
+  share.home_network = req.home_network;
+  share.supi = Supi("315010000000001");
+  share.share.x = 1;
+  share.share.y = Bytes(32, 0xaa);
+  share.home_signature = crypto::ed25519_sign(share.signed_payload(), signer());
+  req.shares.push_back(share);
+  req.suci_secret = Bytes(32, 0x55);
+  return req.encode();
+}
+
+template <typename Decoder>
+void expect_all_truncations_throw(const Bytes& valid, Decoder decode) {
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    const ByteView prefix(valid.data(), len);
+    EXPECT_THROW((void)decode(prefix), wire::WireError) << "prefix length " << len;
+  }
+  // The full frame decodes.
+  EXPECT_NO_THROW((void)decode(ByteView(valid)));
+  // Trailing garbage is rejected.
+  Bytes extended = valid;
+  extended.push_back(0x00);
+  EXPECT_THROW((void)decode(ByteView(extended)), wire::WireError);
+}
+
+TEST(FuzzDecode, AuthVectorBundleTruncations) {
+  expect_all_truncations_throw(valid_vector_bundle(),
+                               [](ByteView d) { return AuthVectorBundle::decode(d); });
+}
+
+TEST(FuzzDecode, StoreMaterialRequestTruncations) {
+  expect_all_truncations_throw(valid_store_request(),
+                               [](ByteView d) { return StoreMaterialRequest::decode(d); });
+}
+
+TEST(FuzzDecode, UsageProofTruncations) {
+  UsageProof p;
+  p.serving_network = NetworkId("serving");
+  p.supi = Supi("315010000000001");
+  p.res_star = array_from_hex<16>("d0d1d2d3d4d5d6d7d8d9dadbdcdddedf");
+  p.hxres_star = hxres_index(p.res_star);
+  p.serving_signature = crypto::ed25519_sign(p.signed_payload(), signer());
+  expect_all_truncations_throw(p.encode(), [](ByteView d) { return UsageProof::decode(d); });
+}
+
+TEST(FuzzDecode, RevokeRequestTruncations) {
+  RevokeSharesRequest req;
+  req.home_network = NetworkId("home");
+  req.supi = Supi("315010000000001");
+  req.hxres_indices.push_back(array_from_hex<16>("00000000000000000000000000000001"));
+  req.home_signature = crypto::ed25519_sign(req.signed_payload(), signer());
+  expect_all_truncations_throw(req.encode(),
+                               [](ByteView d) { return RevokeSharesRequest::decode(d); });
+}
+
+TEST(FuzzDecode, RandomMutationsNeverCrash) {
+  // Flip random bytes in valid frames; decode must either succeed (the
+  // mutation hit a don't-care byte, e.g. inside the signature — which then
+  // fails verification) or throw WireError. Anything else is a bug.
+  const auto keys = signer();
+  const Bytes frames[] = {valid_vector_bundle(), valid_store_request()};
+  Xoshiro256StarStar rng(0xf022);
+  for (const Bytes& frame : frames) {
+    for (int trial = 0; trial < 2000; ++trial) {
+      Bytes mutated = frame;
+      const std::size_t pos = rng.next_below(mutated.size());
+      mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+      try {
+        const auto decoded = AuthVectorBundle::decode(mutated);
+        // Decoded despite mutation: the signature must now be invalid
+        // unless the flipped byte was outside the signed payload AND the
+        // signature — impossible for this format except... nothing: every
+        // byte is either signed content or the signature itself.
+        EXPECT_FALSE(decoded.verify(keys.public_key)) << "mutation at " << pos;
+      } catch (const wire::WireError&) {
+        // fine
+      }
+    }
+    break;  // the mutation-verify check only applies to the first frame
+  }
+}
+
+TEST(FuzzDecode, RandomGarbageNeverCrashes) {
+  Xoshiro256StarStar rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes garbage(rng.next_below(300));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_THROW((void)AuthVectorBundle::decode(garbage), wire::WireError);
+    try {
+      (void)StoreMaterialRequest::decode(garbage);
+      // Extremely unlikely to parse, but if it does it must be benign.
+    } catch (const wire::WireError&) {
+    }
+  }
+}
+
+TEST(FuzzDecode, HugeDeclaredLengthsAreBounded) {
+  // A frame claiming a 4GiB string must throw, not allocate.
+  wire::Writer w;
+  w.u32(0xffffffffu);
+  const Bytes frame = std::move(w).take();
+  wire::Reader r(frame);
+  EXPECT_THROW((void)r.bytes(), wire::WireError);
+}
+
+}  // namespace
+}  // namespace dauth::core

@@ -1,0 +1,144 @@
+// Unit-level HomeNetwork tests: slice management, dissemination accounting,
+// local vector generation, and configuration limits.
+#include <gtest/gtest.h>
+
+#include "../integration/federation_fixture.h"
+
+namespace dauth::testing {
+namespace {
+
+const Supi kAlice("901550000000001");
+
+TEST(HomeNetwork, RejectsMoreThan31Backups) {
+  Federation f(2);
+  std::vector<NetworkId> too_many;
+  for (int i = 0; i < 32; ++i) too_many.emplace_back("b" + std::to_string(i));
+  EXPECT_THROW(f.net(0).home().set_backups(too_many), std::invalid_argument);
+}
+
+TEST(HomeNetwork, SliceAssignmentsStableAcrossReconfiguration) {
+  // Slices must never be recycled while material may be outstanding: after
+  // dropping and re-adding backups, previously assigned networks keep their
+  // slice and new ones get fresh slices.
+  Federation f(6);
+  auto& home = f.net(0).home();
+  home.set_backups({f.net(1).id(), f.net(2).id(), f.net(3).id()});
+  // Shrink, then extend with a new member.
+  home.set_backups({f.net(1).id(), f.net(3).id()});
+  home.set_backups({f.net(1).id(), f.net(3).id(), f.net(4).id()});
+
+  // Exhausting the 31 slices proves they are not reused: 3 consumed above
+  // (nets 1,2,3) + net 4 = 4; adding 27 more distinct ids is fine, the 28th
+  // new id must throw.
+  std::vector<NetworkId> ids = {f.net(1).id(), f.net(3).id(), f.net(4).id()};
+  for (int i = 0; i < 27; ++i) ids.emplace_back("fresh-" + std::to_string(i));
+  EXPECT_NO_THROW(home.set_backups(ids));
+  ids.emplace_back("one-too-many");
+  EXPECT_THROW(home.set_backups(ids), std::length_error);
+}
+
+TEST(HomeNetwork, DisseminationCountsMaterial) {
+  Federation f(5);
+  (void)f.provision(kAlice, 0, {1, 2, 3});
+  const auto& m = f.net(0).home().metrics();
+  EXPECT_EQ(m.vectors_disseminated, 3 * f.config.vectors_per_backup);
+  EXPECT_EQ(m.shares_disseminated, 3 * f.config.vectors_per_backup * 3);
+  // Every backup stored everything it was sent.
+  for (std::size_t i : {1u, 2u, 3u}) {
+    EXPECT_EQ(f.net(i).backup().stored_vectors(f.net(0).id(), kAlice),
+              f.config.vectors_per_backup);
+    EXPECT_EQ(f.net(i).backup().stored_shares(f.net(0).id(), kAlice),
+              3 * f.config.vectors_per_backup);
+  }
+}
+
+TEST(HomeNetwork, DisseminateUnknownSubscriberIsNoop) {
+  Federation f(3);
+  f.net(0).set_backups({f.net(1).id()});
+  std::size_t reported = 99;
+  f.net(0).home().disseminate(Supi("999999999999999"),
+                              [&](std::size_t n) { reported = n; });
+  f.simulator.run();
+  EXPECT_EQ(reported, 0u);
+}
+
+TEST(HomeNetwork, DisseminateWithNoBackupsIsNoop) {
+  Federation f(2);
+  const auto keys = f.net(0).provision_subscriber(kAlice);
+  (void)keys;
+  std::size_t reported = 99;
+  f.net(0).home().disseminate(kAlice, [&](std::size_t n) { reported = n; });
+  f.simulator.run();
+  EXPECT_EQ(reported, 0u);
+}
+
+TEST(HomeNetwork, LocalVectorsUseHomeSliceAndAdvance) {
+  Federation f(2);
+  f.net(0).provision_subscriber(kAlice);
+  crypto::Key256 k1{}, k2{};
+  const auto v1 = f.net(0).home().generate_local_vector(kAlice, k1);
+  const auto v2 = f.net(0).home().generate_local_vector(kAlice, k2);
+  EXPECT_EQ(aka::sqn_slice(v1.sqn), aka::kHomeSlice);
+  EXPECT_EQ(aka::sqn_slice(v2.sqn), aka::kHomeSlice);
+  EXPECT_GT(v2.sqn, v1.sqn);
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(v1.rand, v2.rand);
+  EXPECT_THROW(f.net(0).home().generate_local_vector(Supi("0"), k1), std::invalid_argument);
+}
+
+TEST(HomeNetwork, DisseminatedSqnsLandInTheBackupsSlice) {
+  // Protocol invariant: a backup's vectors are confined to one slice, so
+  // consumption order across backups never conflicts at the SIM.
+  core::FederationConfig cfg = Federation::test_config();
+  cfg.vectors_per_backup = 3;
+  Federation f(4, cfg);
+  const auto keys = f.provision(kAlice, 0, {1, 2});
+  f.network.node(f.net(0).node()).set_online(false);
+
+  // Drain every vector through attaches and record accepted SQNs per path.
+  auto ue = f.make_ue(kAlice, keys, 3);
+  std::vector<std::uint64_t> accepted;
+  for (int i = 0; i < 3; ++i) {
+    const auto record = f.attach(*ue);
+    if (!record.success) break;
+    accepted.push_back(ue->usim().sqn_tracker().highest_overall());
+  }
+  ASSERT_GE(accepted.size(), 2u);
+  // SQN high-water mark strictly increases per successful attach.
+  for (std::size_t i = 1; i < accepted.size(); ++i) EXPECT_GT(accepted[i], accepted[i - 1]);
+}
+
+TEST(ServingNetwork, HealthCacheStatesAndMetrics) {
+  Federation f(5);
+  const auto keys = f.provision(kAlice, 0, {1, 2, 3});
+  auto& serving = f.net(4).serving();
+
+  // Unknown home: assumed reachable; explicit hints override.
+  serving.set_home_health(f.net(0).id(), false);
+  auto ue = f.make_ue(kAlice, keys, 4);
+  const auto record = f.attach(*ue);
+  EXPECT_TRUE(record.success);
+  EXPECT_EQ(record.path, "backup");          // hint respected, home never tried
+  EXPECT_EQ(serving.metrics().home_fallbacks, 0u);  // no timeout was paid
+
+  serving.set_home_health(f.net(0).id(), true);
+  const auto record2 = f.attach(*ue);
+  EXPECT_EQ(record2.path, "home-online");
+}
+
+TEST(ServingNetwork, MetricsTallyAttaches) {
+  Federation f(4);
+  const auto keys = f.provision(kAlice, 0, {1, 2});
+  auto ue = f.make_ue(kAlice, keys, 3);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(f.attach(*ue).success);
+  const auto& m = f.net(3).serving().metrics();
+  EXPECT_EQ(m.attaches_started, 3u);
+  EXPECT_EQ(m.attaches_succeeded, 3u);
+  EXPECT_EQ(m.attaches_failed, 0u);
+  EXPECT_EQ(m.home_auths, 3u);
+  EXPECT_EQ(m.local_auths, 0u);
+  EXPECT_EQ(m.backup_auths, 0u);
+}
+
+}  // namespace
+}  // namespace dauth::testing

@@ -1,0 +1,96 @@
+#include "crypto/aes128.h"
+
+#include <gtest/gtest.h>
+
+namespace dauth::crypto {
+namespace {
+
+// FIPS-197 Appendix B example.
+TEST(Aes128, Fips197Example) {
+  const auto key = array_from_hex<16>("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto plaintext = array_from_hex<16>("3243f6a8885a308d313198a2e0370734");
+  const Aes128 cipher(key);
+  EXPECT_EQ(to_hex(cipher.encrypt_block(plaintext)),
+            "3925841d02dc09fbdc118597196a0b32");
+}
+
+// FIPS-197 Appendix C.1 (key 000102... plaintext 00112233...).
+TEST(Aes128, Fips197AppendixC1) {
+  const auto key = array_from_hex<16>("000102030405060708090a0b0c0d0e0f");
+  const auto plaintext = array_from_hex<16>("00112233445566778899aabbccddeeff");
+  const Aes128 cipher(key);
+  EXPECT_EQ(to_hex(cipher.encrypt_block(plaintext)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// NIST SP 800-38A F.1.1 ECB-AES128 vectors (all four blocks).
+TEST(Aes128, Sp80038aEcbVectors) {
+  const auto key = array_from_hex<16>("2b7e151628aed2a6abf7158809cf4f3c");
+  const Aes128 cipher(key);
+  const char* plains[] = {
+      "6bc1bee22e409f96e93d7e117393172a", "ae2d8a571e03ac9c9eb76fac45af8e51",
+      "30c81c46a35ce411e5fbc1191a0a52ef", "f69f2445df4f9b17ad2b417be66c3710"};
+  const char* ciphers[] = {
+      "3ad77bb40d7a3660a89ecaf32466ef97", "f5d3d58503b9699de785895a96fdbaaf",
+      "43b1cd7f598ece23881b00e3ed030688", "7b0c785e27e8ad3f8223207104725dd4"};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(to_hex(cipher.encrypt_block(array_from_hex<16>(plains[i]))), ciphers[i]);
+  }
+}
+
+// NIST SP 800-38A F.5.1 CTR-AES128.
+TEST(Aes128, Sp80038aCtrVector) {
+  const auto key = array_from_hex<16>("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto counter = array_from_hex<16>("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Aes128 cipher(key);
+
+  Bytes data = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  aes128_ctr_xor(cipher, counter, data);
+  EXPECT_EQ(to_hex(data),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(Aes128, CtrRoundTrip) {
+  const auto key = array_from_hex<16>("00112233445566778899aabbccddeeff");
+  const AesBlock counter{};
+  const Aes128 cipher(key);
+
+  Bytes data(100);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  const Bytes original = data;
+
+  aes128_ctr_xor(cipher, counter, data);
+  EXPECT_NE(data, original);
+  aes128_ctr_xor(cipher, counter, data);  // CTR is its own inverse
+  EXPECT_EQ(data, original);
+}
+
+TEST(Aes128, CtrPartialBlock) {
+  const auto key = array_from_hex<16>("000102030405060708090a0b0c0d0e0f");
+  const AesBlock counter{};
+  const Aes128 cipher(key);
+
+  // Encrypting a 5-byte buffer must match the prefix of a 16-byte buffer.
+  Bytes short_buf(5, 0xab);
+  Bytes long_buf(16, 0xab);
+  aes128_ctr_xor(cipher, counter, short_buf);
+  aes128_ctr_xor(cipher, counter, long_buf);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(short_buf[i], long_buf[i]);
+}
+
+TEST(Aes128, DifferentKeysDifferentCiphertext) {
+  const auto k1 = array_from_hex<16>("00000000000000000000000000000000");
+  const auto k2 = array_from_hex<16>("00000000000000000000000000000001");
+  const AesBlock pt{};
+  EXPECT_NE(Aes128(k1).encrypt_block(pt), Aes128(k2).encrypt_block(pt));
+}
+
+}  // namespace
+}  // namespace dauth::crypto

@@ -1,0 +1,84 @@
+#include "crypto/drbg.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dauth::crypto {
+namespace {
+
+TEST(Drbg, DeterministicForSameSeed) {
+  DeterministicDrbg a("label", 7);
+  DeterministicDrbg b("label", 7);
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+}
+
+TEST(Drbg, DifferentSeedsDiffer) {
+  DeterministicDrbg a("label", 7);
+  DeterministicDrbg b("label", 8);
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Drbg, DifferentLabelsDiffer) {
+  DeterministicDrbg a("alpha", 7);
+  DeterministicDrbg b("beta", 7);
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Drbg, SequentialDrawsDiffer) {
+  DeterministicDrbg d("x", 1);
+  const Bytes first = d.bytes(32);
+  const Bytes second = d.bytes(32);
+  EXPECT_NE(first, second);
+}
+
+TEST(Drbg, SplitDrawsMatchCombined) {
+  // Request sizes shouldn't change the stream... HMAC_DRBG regenerates V per
+  // call, so this property does NOT hold; instead verify stability: the same
+  // sequence of calls yields the same outputs.
+  DeterministicDrbg a("y", 2);
+  DeterministicDrbg b("y", 2);
+  (void)a.bytes(10);
+  (void)b.bytes(10);
+  EXPECT_EQ(a.bytes(20), b.bytes(20));
+}
+
+TEST(Drbg, FillExactSizes) {
+  DeterministicDrbg d("z", 3);
+  for (std::size_t n : {0u, 1u, 31u, 32u, 33u, 100u}) {
+    Bytes buf = d.bytes(n);
+    EXPECT_EQ(buf.size(), n);
+  }
+}
+
+TEST(Drbg, ArrayHelper) {
+  DeterministicDrbg d("arr", 4);
+  const auto a = d.array<16>();
+  const auto b = d.array<16>();
+  EXPECT_NE(a, b);
+}
+
+TEST(Drbg, NextU64Spread) {
+  DeterministicDrbg d("u64", 5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(d.next_u64());
+  EXPECT_EQ(seen.size(), 100u);  // no collisions expected
+}
+
+TEST(Drbg, ReseedChangesStream) {
+  DeterministicDrbg a("r", 6);
+  DeterministicDrbg b("r", 6);
+  b.reseed(as_bytes("extra entropy"));
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Drbg, RandomSourceInterface) {
+  DeterministicDrbg d("iface", 7);
+  RandomSource& source = d;
+  Bytes buf(16);
+  source.fill(buf);
+  EXPECT_NE(buf, Bytes(16, 0));
+}
+
+}  // namespace
+}  // namespace dauth::crypto

@@ -1,0 +1,125 @@
+#include "crypto/ed25519.h"
+
+#include <gtest/gtest.h>
+
+namespace dauth::crypto {
+namespace {
+
+// RFC 8032 §7.1 test vectors.
+struct Rfc8032Vector {
+  const char* seed;
+  const char* public_key;
+  const char* message;
+  const char* signature;
+};
+
+const Rfc8032Vector kVectors[] = {
+    {"9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+     "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a", "",
+     "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+     "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"},
+    {"4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+     "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c", "72",
+     "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+     "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"},
+    {"c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+     "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025", "af82",
+     "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+     "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"},
+};
+
+class Ed25519Rfc : public ::testing::TestWithParam<Rfc8032Vector> {};
+
+TEST_P(Ed25519Rfc, KeyDerivation) {
+  const auto& v = GetParam();
+  const auto kp = ed25519_keypair(array_from_hex<32>(v.seed));
+  EXPECT_EQ(to_hex(kp.public_key), v.public_key);
+}
+
+TEST_P(Ed25519Rfc, SignMatchesVector) {
+  const auto& v = GetParam();
+  const auto kp = ed25519_keypair(array_from_hex<32>(v.seed));
+  const Bytes msg = from_hex(v.message);
+  EXPECT_EQ(to_hex(ed25519_sign(msg, kp)), v.signature);
+}
+
+TEST_P(Ed25519Rfc, VerifyAcceptsVector) {
+  const auto& v = GetParam();
+  const Bytes msg = from_hex(v.message);
+  EXPECT_TRUE(ed25519_verify(msg, array_from_hex<64>(v.signature),
+                             array_from_hex<32>(v.public_key)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Vectors, Ed25519Rfc, ::testing::ValuesIn(kVectors));
+
+TEST(Ed25519, RejectsModifiedMessage) {
+  DeterministicDrbg rng("ed", 1);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = to_bytes(as_bytes("attach-request"));
+  const auto sig = ed25519_sign(msg, kp);
+
+  Bytes tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_TRUE(ed25519_verify(msg, sig, kp.public_key));
+  EXPECT_FALSE(ed25519_verify(tampered, sig, kp.public_key));
+}
+
+TEST(Ed25519, RejectsModifiedSignature) {
+  DeterministicDrbg rng("ed", 2);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = to_bytes(as_bytes("key-share-bundle"));
+  auto sig = ed25519_sign(msg, kp);
+  for (std::size_t i : {0u, 31u, 32u, 63u}) {
+    auto bad = sig;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(ed25519_verify(msg, bad, kp.public_key)) << "byte " << i;
+  }
+}
+
+TEST(Ed25519, RejectsWrongKey) {
+  DeterministicDrbg rng("ed", 3);
+  const auto kp1 = ed25519_generate(rng);
+  const auto kp2 = ed25519_generate(rng);
+  const Bytes msg = to_bytes(as_bytes("hello"));
+  const auto sig = ed25519_sign(msg, kp1);
+  EXPECT_FALSE(ed25519_verify(msg, sig, kp2.public_key));
+}
+
+TEST(Ed25519, RejectsHighS) {
+  // s >= L must be rejected (signature malleability).
+  DeterministicDrbg rng("ed", 4);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = to_bytes(as_bytes("m"));
+  auto sig = ed25519_sign(msg, kp);
+  // Set s to L itself (0x10 << 248 | ... kL bytes).
+  const Bytes l_bytes = from_hex(
+      "edd3f55c1a631258d69cf7a2def9de14"
+      "00000000000000000000000000000010");
+  for (int i = 0; i < 32; ++i) sig[32 + i] = l_bytes[i];
+  EXPECT_FALSE(ed25519_verify(msg, sig, kp.public_key));
+}
+
+TEST(Ed25519, SignaturesAreDeterministic) {
+  DeterministicDrbg rng("ed", 5);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = to_bytes(as_bytes("deterministic"));
+  EXPECT_EQ(ed25519_sign(msg, kp), ed25519_sign(msg, kp));
+}
+
+TEST(Ed25519, LargeMessage) {
+  DeterministicDrbg rng("ed", 6);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = rng.bytes(10000);
+  const auto sig = ed25519_sign(msg, kp);
+  EXPECT_TRUE(ed25519_verify(msg, sig, kp.public_key));
+}
+
+TEST(Ed25519, GeneratedKeysAreDistinct) {
+  DeterministicDrbg rng("ed", 7);
+  const auto a = ed25519_generate(rng);
+  const auto b = ed25519_generate(rng);
+  EXPECT_NE(a.public_key, b.public_key);
+}
+
+}  // namespace
+}  // namespace dauth::crypto

@@ -1,0 +1,138 @@
+#include "crypto/feldman.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+
+namespace dauth::crypto {
+namespace {
+
+namespace cv = curve25519;
+
+Bytes test_secret(std::size_t len) {
+  Bytes s(len);
+  for (std::size_t i = 0; i < len; ++i) s[i] = static_cast<std::uint8_t>(0xa0 + i);
+  return s;
+}
+
+TEST(Scalar, InvertIsExact) {
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 65537ull, 0xdeadbeefull}) {
+    const cv::Scalar s = cv::scalar_from_u64(v);
+    const cv::Scalar inv = scalar_invert(s);
+    EXPECT_EQ(cv::scalar_mul(s, inv), cv::scalar_from_u64(1)) << v;
+  }
+}
+
+TEST(Scalar, SmallArithmetic) {
+  EXPECT_EQ(cv::scalar_add(cv::scalar_from_u64(2), cv::scalar_from_u64(3)),
+            cv::scalar_from_u64(5));
+  EXPECT_EQ(cv::scalar_mul(cv::scalar_from_u64(6), cv::scalar_from_u64(7)),
+            cv::scalar_from_u64(42));
+  EXPECT_EQ(cv::scalar_muladd(cv::scalar_from_u64(6), cv::scalar_from_u64(7),
+                              cv::scalar_from_u64(1)),
+            cv::scalar_from_u64(43));
+}
+
+TEST(Feldman, RoundTrip32ByteSecret) {
+  DeterministicDrbg rng("feldman", 1);
+  const Bytes secret = test_secret(32);
+  const auto sharing = feldman_split(secret, 3, 5, rng);
+  ASSERT_EQ(sharing.shares.size(), 5u);
+  EXPECT_EQ(sharing.commitments.per_chunk.size(), 2u);  // 32B = 2 chunks
+
+  const std::vector<FeldmanShare> subset(sharing.shares.begin(), sharing.shares.begin() + 3);
+  EXPECT_EQ(feldman_combine(subset, 32), secret);
+}
+
+TEST(Feldman, ShortSecret) {
+  DeterministicDrbg rng("feldman", 2);
+  const Bytes secret = test_secret(10);
+  const auto sharing = feldman_split(secret, 2, 3, rng);
+  EXPECT_EQ(feldman_combine({sharing.shares[0], sharing.shares[2]}, 10), secret);
+}
+
+TEST(Feldman, AllSharesVerify) {
+  DeterministicDrbg rng("feldman", 3);
+  const auto sharing = feldman_split(test_secret(32), 3, 5, rng);
+  for (const auto& share : sharing.shares) {
+    EXPECT_TRUE(feldman_verify(share, sharing.commitments));
+  }
+}
+
+TEST(Feldman, TamperedShareFailsVerification) {
+  DeterministicDrbg rng("feldman", 4);
+  auto sharing = feldman_split(test_secret(32), 2, 4, rng);
+  auto bad = sharing.shares[1];
+  bad.chunks[0][0] ^= 0x01;
+  EXPECT_FALSE(feldman_verify(bad, sharing.commitments));
+}
+
+TEST(Feldman, WrongXFailsVerification) {
+  DeterministicDrbg rng("feldman", 5);
+  auto sharing = feldman_split(test_secret(16), 2, 4, rng);
+  auto bad = sharing.shares[1];
+  bad.x = sharing.shares[2].x;  // claims a different evaluation point
+  EXPECT_FALSE(feldman_verify(bad, sharing.commitments));
+}
+
+TEST(Feldman, ForeignShareFailsVerification) {
+  DeterministicDrbg rng("feldman", 6);
+  const auto sharing_a = feldman_split(test_secret(16), 2, 3, rng);
+  const auto sharing_b = feldman_split(test_secret(16), 2, 3, rng);
+  // Same secret but different polynomials: shares don't cross-verify.
+  EXPECT_FALSE(feldman_verify(sharing_a.shares[0], sharing_b.commitments));
+}
+
+TEST(Feldman, BelowThresholdDoesNotReconstruct) {
+  DeterministicDrbg rng("feldman", 7);
+  const Bytes secret = test_secret(32);
+  const auto sharing = feldman_split(secret, 3, 5, rng);
+  const std::vector<FeldmanShare> too_few(sharing.shares.begin(), sharing.shares.begin() + 2);
+  EXPECT_NE(feldman_combine(too_few, 32), secret);
+}
+
+TEST(Feldman, InvalidParametersThrow) {
+  DeterministicDrbg rng("feldman", 8);
+  EXPECT_THROW(feldman_split(test_secret(16), 0, 3, rng), std::invalid_argument);
+  EXPECT_THROW(feldman_split(test_secret(16), 4, 3, rng), std::invalid_argument);
+  EXPECT_THROW(feldman_combine({}, 16), std::invalid_argument);
+}
+
+TEST(Feldman, CombineRejectsDuplicateX) {
+  DeterministicDrbg rng("feldman", 9);
+  auto sharing = feldman_split(test_secret(16), 2, 3, rng);
+  auto shares = sharing.shares;
+  shares[1].x = shares[0].x;
+  EXPECT_THROW(feldman_combine({shares[0], shares[1]}, 16), std::invalid_argument);
+}
+
+TEST(Feldman, ThresholdEqualsCountOfCommitments) {
+  DeterministicDrbg rng("feldman", 10);
+  const auto sharing = feldman_split(test_secret(16), 4, 6, rng);
+  for (const auto& chunk_commitments : sharing.commitments.per_chunk) {
+    EXPECT_EQ(chunk_commitments.size(), 4u);
+  }
+}
+
+class FeldmanSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FeldmanSweep, RoundTripAndVerify) {
+  const auto [threshold, count] = GetParam();
+  DeterministicDrbg rng("feldman-sweep", static_cast<std::uint64_t>(threshold * 100 + count));
+  const Bytes secret = test_secret(32);
+  const auto sharing = feldman_split(secret, threshold, count, rng);
+
+  for (const auto& share : sharing.shares) {
+    ASSERT_TRUE(feldman_verify(share, sharing.commitments));
+  }
+  const std::vector<FeldmanShare> subset(sharing.shares.end() - threshold,
+                                         sharing.shares.end());
+  EXPECT_EQ(feldman_combine(subset, 32), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(MN, FeldmanSweep,
+                         ::testing::Values(std::pair{1, 2}, std::pair{2, 4},
+                                           std::pair{3, 8}, std::pair{4, 6}));
+
+}  // namespace
+}  // namespace dauth::crypto

@@ -1,0 +1,107 @@
+#include "crypto/gf256.h"
+
+#include <gtest/gtest.h>
+
+namespace dauth::crypto::gf256 {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(add(0x57, 0x83), 0xd4);
+  EXPECT_EQ(add(0xff, 0xff), 0x00);
+}
+
+TEST(Gf256, KnownProducts) {
+  // Classic AES field examples.
+  EXPECT_EQ(mul(0x57, 0x83), 0xc1);
+  EXPECT_EQ(mul(0x57, 0x13), 0xfe);
+  EXPECT_EQ(mul(0x02, 0x87), 0x15);  // xtime with reduction
+}
+
+TEST(Gf256, MultiplicativeIdentity) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<std::uint8_t>(a)), a);
+  }
+}
+
+TEST(Gf256, MulByZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256, Commutative) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 11) {
+      EXPECT_EQ(mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256, Associative) {
+  for (int a = 1; a < 256; a += 31) {
+    for (int b = 1; b < 256; b += 37) {
+      for (int c = 1; c < 256; c += 41) {
+        const auto ua = static_cast<std::uint8_t>(a);
+        const auto ub = static_cast<std::uint8_t>(b);
+        const auto uc = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(mul(mul(ua, ub), uc), mul(ua, mul(ub, uc)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, Distributive) {
+  for (int a = 0; a < 256; a += 13) {
+    for (int b = 0; b < 256; b += 17) {
+      for (int c = 0; c < 256; c += 19) {
+        const auto ua = static_cast<std::uint8_t>(a);
+        const auto ub = static_cast<std::uint8_t>(b);
+        const auto uc = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(mul(ua, add(ub, uc)), add(mul(ua, ub), mul(ua, uc)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, InverseIsExactForAllNonZero) {
+  for (int a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(ua, inv(ua)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 1; b < 256; b += 9) {
+      const auto ua = static_cast<std::uint8_t>(a);
+      const auto ub = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(div(mul(ua, ub), ub), ua);
+    }
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  const std::uint8_t g = 0x03;  // generator of GF(256)*
+  std::uint8_t acc = 1;
+  for (unsigned e = 0; e < 20; ++e) {
+    EXPECT_EQ(pow(g, e), acc);
+    acc = mul(acc, g);
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // 0x03 generates the whole multiplicative group: 0x03^255 == 1 and no
+  // smaller positive power is 1.
+  const std::uint8_t g = 0x03;
+  std::uint8_t acc = g;
+  for (int e = 1; e < 255; ++e) {
+    EXPECT_NE(acc, 1) << "order divides " << e;
+    acc = mul(acc, g);
+  }
+  EXPECT_EQ(acc, 1);
+}
+
+}  // namespace
+}  // namespace dauth::crypto::gf256

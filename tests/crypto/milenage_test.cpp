@@ -1,0 +1,94 @@
+#include "crypto/milenage.h"
+
+#include <gtest/gtest.h>
+
+namespace dauth::crypto {
+namespace {
+
+// 3GPP TS 35.207 / TS 35.208 Test Set 1.
+struct TestSet1 {
+  MilenageKey k = array_from_hex<16>("465b5ce8b199b49faa5f0a2ee238a6bc");
+  Rand rand = array_from_hex<16>("23553cbe9637a89d218ae64dae47bf35");
+  Sqn sqn = array_from_hex<6>("ff9bb4d0b607");
+  Amf amf = array_from_hex<2>("b9b9");
+  MilenageOp op = array_from_hex<16>("cdc202d5123e20f62b6d676ac72cb318");
+  MilenageOpc opc = array_from_hex<16>("cd63cb71954a9f4e48a5994e37a02baf");
+};
+
+TEST(Milenage, OpcDerivation) {
+  TestSet1 ts;
+  EXPECT_EQ(derive_opc(ts.k, ts.op), ts.opc);
+}
+
+TEST(Milenage, TestSet1Functions) {
+  TestSet1 ts;
+  const MilenageOutput out = milenage(ts.k, ts.opc, ts.rand, ts.sqn, ts.amf);
+  EXPECT_EQ(to_hex(out.mac_a), "4a9ffac354dfafb3");    // f1
+  EXPECT_EQ(to_hex(out.mac_s), "01cfaf9ec4e871e9");    // f1*
+  EXPECT_EQ(to_hex(out.res), "a54211d5e3ba50bf");      // f2
+  EXPECT_EQ(to_hex(out.ck), "b40ba9a3c58b2a05bbf0d987b21bf8cb");  // f3
+  EXPECT_EQ(to_hex(out.ik), "f769bcd751044604127672711c6d3441");  // f4
+  EXPECT_EQ(to_hex(out.ak), "aa689c648370");           // f5
+  EXPECT_EQ(to_hex(out.ak_star), "451e8beca43b");      // f5*
+}
+
+TEST(Milenage, DifferentRandChangesEverything) {
+  TestSet1 ts;
+  Rand other_rand = ts.rand;
+  other_rand[0] ^= 0x01;
+  const MilenageOutput a = milenage(ts.k, ts.opc, ts.rand, ts.sqn, ts.amf);
+  const MilenageOutput b = milenage(ts.k, ts.opc, other_rand, ts.sqn, ts.amf);
+  EXPECT_NE(a.mac_a, b.mac_a);
+  EXPECT_NE(a.res, b.res);
+  EXPECT_NE(a.ck, b.ck);
+  EXPECT_NE(a.ik, b.ik);
+  EXPECT_NE(a.ak, b.ak);
+}
+
+TEST(Milenage, SqnOnlyAffectsMac) {
+  // f2..f5 do not depend on SQN/AMF; only f1/f1* do.
+  TestSet1 ts;
+  Sqn other_sqn = ts.sqn;
+  other_sqn[5] ^= 0xff;
+  const MilenageOutput a = milenage(ts.k, ts.opc, ts.rand, ts.sqn, ts.amf);
+  const MilenageOutput b = milenage(ts.k, ts.opc, ts.rand, other_sqn, ts.amf);
+  EXPECT_NE(a.mac_a, b.mac_a);
+  EXPECT_EQ(a.res, b.res);
+  EXPECT_EQ(a.ck, b.ck);
+  EXPECT_EQ(a.ik, b.ik);
+  EXPECT_EQ(a.ak, b.ak);
+}
+
+TEST(Milenage, AmfAffectsMacOnly) {
+  TestSet1 ts;
+  Amf other_amf = array_from_hex<2>("0000");
+  const MilenageOutput a = milenage(ts.k, ts.opc, ts.rand, ts.sqn, ts.amf);
+  const MilenageOutput b = milenage(ts.k, ts.opc, ts.rand, ts.sqn, other_amf);
+  EXPECT_NE(a.mac_a, b.mac_a);
+  EXPECT_NE(a.mac_s, b.mac_s);
+  EXPECT_EQ(a.res, b.res);
+}
+
+TEST(Milenage, DifferentSubscriberKeysIndependent) {
+  TestSet1 ts;
+  MilenageKey k2 = ts.k;
+  k2[15] ^= 0x80;
+  // Same OP but per-subscriber OPc differs, as provisioned in real SIMs.
+  const MilenageOpc opc2 = derive_opc(k2, ts.op);
+  EXPECT_NE(opc2, ts.opc);
+  const MilenageOutput a = milenage(ts.k, ts.opc, ts.rand, ts.sqn, ts.amf);
+  const MilenageOutput b = milenage(k2, opc2, ts.rand, ts.sqn, ts.amf);
+  EXPECT_NE(a.res, b.res);
+  EXPECT_NE(a.ck, b.ck);
+}
+
+TEST(Milenage, Deterministic) {
+  TestSet1 ts;
+  const MilenageOutput a = milenage(ts.k, ts.opc, ts.rand, ts.sqn, ts.amf);
+  const MilenageOutput b = milenage(ts.k, ts.opc, ts.rand, ts.sqn, ts.amf);
+  EXPECT_EQ(a.mac_a, b.mac_a);
+  EXPECT_EQ(a.ck, b.ck);
+}
+
+}  // namespace
+}  // namespace dauth::crypto

@@ -1,0 +1,70 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dauth::crypto {
+namespace {
+
+std::string hash_hex(ByteView data) { return to_hex(sha256(data)); }
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex(as_bytes("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex(as_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(as_bytes(chunk));
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  // Split at every possible position; digests must agree.
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 ctx;
+    ctx.update(as_bytes(std::string_view(msg).substr(0, split)));
+    ctx.update(as_bytes(std::string_view(msg).substr(split)));
+    EXPECT_EQ(ctx.finish(), sha256(as_bytes(msg))) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 ctx;
+  ctx.update(as_bytes("garbage"));
+  (void)ctx.finish();
+  ctx.reset();
+  ctx.update(as_bytes("abc"));
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Exercise padding at block-boundary message lengths (55, 56, 63, 64, 65).
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.update(as_bytes(msg));
+    // Byte-at-a-time must agree.
+    Sha256 b;
+    for (char c : msg) b.update(as_bytes(std::string_view(&c, 1)));
+    EXPECT_EQ(a.finish(), b.finish()) << "len " << len;
+  }
+}
+
+}  // namespace
+}  // namespace dauth::crypto

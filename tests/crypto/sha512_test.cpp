@@ -1,0 +1,63 @@
+#include "crypto/sha512.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dauth::crypto {
+namespace {
+
+std::string hash_hex(ByteView data) { return to_hex(sha512(data)); }
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(hash_hex({}),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(hash_hex(as_bytes("abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex(as_bytes(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, MillionAs) {
+  Sha512 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(as_bytes(chunk));
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+TEST(Sha512, IncrementalMatchesOneShot) {
+  const std::string msg(300, 'q');  // spans multiple 128-byte blocks
+  for (std::size_t split : {0u, 1u, 63u, 64u, 127u, 128u, 129u, 300u}) {
+    Sha512 ctx;
+    ctx.update(as_bytes(std::string_view(msg).substr(0, split)));
+    ctx.update(as_bytes(std::string_view(msg).substr(split)));
+    EXPECT_EQ(ctx.finish(), sha512(as_bytes(msg))) << "split at " << split;
+  }
+}
+
+TEST(Sha512, BoundaryLengths) {
+  for (std::size_t len : {111u, 112u, 127u, 128u, 129u}) {
+    const std::string msg(len, 'x');
+    Sha512 a;
+    a.update(as_bytes(msg));
+    Sha512 b;
+    for (char c : msg) b.update(as_bytes(std::string_view(&c, 1)));
+    EXPECT_EQ(a.finish(), b.finish()) << "len " << len;
+  }
+}
+
+}  // namespace
+}  // namespace dauth::crypto

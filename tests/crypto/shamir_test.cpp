@@ -1,0 +1,158 @@
+#include "crypto/shamir.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "crypto/drbg.h"
+
+namespace dauth::crypto {
+namespace {
+
+Bytes test_secret(std::size_t len) {
+  Bytes s(len);
+  for (std::size_t i = 0; i < len; ++i) s[i] = static_cast<std::uint8_t>(i * 37 + 5);
+  return s;
+}
+
+TEST(Shamir, RoundTripBasic) {
+  DeterministicDrbg rng("shamir", 1);
+  const Bytes secret = test_secret(32);
+  const auto shares = shamir_split(secret, 3, 5, rng);
+  ASSERT_EQ(shares.size(), 5u);
+
+  const std::vector<ShamirShare> subset(shares.begin(), shares.begin() + 3);
+  EXPECT_EQ(shamir_combine(subset), secret);
+}
+
+TEST(Shamir, AnySubsetOfThresholdSizeWorks) {
+  DeterministicDrbg rng("shamir", 2);
+  const Bytes secret = test_secret(16);
+  const auto shares = shamir_split(secret, 3, 6, rng);
+
+  // All C(6,3) = 20 subsets.
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = i + 1; j < 6; ++j)
+      for (std::size_t k = j + 1; k < 6; ++k) {
+        const std::vector<ShamirShare> subset = {shares[i], shares[j], shares[k]};
+        EXPECT_EQ(shamir_combine(subset), secret) << i << "," << j << "," << k;
+      }
+}
+
+TEST(Shamir, MoreThanThresholdAlsoWorks) {
+  DeterministicDrbg rng("shamir", 3);
+  const Bytes secret = test_secret(32);
+  const auto shares = shamir_split(secret, 2, 5, rng);
+  EXPECT_EQ(shamir_combine(shares), secret);  // all 5
+}
+
+TEST(Shamir, BelowThresholdRevealsNothing) {
+  DeterministicDrbg rng("shamir", 4);
+  const Bytes secret = test_secret(32);
+  const auto shares = shamir_split(secret, 3, 5, rng);
+
+  const std::vector<ShamirShare> too_few(shares.begin(), shares.begin() + 2);
+  // Interpolating 2 points of a degree-2 polynomial gives a wrong result —
+  // with overwhelming probability not the secret.
+  EXPECT_NE(shamir_combine(too_few), secret);
+}
+
+TEST(Shamir, ThresholdOneIsReplication) {
+  DeterministicDrbg rng("shamir", 5);
+  const Bytes secret = test_secret(8);
+  const auto shares = shamir_split(secret, 1, 4, rng);
+  for (const auto& share : shares) {
+    EXPECT_EQ(shamir_combine({share}), secret);
+    EXPECT_EQ(share.y, secret);  // degree-0 polynomial: y == secret everywhere
+  }
+}
+
+TEST(Shamir, FullThreshold) {
+  DeterministicDrbg rng("shamir", 6);
+  const Bytes secret = test_secret(32);
+  const auto shares = shamir_split(secret, 8, 8, rng);
+  EXPECT_EQ(shamir_combine(shares), secret);
+  std::vector<ShamirShare> missing_one(shares.begin(), shares.end() - 1);
+  EXPECT_NE(shamir_combine(missing_one), secret);
+}
+
+TEST(Shamir, EmptySecret) {
+  DeterministicDrbg rng("shamir", 7);
+  const auto shares = shamir_split({}, 2, 3, rng);
+  EXPECT_TRUE(shamir_combine({shares[0], shares[2]}).empty());
+}
+
+TEST(Shamir, TamperedShareCorruptsSecret) {
+  DeterministicDrbg rng("shamir", 8);
+  const Bytes secret = test_secret(32);
+  auto shares = shamir_split(secret, 2, 3, rng);
+  shares[0].y[0] ^= 0x01;
+  EXPECT_NE(shamir_combine({shares[0], shares[1]}), secret);
+}
+
+TEST(Shamir, InvalidParametersThrow) {
+  DeterministicDrbg rng("shamir", 9);
+  const Bytes secret = test_secret(8);
+  EXPECT_THROW(shamir_split(secret, 0, 3, rng), std::invalid_argument);
+  EXPECT_THROW(shamir_split(secret, 4, 3, rng), std::invalid_argument);
+  EXPECT_THROW(shamir_split(secret, 2, 256, rng), std::invalid_argument);
+}
+
+TEST(Shamir, CombineValidation) {
+  DeterministicDrbg rng("shamir", 10);
+  const Bytes secret = test_secret(8);
+  auto shares = shamir_split(secret, 2, 3, rng);
+
+  EXPECT_THROW(shamir_combine({}), std::invalid_argument);
+
+  auto duplicate = shares;
+  duplicate[1].x = duplicate[0].x;
+  EXPECT_THROW(shamir_combine(duplicate), std::invalid_argument);
+
+  auto zero_x = shares;
+  zero_x[0].x = 0;
+  EXPECT_THROW(shamir_combine(zero_x), std::invalid_argument);
+
+  auto mismatched = shares;
+  mismatched[0].y.pop_back();
+  EXPECT_THROW(shamir_combine(mismatched), std::invalid_argument);
+}
+
+TEST(Shamir, SharesDifferAcrossRandomness) {
+  DeterministicDrbg rng1("shamir", 11);
+  DeterministicDrbg rng2("shamir", 12);
+  const Bytes secret = test_secret(16);
+  const auto a = shamir_split(secret, 2, 3, rng1);
+  const auto b = shamir_split(secret, 2, 3, rng2);
+  EXPECT_NE(a[0].y, b[0].y);  // fresh polynomial each time
+}
+
+// Parameterized sweep over (threshold, share_count) pairs.
+class ShamirSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ShamirSweep, RoundTripAndThresholdBoundary) {
+  const auto [threshold, count] = GetParam();
+  DeterministicDrbg rng("sweep", static_cast<std::uint64_t>(threshold * 1000 + count));
+  const Bytes secret = test_secret(32);
+  const auto shares = shamir_split(secret, threshold, count, rng);
+
+  // Exactly threshold shares (last `threshold` of them) reconstruct.
+  std::vector<ShamirShare> subset(shares.end() - threshold, shares.end());
+  EXPECT_EQ(shamir_combine(subset), secret);
+
+  // threshold-1 shares do not (when threshold > 1).
+  if (threshold > 1) {
+    subset.pop_back();
+    EXPECT_NE(shamir_combine(subset), secret);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MNCombinations, ShamirSweep,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 8}, std::pair{2, 2},
+                      std::pair{2, 8}, std::pair{3, 6}, std::pair{4, 8},
+                      std::pair{6, 6}, std::pair{8, 31}, std::pair{16, 31},
+                      std::pair{31, 31}, std::pair{2, 255}, std::pair{128, 255}));
+
+}  // namespace
+}  // namespace dauth::crypto

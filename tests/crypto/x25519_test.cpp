@@ -1,0 +1,70 @@
+#include "crypto/x25519.h"
+
+#include <gtest/gtest.h>
+
+namespace dauth::crypto {
+namespace {
+
+// RFC 7748 §5.2 test vector 1.
+TEST(X25519, Rfc7748Vector1) {
+  const auto scalar =
+      array_from_hex<32>("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const auto point =
+      array_from_hex<32>("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(to_hex(x25519(scalar, point)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+// RFC 7748 §5.2 test vector 2.
+TEST(X25519, Rfc7748Vector2) {
+  const auto scalar =
+      array_from_hex<32>("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const auto point =
+      array_from_hex<32>("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(to_hex(x25519(scalar, point)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+// RFC 7748 §6.1 Diffie-Hellman example (Alice & Bob).
+TEST(X25519, Rfc7748DiffieHellman) {
+  const auto alice_secret =
+      array_from_hex<32>("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto bob_secret =
+      array_from_hex<32>("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+  const auto alice_public = x25519_base(alice_secret);
+  const auto bob_public = x25519_base(bob_secret);
+  EXPECT_EQ(to_hex(alice_public),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(to_hex(bob_public),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  const auto shared_ab = x25519(alice_secret, bob_public);
+  const auto shared_ba = x25519(bob_secret, alice_public);
+  EXPECT_EQ(shared_ab, shared_ba);
+  EXPECT_EQ(to_hex(shared_ab),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, SharedSecretAgreementForGeneratedKeys) {
+  DeterministicDrbg rng("x25519", 1);
+  const auto a = x25519_generate(rng);
+  const auto b = x25519_generate(rng);
+  EXPECT_EQ(x25519(a.secret, b.public_key), x25519(b.secret, a.public_key));
+  EXPECT_NE(a.public_key, b.public_key);
+}
+
+TEST(X25519, ClampingMakesCofactorIrrelevantBitsIgnored) {
+  // Flipping the bits that clamping clears must not change the result.
+  DeterministicDrbg rng("x25519", 2);
+  auto kp = x25519_generate(rng);
+  const auto base_result = x25519_base(kp.secret);
+
+  auto modified = kp.secret;
+  modified[0] ^= 0x07;   // low 3 bits cleared by clamping
+  modified[31] ^= 0x80;  // top bit cleared by clamping
+  EXPECT_EQ(x25519_base(modified), base_result);
+}
+
+}  // namespace
+}  // namespace dauth::crypto

@@ -1,0 +1,156 @@
+// §7.4 extension tests: inter-organizational handover without re-running
+// AKA. A context-transfer RPC between serving networks plus a horizontal
+// key derivation replaces the full authentication.
+#include <gtest/gtest.h>
+
+#include "federation_fixture.h"
+#include "wire/writer.h"
+
+namespace dauth::testing {
+namespace {
+
+const Supi kAlice("901550000000001");
+
+std::unique_ptr<ran::Ue> attach_ue(Federation& f, const aka::SubscriberKeys& keys,
+                                   std::size_t serving) {
+  auto profile = ran::emulated_ran_profile(f.config.serving_network_name);
+  profile.use_guti = true;
+  auto ue = std::make_unique<ran::Ue>(f.rpc, f.ran_node, f.net(serving).node(), kAlice,
+                                      keys, profile);
+  const auto record = f.attach(*ue);
+  EXPECT_TRUE(record.success) << record.failure;
+  return ue;
+}
+
+ran::HandoverRecord handover(Federation& f, ran::Ue& ue, std::size_t target) {
+  std::optional<ran::HandoverRecord> record;
+  ue.handover_to(f.net(target).node(), [&](const ran::HandoverRecord& r) { record = r; });
+  f.simulator.run();
+  EXPECT_TRUE(record.has_value());
+  return record.value_or(ran::HandoverRecord{});
+}
+
+TEST(Handover, TransfersSessionWithoutReauth) {
+  Federation f(5);
+  const auto keys = f.provision(kAlice, 0, {1, 2});
+  auto ue = attach_ue(f, keys, 3);
+  const auto old_key = *ue->session_key();
+  const auto vectors_served_before = f.net(0).home().metrics().vectors_served;
+
+  const auto record = handover(f, *ue, 4);
+  ASSERT_TRUE(record.success) << record.failure;
+
+  // Session moved: new issuer, new key, no extra vector generated at home.
+  EXPECT_EQ(ue->guti()->issuer, f.net(4).id());
+  EXPECT_NE(*ue->session_key(), old_key);
+  EXPECT_EQ(f.net(0).home().metrics().vectors_served, vectors_served_before);
+  EXPECT_EQ(f.net(4).serving().session_count(), 1u);
+  // The source retired its session anchor.
+  EXPECT_EQ(f.net(3).serving().session_count(), 0u);
+}
+
+TEST(Handover, WorksWhileHomeIsOffline) {
+  // The whole point of inheriting dAuth's philosophy: mobility must not
+  // depend on the home network either.
+  Federation f(5);
+  const auto keys = f.provision(kAlice, 0, {1, 2});
+  auto ue = attach_ue(f, keys, 3);
+
+  f.network.node(f.net(0).node()).set_online(false);
+  const auto record = handover(f, *ue, 4);
+  EXPECT_TRUE(record.success) << record.failure;
+  EXPECT_EQ(ue->guti()->issuer, f.net(4).id());
+}
+
+TEST(Handover, MuchFasterThanReattach) {
+  Federation f(5);
+  const auto keys = f.provision(kAlice, 0, {1, 2});
+  auto ue = attach_ue(f, keys, 3);
+
+  // Compare a handover to a from-scratch attach at the same target.
+  auto fresh_profile = ran::emulated_ran_profile(f.config.serving_network_name);
+  ran::Ue fresh(f.rpc, f.ran_node, f.net(4).node(), Supi("901550000000002"),
+                f.net(0).provision_subscriber(Supi("901550000000002")), fresh_profile);
+  std::optional<ran::AttachRecord> attach_record;
+  fresh.attach([&](const ran::AttachRecord& r) { attach_record = r; });
+  f.simulator.run();
+  ASSERT_TRUE(attach_record && attach_record->success);
+
+  const auto ho = handover(f, *ue, 4);
+  ASSERT_TRUE(ho.success);
+  EXPECT_LT(ho.latency(), attach_record->latency() / 2);
+}
+
+TEST(Handover, ChainAcrossThreeNetworks) {
+  Federation f(6);
+  const auto keys = f.provision(kAlice, 0, {1, 2});
+  auto ue = attach_ue(f, keys, 3);
+
+  ASSERT_TRUE(handover(f, *ue, 4).success);
+  ASSERT_TRUE(handover(f, *ue, 5).success);
+  EXPECT_EQ(ue->guti()->issuer, f.net(5).id());
+  // After the chain, a normal re-attach at the final network still works
+  // (GUTI resolves locally there).
+  const auto record = f.attach(*ue);
+  EXPECT_TRUE(record.success) << record.failure;
+}
+
+TEST(Handover, FailsWithoutActiveSession) {
+  Federation f(4);
+  const auto keys = f.provision(kAlice, 0, {1, 2});
+  auto profile = ran::emulated_ran_profile(f.config.serving_network_name);
+  ran::Ue ue(f.rpc, f.ran_node, f.net(3).node(), kAlice, keys, profile);
+
+  std::optional<ran::HandoverRecord> record;
+  ue.handover_to(f.net(2).node(), [&](const ran::HandoverRecord& r) { record = r; });
+  f.simulator.run();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_FALSE(record->success);
+  EXPECT_EQ(record->failure, "no active session");
+}
+
+TEST(Handover, SourceOfflineFailsCleanly) {
+  Federation f(5);
+  const auto keys = f.provision(kAlice, 0, {1, 2});
+  auto ue = attach_ue(f, keys, 3);
+
+  f.network.node(f.net(3).node()).set_online(false);  // source gone
+  const auto record = handover(f, *ue, 4);
+  EXPECT_FALSE(record.success);
+  // The UE still holds its session at the (dead) source; a fresh attach at
+  // the target (identity fallback) recovers connectivity.
+  ue->move_to(f.net(4).node());
+  const auto reattach = f.attach(*ue);
+  EXPECT_TRUE(reattach.success) << reattach.failure;
+}
+
+TEST(Handover, ReplayedHandoverRequestIsRefused) {
+  // One handover per session anchor: after the context moves, asking the
+  // source again must fail (the GUTI was retired).
+  Federation f(5);
+  const auto keys = f.provision(kAlice, 0, {1, 2});
+  auto ue = attach_ue(f, keys, 3);
+  const auto old_guti = *ue->guti();
+
+  ASSERT_TRUE(handover(f, *ue, 4).success);
+
+  // Replay the transfer request for the consumed session.
+  wire::Writer w;
+  w.u64(old_guti.value);
+  w.string(f.net(4).id().str());
+  const auto payload = std::move(w).take();
+  const auto signature = crypto::ed25519_sign(payload, f.net(4).signing_keys());
+  wire::Writer framed;
+  framed.bytes(payload);
+  framed.fixed(signature);
+
+  bool rejected = false;
+  f.rpc.call(f.net(4).node(), f.net(3).node(), "serving.handover_context",
+             std::move(framed).take(), {}, [&](Bytes) { FAIL() << "context re-released"; },
+             [&](sim::RpcError) { rejected = true; });
+  f.simulator.run();
+  EXPECT_TRUE(rejected);
+}
+
+}  // namespace
+}  // namespace dauth::testing

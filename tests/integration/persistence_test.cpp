@@ -1,0 +1,146 @@
+// Backup-daemon persistence: delegated material survives a process restart
+// (the role SQLite plays in the paper's prototype, §5.1).
+#include <gtest/gtest.h>
+
+#include "federation_fixture.h"
+
+namespace dauth::testing {
+namespace {
+
+const Supi kAlice("901550000000001");
+
+// A federation where one backup (net-2 == index 1) runs with a durable
+// store we can hand to a "restarted" instance.
+struct PersistentFixture {
+  Federation f{5};
+  store::KvStore durable;  // in-memory KvStore standing in for the disk
+
+  PersistentFixture() = default;
+
+  /// Builds a fresh BackupNetwork instance over the same store, as a
+  /// restarted daemon would, and rebinds its services on the node.
+  std::unique_ptr<core::BackupNetwork> restart_backup() {
+    auto restarted = std::make_unique<core::BackupNetwork>(
+        f.rpc, f.net(1).node(), f.net(1).id(), f.net(1).directory(), f.config, &durable);
+    restarted->bind_services();
+    return restarted;
+  }
+};
+
+TEST(Persistence, BackupRestartKeepsServingVectors) {
+  PersistentFixture fixture;
+  Federation& f = fixture.f;
+
+  // Replace net-2's backup role with a store-backed one BEFORE provisioning.
+  auto durable_backup = std::make_unique<core::BackupNetwork>(
+      f.rpc, f.net(1).node(), f.net(1).id(), f.net(1).directory(), f.config,
+      &fixture.durable);
+  durable_backup->bind_services();
+
+  const auto keys = f.provision(kAlice, 0, {1, 2, 3});
+  ASSERT_GT(durable_backup->stored_vectors(f.net(0).id(), kAlice), 0u);
+  ASSERT_GT(fixture.durable.size(), 0u);
+
+  // "Crash" the daemon: drop the in-memory instance entirely.
+  durable_backup.reset();
+  auto restarted = fixture.restart_backup();
+
+  // All material is back.
+  EXPECT_EQ(restarted->stored_vectors(f.net(0).id(), kAlice), f.config.vectors_per_backup);
+  EXPECT_EQ(restarted->stored_shares(f.net(0).id(), kAlice),
+            3 * f.config.vectors_per_backup);
+
+  // And it still serves authentications with the home offline.
+  f.network.node(f.net(0).node()).set_online(false);
+  auto ue = f.make_ue(kAlice, keys, 4);
+  int backup_successes = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto record = f.attach(*ue);
+    if (record.success && record.path == "backup") ++backup_successes;
+  }
+  EXPECT_EQ(backup_successes, 3);
+}
+
+TEST(Persistence, PendingProofsSurviveRestartAndGetReported) {
+  PersistentFixture fixture;
+  Federation& f = fixture.f;
+
+  auto durable_backup = std::make_unique<core::BackupNetwork>(
+      f.rpc, f.net(1).node(), f.net(1).id(), f.net(1).directory(), f.config,
+      &fixture.durable);
+  durable_backup->bind_services();
+
+  const auto keys = f.provision(kAlice, 0, {1, 2, 3});
+  f.network.node(f.net(0).node()).set_online(false);
+  auto ue = f.make_ue(kAlice, keys, 4);
+  const auto record = f.attach(*ue);
+  ASSERT_TRUE(record.success);
+  const std::size_t pending = durable_backup->pending_reports(f.net(0).id());
+  ASSERT_GT(pending, 0u);
+
+  // Crash + restart while the home is still down.
+  durable_backup.reset();
+  auto restarted = fixture.restart_backup();
+  EXPECT_EQ(restarted->pending_reports(f.net(0).id()), pending);
+
+  // Home returns; the restarted daemon can still deliver its proofs.
+  f.network.node(f.net(0).node()).set_online(true);
+  restarted->report_now(f.net(0).id());
+  f.simulator.run();
+  EXPECT_EQ(restarted->pending_reports(f.net(0).id()), 0u);
+  EXPECT_GE(f.net(0).home().metrics().reports_processed, 1u);
+}
+
+TEST(Persistence, ConsumedVectorsStayConsumedAfterRestart) {
+  PersistentFixture fixture;
+  Federation& f = fixture.f;
+
+  auto durable_backup = std::make_unique<core::BackupNetwork>(
+      f.rpc, f.net(1).node(), f.net(1).id(), f.net(1).directory(), f.config,
+      &fixture.durable);
+  durable_backup->bind_services();
+
+  const auto keys = f.provision(kAlice, 0, {1, 2, 3});
+  f.network.node(f.net(0).node()).set_online(false);
+
+  auto ue = f.make_ue(kAlice, keys, 4);
+  ASSERT_TRUE(f.attach(*ue).success);
+  const std::size_t vectors_after_use = durable_backup->stored_vectors(f.net(0).id(), kAlice);
+
+  durable_backup.reset();
+  auto restarted = fixture.restart_backup();
+  // A consumed vector must NOT resurrect on restart (it would be served
+  // again and rejected by the SIM's replay protection).
+  EXPECT_EQ(restarted->stored_vectors(f.net(0).id(), kAlice), vectors_after_use);
+}
+
+TEST(Persistence, SuciKeySurvivesRestart) {
+  PersistentFixture fixture;
+  Federation& f = fixture.f;
+
+  auto durable_backup = std::make_unique<core::BackupNetwork>(
+      f.rpc, f.net(1).node(), f.net(1).id(), f.net(1).directory(), f.config,
+      &fixture.durable);
+  durable_backup->bind_services();
+
+  const auto keys = f.provision(kAlice, 0, {1, 2, 3});
+  f.network.node(f.net(0).node()).set_online(false);
+
+  durable_backup.reset();
+  auto restarted = fixture.restart_backup();
+
+  // SUCI attach routed through the restarted backup must still de-conceal.
+  auto profile = ran::emulated_ran_profile(f.config.serving_network_name);
+  profile.use_suci = true;
+  core::FederationConfig narrow = f.config;
+  auto ue = std::make_unique<ran::Ue>(f.rpc, f.ran_node, f.net(4).node(), kAlice, keys,
+                                      profile);
+  ue->configure_suci(f.net(0).id(), f.net(0).suci_keys().public_key);
+  const auto record = f.attach(*ue);
+  EXPECT_TRUE(record.success) << record.failure;
+  EXPECT_EQ(record.path, "backup");
+  (void)narrow;
+}
+
+}  // namespace
+}  // namespace dauth::testing

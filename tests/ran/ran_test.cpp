@@ -1,0 +1,163 @@
+// RAN-layer tests: UE profiles, attach records, and the load generator's
+// arrival/accounting behaviour.
+#include <gtest/gtest.h>
+
+#include "baseline/standalone_core.h"
+#include "crypto/drbg.h"
+#include "ran/gnb.h"
+#include "ran/load_generator.h"
+
+namespace dauth::ran {
+namespace {
+
+const Supi kAlice("315010000000001");
+
+aka::SubscriberKeys make_keys(std::uint64_t seed) {
+  crypto::DeterministicDrbg rng("ran-test", seed);
+  aka::SubscriberKeys keys;
+  keys.k = rng.array<16>();
+  keys.opc = crypto::derive_opc(keys.k, rng.array<16>());
+  return keys;
+}
+
+struct Fixture {
+  sim::Simulator s{5};
+  sim::Network net{s};
+  sim::Rpc rpc{net};
+  sim::NodeIndex core_node;
+  sim::NodeIndex ran_node;
+  baseline::StandaloneCoreConfig cfg;
+  std::unique_ptr<baseline::StandaloneCore> core;
+
+  Fixture() {
+    sim::NodeConfig nc;
+    nc.name = "core";
+    nc.access.base = ms(2);
+    nc.workers = 2;
+    core_node = net.add_node(nc);
+    nc.name = "ran";
+    ran_node = net.add_node(nc);
+    core = std::make_unique<baseline::StandaloneCore>(rpc, core_node, "core", cfg, 1);
+    core->bind_services();
+  }
+
+  std::unique_ptr<Ue> make_ue(const Supi& supi, const UeConfig& profile) {
+    const auto keys = make_keys(std::hash<std::string>{}(supi.str()));
+    core->provision_subscriber(supi, keys);
+    return std::make_unique<Ue>(rpc, ran_node, core_node, supi, keys, profile);
+  }
+};
+
+TEST(RanProfiles, EmulatedIsFastPhysicalIsSlow) {
+  const auto emulated = emulated_ran_profile("5G:test");
+  const auto physical = physical_ran_profile("5G:test");
+  EXPECT_LT(emulated.radio_setup, ms(10));
+  EXPECT_GT(physical.radio_setup, ms(100));
+  EXPECT_GT(physical.retransmission_prob, 0.0);
+  EXPECT_EQ(emulated.serving_network_name, "5G:test");
+}
+
+TEST(Ue, AttachRecordsLatency) {
+  Fixture f;
+  auto ue = f.make_ue(kAlice, emulated_ran_profile(f.cfg.serving_network_name));
+  std::optional<AttachRecord> record;
+  ue->attach([&](const AttachRecord& r) { record = r; });
+  f.s.run();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_TRUE(record->success);
+  EXPECT_GT(record->latency(), 0);
+  EXPECT_EQ(record->completed, record->started + record->latency());
+}
+
+TEST(Ue, ConcurrentAttachThrows) {
+  Fixture f;
+  auto ue = f.make_ue(kAlice, emulated_ran_profile(f.cfg.serving_network_name));
+  ue->attach([](const AttachRecord&) {});
+  EXPECT_TRUE(ue->busy());
+  EXPECT_THROW(ue->attach([](const AttachRecord&) {}), std::logic_error);
+  f.s.run();
+  EXPECT_FALSE(ue->busy());
+}
+
+TEST(Ue, PhysicalProfileSlowerThanEmulated) {
+  Fixture f;
+  auto fast_ue = f.make_ue(kAlice, emulated_ran_profile(f.cfg.serving_network_name));
+  auto slow_ue = f.make_ue(Supi("315010000000002"),
+                           physical_ran_profile(f.cfg.serving_network_name));
+  Time fast_latency = 0, slow_latency = 0;
+  fast_ue->attach([&](const AttachRecord& r) { fast_latency = r.latency(); });
+  f.s.run();
+  slow_ue->attach([&](const AttachRecord& r) { slow_latency = r.latency(); });
+  f.s.run();
+  EXPECT_GT(slow_latency, fast_latency + ms(100));
+}
+
+TEST(LoadGenerator, GeneratesExpectedArrivalCount) {
+  Fixture f;
+  std::vector<std::unique_ptr<Ue>> ues;
+  std::vector<Ue*> pool;
+  for (int i = 0; i < 32; ++i) {
+    ues.push_back(f.make_ue(Supi("31501000000010" + std::to_string(i)),
+                            emulated_ran_profile(f.cfg.serving_network_name)));
+    pool.push_back(ues.back().get());
+  }
+  LoadGenerator generator(f.s, pool);
+  // Uniform arrivals: exactly rate*minutes (+-1 boundary effect).
+  const auto result = generator.run(120, minutes(2), /*poisson=*/false);
+  EXPECT_NEAR(static_cast<double>(result.attempted), 240.0, 2.0);
+  EXPECT_EQ(result.succeeded + result.failed, result.attempted);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.latencies.size(), result.succeeded);
+}
+
+TEST(LoadGenerator, PoissonArrivalsApproximateRate) {
+  Fixture f;
+  std::vector<std::unique_ptr<Ue>> ues;
+  std::vector<Ue*> pool;
+  for (int i = 0; i < 64; ++i) {
+    ues.push_back(f.make_ue(Supi("31501000000020" + std::to_string(i)),
+                            emulated_ran_profile(f.cfg.serving_network_name)));
+    pool.push_back(ues.back().get());
+  }
+  LoadGenerator generator(f.s, pool);
+  const auto result = generator.run(300, minutes(2), /*poisson=*/true);
+  // 600 expected; Poisson sd ~ 24.5 -> +-4 sd.
+  EXPECT_GT(result.attempted, 500u);
+  EXPECT_LT(result.attempted, 700u);
+}
+
+TEST(LoadGenerator, TinyPoolSkipsWhenBusy) {
+  Fixture f;
+  auto ue = f.make_ue(kAlice, emulated_ran_profile(f.cfg.serving_network_name));
+  std::vector<Ue*> pool = {ue.get()};
+  LoadGenerator generator(f.s, pool);
+  // 6000/min with ONE UE: nearly everything overlaps and is skipped.
+  const auto result = generator.run(6000, sec(10), /*poisson=*/false);
+  EXPECT_GT(result.skipped_busy, 0u);
+  EXPECT_GT(result.succeeded, 0u);
+}
+
+TEST(LoadGenerator, ZeroRateIsEmpty) {
+  Fixture f;
+  auto ue = f.make_ue(kAlice, emulated_ran_profile(f.cfg.serving_network_name));
+  std::vector<Ue*> pool = {ue.get()};
+  LoadGenerator generator(f.s, pool);
+  const auto result = generator.run(0, minutes(1));
+  EXPECT_EQ(result.attempted, 0u);
+}
+
+TEST(LoadGenerator, FailureReasonsDeduplicated) {
+  Fixture f;
+  // Un-provisioned subscriber: every attach fails the same way.
+  const auto keys = make_keys(777);
+  auto ue = std::make_unique<Ue>(f.rpc, f.ran_node, f.core_node, Supi("999999999999999"),
+                                 keys, emulated_ran_profile(f.cfg.serving_network_name));
+  std::vector<Ue*> pool = {ue.get()};
+  LoadGenerator generator(f.s, pool);
+  const auto result = generator.run(60, minutes(1), /*poisson=*/false);
+  EXPECT_GT(result.failed, 10u);
+  EXPECT_EQ(result.failures.size(), 1u);  // one distinct reason
+}
+
+}  // namespace
+}  // namespace dauth::ran

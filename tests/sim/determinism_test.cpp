@@ -1,0 +1,63 @@
+// Reproducibility: identical seeds must give bit-identical simulations —
+// the property every bench and regression depends on.
+#include <gtest/gtest.h>
+
+#include "ran/load_generator.h"
+#include "sim/topology.h"
+
+#include "../integration/federation_fixture.h"
+
+namespace dauth::testing {
+namespace {
+
+std::vector<double> run_small_load(std::uint64_t seed) {
+  Federation f(5, Federation::test_config(), seed);
+  std::vector<std::unique_ptr<ran::Ue>> ues;
+  std::vector<ran::Ue*> pool;
+  for (int i = 0; i < 8; ++i) {
+    const Supi supi("90155000000020" + std::to_string(i));
+    const auto keys = f.provision(supi, 0, {1, 2});
+    ues.push_back(f.make_ue(supi, keys, 4));
+    pool.push_back(ues.back().get());
+  }
+  ran::LoadGenerator generator(f.simulator, pool);
+  auto result = generator.run(120, minutes(1), /*poisson=*/true);
+  return result.latencies.samples();
+}
+
+TEST(Determinism, SameSeedSameLatencies) {
+  const auto a = run_small_load(1234);
+  const auto b = run_small_load(1234);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << "sample " << i;
+  }
+}
+
+TEST(Determinism, DifferentSeedDifferentLatencies) {
+  const auto a = run_small_load(1234);
+  const auto b = run_small_load(4321);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  bool any_difference = a.size() != b.size();
+  for (std::size_t i = 0; !any_difference && i < std::min(a.size(), b.size()); ++i) {
+    any_difference = a[i] != b[i];
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Determinism, EventCountsReproducible) {
+  Federation f1(4, Federation::test_config(), 99);
+  Federation f2(4, Federation::test_config(), 99);
+  const Supi supi("901550000000001");
+  const auto k1 = f1.provision(supi, 0, {1, 2});
+  const auto k2 = f2.provision(supi, 0, {1, 2});
+  (void)k1;
+  (void)k2;
+  EXPECT_EQ(f1.simulator.processed_events(), f2.simulator.processed_events());
+  EXPECT_EQ(f1.network.messages_sent(), f2.network.messages_sent());
+  EXPECT_EQ(f1.network.bytes_sent(), f2.network.bytes_sent());
+}
+
+}  // namespace
+}  // namespace dauth::testing

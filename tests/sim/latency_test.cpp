@@ -1,0 +1,98 @@
+// Latency-model distribution tests: the lognormal jitter must have the
+// statistical shape the topology calibration assumes.
+#include "sim/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace dauth::sim {
+namespace {
+
+TEST(Latency, NoJitterIsDeterministic) {
+  Xoshiro256StarStar rng(1);
+  LatencyModel model;
+  model.base = ms(7);
+  model.jitter_sigma = 0.0;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(model.sample(rng), ms(7));
+}
+
+TEST(Latency, MedianApproximatesBase) {
+  // Log-normal with ln-median 0: the multiplier's median is 1.
+  Xoshiro256StarStar rng(2);
+  LatencyModel model;
+  model.base = ms(10);
+  model.jitter_sigma = 0.4;
+  SampleSet samples;
+  for (int i = 0; i < 20000; ++i) samples.add_time(model.sample(rng));
+  EXPECT_NEAR(samples.median(), 10.0, 0.3);
+}
+
+TEST(Latency, RightTailHeavierThanLeft) {
+  Xoshiro256StarStar rng(3);
+  LatencyModel model;
+  model.base = ms(10);
+  model.jitter_sigma = 0.4;
+  SampleSet samples;
+  for (int i = 0; i < 20000; ++i) samples.add_time(model.sample(rng));
+  const double median = samples.median();
+  // Log-normal skew: p99 - median > median - p1.
+  EXPECT_GT(samples.quantile(0.99) - median, median - samples.quantile(0.01));
+  // All samples strictly positive.
+  EXPECT_GT(samples.min(), 0.0);
+}
+
+TEST(Latency, SigmaScalesSpread) {
+  Xoshiro256StarStar rng(4);
+  LatencyModel narrow, wide;
+  narrow.base = wide.base = ms(10);
+  narrow.jitter_sigma = 0.1;
+  wide.jitter_sigma = 0.6;
+  SampleSet narrow_samples, wide_samples;
+  for (int i = 0; i < 10000; ++i) {
+    narrow_samples.add_time(narrow.sample(rng));
+    wide_samples.add_time(wide.sample(rng));
+  }
+  EXPECT_LT(narrow_samples.stddev(), wide_samples.stddev() / 2);
+}
+
+TEST(Latency, LossProbabilityRespected) {
+  Xoshiro256StarStar rng(5);
+  LatencyModel model;
+  model.loss = 0.25;
+  int drops = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (model.drop(rng)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / kTrials, 0.25, 0.02);
+
+  model.loss = 0.0;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(model.drop(rng));
+}
+
+TEST(Latency, StandardNormalMoments) {
+  Xoshiro256StarStar rng(6);
+  double sum = 0, sum_sq = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = sample_standard_normal(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.05);
+}
+
+TEST(Latency, LognormalMultiplierMedianIsOne) {
+  Xoshiro256StarStar rng(7);
+  SampleSet samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.add(sample_lognormal_multiplier(rng, 0.5));
+  }
+  EXPECT_NEAR(samples.median(), 1.0, 0.03);
+  EXPECT_EQ(sample_lognormal_multiplier(rng, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace dauth::sim

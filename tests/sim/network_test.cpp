@@ -1,0 +1,167 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "sim/topology.h"
+
+namespace dauth::sim {
+namespace {
+
+NodeConfig quiet_node(const std::string& name, Time access_base) {
+  NodeConfig c;
+  c.name = name;
+  c.access.base = access_base;
+  c.access.jitter_sigma = 0.0;
+  c.access_mbps = 0.0;  // infinite for clean latency assertions
+  return c;
+}
+
+TEST(Network, DeliversWithSummedAccessDelay) {
+  Simulator s(1);
+  Network net(s);
+  const NodeIndex a = net.add_node(quiet_node("a", ms(3)));
+  const NodeIndex b = net.add_node(quiet_node("b", ms(4)));
+
+  Time delivered = -1;
+  net.send(a, b, 100, [&] { delivered = s.now(); });
+  s.run();
+  EXPECT_EQ(delivered, ms(7));
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 100u);
+}
+
+TEST(Network, LinkOverrideWins) {
+  Simulator s(1);
+  Network net(s);
+  const NodeIndex a = net.add_node(quiet_node("a", ms(10)));
+  const NodeIndex b = net.add_node(quiet_node("b", ms(10)));
+  LatencyModel fast;
+  fast.base = msf(2.5);
+  net.set_link(a, b, fast);
+
+  Time delivered = -1;
+  net.send(b, a, 0, [&] { delivered = s.now(); });  // override is symmetric
+  s.run();
+  EXPECT_EQ(delivered, msf(2.5));
+  EXPECT_EQ(net.median_rtt(a, b), ms(5));
+}
+
+TEST(Network, SerializationDelayScalesWithSize) {
+  Simulator s(1);
+  Network net(s);
+  auto cfg = quiet_node("a", ms(1));
+  cfg.access_mbps = 8.0;  // 1 byte per microsecond
+  const NodeIndex a = net.add_node(cfg);
+  const NodeIndex b = net.add_node(cfg);
+
+  Time delivered = -1;
+  net.send(a, b, 1000, [&] { delivered = s.now(); });
+  s.run();
+  EXPECT_EQ(delivered, ms(2) + us(1000));
+}
+
+TEST(Network, OfflineSenderDrops) {
+  Simulator s(1);
+  Network net(s);
+  const NodeIndex a = net.add_node(quiet_node("a", ms(1)));
+  const NodeIndex b = net.add_node(quiet_node("b", ms(1)));
+  net.node(a).set_online(false);
+
+  bool delivered = false;
+  net.send(a, b, 10, [&] { delivered = true; });
+  s.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(Network, OfflineReceiverAtDeliveryDrops) {
+  Simulator s(1);
+  Network net(s);
+  const NodeIndex a = net.add_node(quiet_node("a", ms(5)));
+  const NodeIndex b = net.add_node(quiet_node("b", ms(5)));
+
+  bool delivered = false;
+  net.send(a, b, 10, [&] { delivered = true; });
+  s.after(ms(1), [&] { net.node(b).set_online(false); });  // fails mid-flight
+  s.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(Network, LossyLinkRetransmitsWithPenalty) {
+  Simulator s(7);
+  Network net(s);
+  auto cfg = quiet_node("a", ms(1));
+  cfg.access.loss = 0.2;
+  const NodeIndex a = net.add_node(cfg);
+  const NodeIndex b = net.add_node(cfg);
+
+  int delivered = 0;
+  int delayed = 0;  // saw at least one retransmission (>= RTO penalty)
+  for (int i = 0; i < 1000; ++i) {
+    net.send(a, b, 10, [&, start = s.now()] {
+      ++delivered;
+      if (s.now() - start >= Network::kRetransmitTimeout) ++delayed;
+    });
+  }
+  s.run();
+  // Per-message loss chance ~0.36; TCP-like retransmission recovers almost
+  // everything (drop only after >3 consecutive losses: ~1.7%).
+  EXPECT_GT(delivered, 950);
+  // A visible fraction pays at least one RTO.
+  EXPECT_GT(delayed, 250);
+  EXPECT_LT(delayed, 450);
+  EXPECT_EQ(delivered + static_cast<int>(net.messages_dropped()), 1000);
+}
+
+TEST(Network, JitterProducesSpread) {
+  Simulator s(3);
+  Network net(s);
+  auto cfg = quiet_node("a", ms(10));
+  cfg.access.jitter_sigma = 0.4;
+  const NodeIndex a = net.add_node(cfg);
+  const NodeIndex b = net.add_node(cfg);
+
+  dauth::SampleSet samples;
+  for (int i = 0; i < 500; ++i) {
+    net.send(a, b, 0, [&, start = s.now()] { samples.add_time(s.now() - start); });
+  }
+  s.run();
+  ASSERT_EQ(samples.size(), 500u);
+  EXPECT_GT(samples.stddev(), 1.0);          // visible spread
+  EXPECT_GT(samples.quantile(0.99), samples.median() * 1.3);  // right tail
+}
+
+TEST(Topology, AppendixCTestbedShape) {
+  Simulator s(1);
+  Network net(s);
+  const Testbed t = build_appendix_c_testbed(net);
+  EXPECT_EQ(net.node_count(), 12u);
+  EXPECT_EQ(t.scn_edges.size(), 2u);
+  EXPECT_EQ(t.cloud.size(), 4u);
+  EXPECT_EQ(t.residential.size(), 2u);
+  EXPECT_EQ(t.uni_lab.size(), 2u);
+  EXPECT_EQ(t.ran_sites.size(), 2u);
+  EXPECT_EQ(t.core_nodes().size(), 10u);
+}
+
+TEST(Topology, SlowAtomIsActuallySlow) {
+  Simulator s(1);
+  Network net(s);
+  const Testbed t = build_appendix_c_testbed(net);
+  const Node& atom = net.node(t.residential[1]);
+  const Node& cloud = net.node(t.cloud[0]);
+  EXPECT_GT(atom.speed_factor(), 2 * cloud.speed_factor());
+}
+
+TEST(Topology, ScenarioHelpers) {
+  EXPECT_FALSE(is_cloud(Scenario::kEdgeFiber));
+  EXPECT_TRUE(is_cloud(Scenario::kCloudResidential));
+  EXPECT_TRUE(is_residential(Scenario::kEdgeResidential));
+  EXPECT_FALSE(is_residential(Scenario::kCloudFiber));
+  EXPECT_STREQ(to_string(Scenario::kEdgeFiber), "1-edge-pc-fiber");
+}
+
+}  // namespace
+}  // namespace dauth::sim

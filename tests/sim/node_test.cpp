@@ -1,0 +1,146 @@
+#include "sim/node.h"
+
+#include <gtest/gtest.h>
+
+namespace dauth::sim {
+namespace {
+
+TEST(Node, ExecuteTakesCostTime) {
+  Simulator s(1);
+  Node node(s, "n", 1.0, 1);
+  Time finished = -1;
+  node.execute(ms(10), [&] { finished = s.now(); });
+  s.run();
+  EXPECT_EQ(finished, ms(10));
+  EXPECT_EQ(node.jobs_completed(), 1u);
+  EXPECT_EQ(node.busy_time(), ms(10));
+}
+
+TEST(Node, SpeedFactorScalesCost) {
+  Simulator s(1);
+  Node slow(s, "slow", 4.0, 1);
+  Time finished = -1;
+  slow.execute(ms(10), [&] { finished = s.now(); });
+  s.run();
+  EXPECT_EQ(finished, ms(40));
+}
+
+TEST(Node, SingleWorkerQueuesJobs) {
+  Simulator s(1);
+  Node node(s, "n", 1.0, 1);
+  std::vector<Time> finish_times;
+  for (int i = 0; i < 3; ++i) node.execute(ms(10), [&] { finish_times.push_back(s.now()); });
+  s.run();
+  ASSERT_EQ(finish_times.size(), 3u);
+  EXPECT_EQ(finish_times[0], ms(10));
+  EXPECT_EQ(finish_times[1], ms(20));
+  EXPECT_EQ(finish_times[2], ms(30));
+}
+
+TEST(Node, TwoWorkersRunInParallel) {
+  Simulator s(1);
+  Node node(s, "n", 1.0, 2);
+  std::vector<Time> finish_times;
+  for (int i = 0; i < 4; ++i) node.execute(ms(10), [&] { finish_times.push_back(s.now()); });
+  s.run();
+  ASSERT_EQ(finish_times.size(), 4u);
+  EXPECT_EQ(finish_times[0], ms(10));
+  EXPECT_EQ(finish_times[1], ms(10));
+  EXPECT_EQ(finish_times[2], ms(20));
+  EXPECT_EQ(finish_times[3], ms(20));
+}
+
+TEST(Node, LaterArrivalsStartWhenTheyArrive) {
+  Simulator s(1);
+  Node node(s, "n", 1.0, 1);
+  Time finished = -1;
+  s.after(ms(100), [&] {
+    node.execute(ms(5), [&] { finished = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(finished, ms(105));  // no phantom queueing from idle time
+}
+
+TEST(Node, OfflineDropsJobs) {
+  Simulator s(1);
+  Node node(s, "n", 1.0, 1);
+  node.set_online(false);
+  bool ran = false;
+  node.execute(ms(1), [&] { ran = true; });
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(node.jobs_completed(), 0u);
+}
+
+TEST(Node, FailureDropsInFlightJobs) {
+  Simulator s(1);
+  Node node(s, "n", 1.0, 1);
+  bool ran = false;
+  node.execute(ms(10), [&] { ran = true; });
+  s.after(ms(5), [&] { node.set_online(false); });
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Node, RecoveryAcceptsNewJobs) {
+  Simulator s(1);
+  Node node(s, "n", 1.0, 1);
+  node.set_online(false);
+  bool ran = false;
+  s.after(ms(5), [&] { node.set_online(true); });
+  s.after(ms(6), [&] { node.execute(ms(1), [&] { ran = true; }); });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Node, JobsBeforeFailureDontSurviveRestart) {
+  // A job scheduled pre-failure must not fire after the node recovers.
+  Simulator s(1);
+  Node node(s, "n", 1.0, 1);
+  bool ran = false;
+  node.execute(ms(10), [&] { ran = true; });
+  s.after(ms(2), [&] { node.set_online(false); });
+  s.after(ms(4), [&] { node.set_online(true); });
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Node, QueuedJobsMetric) {
+  Simulator s(1);
+  Node node(s, "n", 1.0, 2);
+  for (int i = 0; i < 2; ++i) node.execute(ms(10), [] {});
+  s.after(ms(1), [&] { EXPECT_EQ(node.queued_jobs(), 2); });
+  s.after(ms(11), [&] { EXPECT_EQ(node.queued_jobs(), 0); });
+  s.run();
+}
+
+class NodeWorkerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NodeWorkerSweep, ThroughputScalesWithWorkers) {
+  const int workers = GetParam();
+  Simulator s(1);
+  Node node(s, "n", 1.0, workers);
+  constexpr int kJobs = 24;
+  Time last_finish = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    node.execute(ms(10), [&] { last_finish = s.now(); });
+  }
+  s.run();
+  // Makespan for k parallel servers: ceil(jobs/k) * 10ms.
+  const Time expected = ms(10) * ((kJobs + workers - 1) / workers);
+  EXPECT_EQ(last_finish, expected);
+  EXPECT_EQ(node.jobs_completed(), static_cast<std::size_t>(kJobs));
+  EXPECT_EQ(node.busy_time(), kJobs * ms(10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, NodeWorkerSweep, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Node, InvalidConfigThrows) {
+  Simulator s(1);
+  EXPECT_THROW(Node(s, "n", 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Node(s, "n", 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(Node(s, "n", -1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dauth::sim

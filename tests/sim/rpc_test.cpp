@@ -1,0 +1,224 @@
+#include "sim/rpc.h"
+
+#include <gtest/gtest.h>
+
+namespace dauth::sim {
+namespace {
+
+struct Fixture {
+  Simulator s{1};
+  Network net{s};
+  NodeIndex client;
+  NodeIndex server;
+  Rpc rpc{net};
+
+  Fixture() {
+    NodeConfig c;
+    c.name = "client";
+    c.access.base = ms(5);
+    c.access_mbps = 0.0;
+    client = net.add_node(c);
+    c.name = "server";
+    server = net.add_node(c);
+  }
+
+  void register_echo() {
+    rpc.register_service(server, "echo", [](ByteView req, Responder r) {
+      r.reply(to_bytes(req));
+    });
+  }
+};
+
+TEST(Rpc, EchoRoundTrip) {
+  Fixture f;
+  f.register_echo();
+
+  Bytes reply;
+  bool failed = false;
+  f.rpc.call(f.client, f.server, "echo", to_bytes(as_bytes("ping")), {},
+             [&](Bytes r) { reply = std::move(r); }, [&](RpcError) { failed = true; });
+  f.s.run();
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(reply, to_bytes(as_bytes("ping")));
+  EXPECT_EQ(f.rpc.calls_succeeded(), 1u);
+}
+
+TEST(Rpc, ColdCallPaysHandshake) {
+  Fixture f;
+  f.register_echo();
+
+  Time first_latency = 0, second_latency = 0;
+  const Time start = f.s.now();
+  f.rpc.call(f.client, f.server, "echo", {}, {}, [&](Bytes) {
+    first_latency = f.s.now() - start;
+    const Time second_start = f.s.now();
+    f.rpc.call(f.client, f.server, "echo", {}, {},
+               [&](Bytes) { second_latency = f.s.now() - second_start; }, nullptr);
+  }, nullptr);
+  f.s.run();
+
+  // One-way is 10ms. Cold: 2 handshake RTTs (40ms) + request + reply (20ms).
+  // Warm: just request + reply.
+  EXPECT_GE(first_latency, ms(58));
+  EXPECT_LE(second_latency, ms(22));
+  EXPECT_EQ(f.rpc.handshakes(), 1u);
+}
+
+TEST(Rpc, ConnectionReuseDisabledPaysEveryTime) {
+  Fixture f;
+  f.rpc.set_connection_reuse(false);
+  f.register_echo();
+
+  int done = 0;
+  f.rpc.call(f.client, f.server, "echo", {}, {}, [&](Bytes) {
+    ++done;
+    f.rpc.call(f.client, f.server, "echo", {}, {}, [&](Bytes) { ++done; }, nullptr);
+  }, nullptr);
+  f.s.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(f.rpc.handshakes(), 2u);
+}
+
+TEST(Rpc, UnknownServiceFails) {
+  Fixture f;
+  RpcError error{RpcErrorCode::kTimeout, ""};
+  bool got_error = false;
+  f.rpc.call(f.client, f.server, "nope", {}, {}, nullptr, [&](RpcError e) {
+    got_error = true;
+    error = e;
+  });
+  f.s.run();
+  EXPECT_TRUE(got_error);
+  EXPECT_EQ(error.code, RpcErrorCode::kNoService);
+}
+
+TEST(Rpc, ServerOfflineTimesOut) {
+  Fixture f;
+  f.register_echo();
+  f.net.node(f.server).set_online(false);
+
+  RpcError error{RpcErrorCode::kNoService, ""};
+  Time error_at = -1;
+  RpcOptions options;
+  options.timeout = sec(2);
+  f.rpc.call(f.client, f.server, "echo", {}, options, nullptr, [&](RpcError e) {
+    error = e;
+    error_at = f.s.now();
+  });
+  f.s.run();
+  EXPECT_EQ(error.code, RpcErrorCode::kTimeout);
+  EXPECT_EQ(error_at, sec(2));
+  EXPECT_EQ(f.rpc.calls_timed_out(), 1u);
+}
+
+TEST(Rpc, CallerOfflineFailsImmediately) {
+  Fixture f;
+  f.register_echo();
+  f.net.node(f.client).set_online(false);
+
+  RpcError error{RpcErrorCode::kTimeout, ""};
+  f.rpc.call(f.client, f.server, "echo", {}, {}, nullptr, [&](RpcError e) { error = e; });
+  f.s.run();
+  EXPECT_EQ(error.code, RpcErrorCode::kUnreachable);
+}
+
+TEST(Rpc, HandlerCanFail) {
+  Fixture f;
+  f.rpc.register_service(f.server, "deny", [](ByteView, Responder r) {
+    r.fail("not authorized");
+  });
+  RpcError error{RpcErrorCode::kTimeout, ""};
+  f.rpc.call(f.client, f.server, "deny", {}, {}, nullptr, [&](RpcError e) { error = e; });
+  f.s.run();
+  EXPECT_EQ(error.code, RpcErrorCode::kRejected);
+  EXPECT_EQ(error.message, "not authorized");
+}
+
+TEST(Rpc, AsyncHandlerRepliesLater) {
+  Fixture f;
+  f.rpc.register_service(f.server, "slow", [&](ByteView, Responder r) {
+    f.s.after(ms(100), [r] { r.reply(to_bytes(as_bytes("late"))); });
+  });
+  Bytes reply;
+  f.rpc.call(f.client, f.server, "slow", {}, {}, [&](Bytes r) { reply = std::move(r); },
+             nullptr);
+  f.s.run();
+  EXPECT_EQ(reply, to_bytes(as_bytes("late")));
+}
+
+TEST(Rpc, SlowHandlerHitsTimeoutAndLateReplyIsIgnored) {
+  Fixture f;
+  f.rpc.register_service(f.server, "slow", [&](ByteView, Responder r) {
+    f.s.after(sec(10), [r] { r.reply({}); });
+  });
+  bool got_reply = false;
+  bool got_error = false;
+  RpcOptions options;
+  options.timeout = sec(1);
+  f.rpc.call(f.client, f.server, "slow", {}, options, [&](Bytes) { got_reply = true; },
+             [&](RpcError) { got_error = true; });
+  f.s.run();
+  EXPECT_FALSE(got_reply);
+  EXPECT_TRUE(got_error);
+}
+
+TEST(Rpc, ServerQueueingDelaysConcurrentCalls) {
+  Fixture f;
+  // Server with one slow worker.
+  NodeConfig c;
+  c.name = "busy";
+  c.access.base = ms(1);
+  c.access_mbps = 0.0;
+  c.workers = 1;
+  const NodeIndex busy = f.net.add_node(c);
+  f.rpc.register_service(busy, "work", [&](ByteView, Responder r) {
+    f.net.node(busy).execute(ms(50), [r] { r.reply({}); });
+  });
+
+  std::vector<Time> completions;
+  for (int i = 0; i < 3; ++i) {
+    f.rpc.call(f.client, busy, "work", {}, {}, [&](Bytes) { completions.push_back(f.s.now()); },
+               nullptr);
+  }
+  f.s.run();
+  ASSERT_EQ(completions.size(), 3u);
+  // Each call's 50ms of work is serialized on the single worker.
+  EXPECT_GE(completions[2] - completions[0], ms(95));
+}
+
+TEST(Rpc, ForceNewConnectionOptionBypassesCache) {
+  Fixture f;
+  f.register_echo();
+  int done = 0;
+  sim::RpcOptions fresh;
+  fresh.force_new_connection = true;
+  // Two forced-fresh calls: two handshakes, nothing cached.
+  f.rpc.call(f.client, f.server, "echo", {}, fresh, [&](Bytes) {
+    ++done;
+    f.rpc.call(f.client, f.server, "echo", {}, fresh, [&](Bytes) {
+      ++done;
+      // A normal call afterwards STILL has no cached connection.
+      f.rpc.call(f.client, f.server, "echo", {}, {}, [&](Bytes) { ++done; }, nullptr);
+    }, nullptr);
+  }, nullptr);
+  f.s.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(f.rpc.handshakes(), 3u);
+}
+
+TEST(Rpc, ResetConnectionsForcesRehandshake) {
+  Fixture f;
+  f.register_echo();
+  int done = 0;
+  f.rpc.call(f.client, f.server, "echo", {}, {}, [&](Bytes) {
+    ++done;
+    f.rpc.reset_connections(f.server);
+    f.rpc.call(f.client, f.server, "echo", {}, {}, [&](Bytes) { ++done; }, nullptr);
+  }, nullptr);
+  f.s.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(f.rpc.handshakes(), 2u);
+}
+
+}  // namespace
+}  // namespace dauth::sim

@@ -1,0 +1,173 @@
+#include "store/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace dauth::store {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("dauth-kv-test-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string file(const std::string& name) const { return (path_ / name).string(); }
+
+ private:
+  std::filesystem::path path_;
+  static inline int counter_ = 0;
+};
+
+TEST(Crc32, KnownValues) {
+  EXPECT_EQ(crc32(as_bytes("123456789")), 0xcbf43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  EXPECT_EQ(crc32(as_bytes("The quick brown fox jumps over the lazy dog")), 0x414fa339u);
+}
+
+TEST(KvStore, EphemeralBasics) {
+  KvStore kv;
+  EXPECT_FALSE(kv.get("a").has_value());
+  kv.put("a", as_bytes("1"));
+  EXPECT_EQ(kv.get("a"), to_bytes(as_bytes("1")));
+  EXPECT_TRUE(kv.contains("a"));
+  kv.put("a", as_bytes("2"));  // overwrite
+  EXPECT_EQ(kv.get("a"), to_bytes(as_bytes("2")));
+  kv.erase("a");
+  EXPECT_FALSE(kv.contains("a"));
+  EXPECT_EQ(kv.size(), 0u);
+}
+
+TEST(KvStore, PrefixScan) {
+  KvStore kv;
+  kv.put("vectors/alice/1", as_bytes("a"));
+  kv.put("vectors/alice/2", as_bytes("b"));
+  kv.put("vectors/bob/1", as_bytes("c"));
+  kv.put("shares/alice/1", as_bytes("d"));
+
+  const auto alice = kv.keys_with_prefix("vectors/alice/");
+  ASSERT_EQ(alice.size(), 2u);
+  EXPECT_EQ(alice[0], "vectors/alice/1");
+  EXPECT_EQ(alice[1], "vectors/alice/2");
+
+  EXPECT_EQ(kv.keys_with_prefix("vectors/").size(), 3u);
+  EXPECT_TRUE(kv.keys_with_prefix("nothing/").empty());
+}
+
+TEST(KvStore, DurablePersistsAcrossReopen) {
+  TempDir dir;
+  const std::string path = dir.file("state.wal");
+  {
+    KvStore kv(path);
+    kv.put("k1", as_bytes("v1"));
+    kv.put("k2", as_bytes("v2"));
+    kv.erase("k1");
+    kv.put("k3", as_bytes("v3"));
+  }
+  KvStore reopened(path);
+  EXPECT_EQ(reopened.replayed(), 4u);  // 3 puts + 1 erase
+  EXPECT_FALSE(reopened.contains("k1"));
+  EXPECT_EQ(reopened.get("k2"), to_bytes(as_bytes("v2")));
+  EXPECT_EQ(reopened.get("k3"), to_bytes(as_bytes("v3")));
+}
+
+TEST(KvStore, OverwriteSurvivesReopen) {
+  TempDir dir;
+  const std::string path = dir.file("state.wal");
+  {
+    KvStore kv(path);
+    kv.put("key", as_bytes("old"));
+    kv.put("key", as_bytes("new"));
+  }
+  KvStore reopened(path);
+  EXPECT_EQ(reopened.get("key"), to_bytes(as_bytes("new")));
+}
+
+TEST(KvStore, CompactShrinksLogAndPreservesState) {
+  TempDir dir;
+  const std::string path = dir.file("state.wal");
+  {
+    KvStore kv(path);
+    for (int i = 0; i < 100; ++i) kv.put("hot-key", as_bytes(std::to_string(i)));
+    kv.put("other", as_bytes("x"));
+    kv.compact();
+  }
+  KvStore reopened(path);
+  EXPECT_EQ(reopened.replayed(), 2u);  // one record per live key
+  EXPECT_EQ(reopened.get("hot-key"), to_bytes(as_bytes("99")));
+  EXPECT_EQ(reopened.get("other"), to_bytes(as_bytes("x")));
+}
+
+TEST(KvStore, TornTailRecordIsDiscarded) {
+  TempDir dir;
+  const std::string path = dir.file("state.wal");
+  {
+    KvStore kv(path);
+    kv.put("good", as_bytes("value"));
+  }
+  // Simulate a crash mid-append: write a bogus partial record.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char partial[] = {0x40, 0x00, 0x00, 0x00, 0x01};  // claims 64B, has 1
+    out.write(partial, sizeof partial);
+  }
+  KvStore reopened(path);
+  EXPECT_EQ(reopened.replayed(), 1u);
+  EXPECT_EQ(reopened.get("good"), to_bytes(as_bytes("value")));
+}
+
+TEST(KvStore, CorruptRecordStopsReplay) {
+  TempDir dir;
+  const std::string path = dir.file("state.wal");
+  {
+    KvStore kv(path);
+    kv.put("first", as_bytes("1"));
+    kv.put("second", as_bytes("2"));
+  }
+  // Flip a payload byte of the second record.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<long>(f.tellg());
+    f.seekp(size - 1);
+    f.put('\xff');
+  }
+  KvStore reopened(path);
+  EXPECT_EQ(reopened.replayed(), 1u);
+  EXPECT_TRUE(reopened.contains("first"));
+  EXPECT_FALSE(reopened.contains("second"));
+}
+
+TEST(KvStore, EraseNonexistentIsNoop) {
+  TempDir dir;
+  const std::string path = dir.file("state.wal");
+  {
+    KvStore kv(path);
+    kv.erase("ghost");
+    kv.put("real", as_bytes("1"));
+  }
+  KvStore reopened(path);
+  EXPECT_EQ(reopened.replayed(), 1u);  // the pointless erase wasn't logged
+}
+
+TEST(KvStore, BinaryValuesSurvive) {
+  TempDir dir;
+  const std::string path = dir.file("state.wal");
+  Bytes blob(256);
+  for (int i = 0; i < 256; ++i) blob[i] = static_cast<std::uint8_t>(i);
+  {
+    KvStore kv(path);
+    kv.put("blob", blob);
+  }
+  KvStore reopened(path);
+  EXPECT_EQ(reopened.get("blob"), blob);
+}
+
+}  // namespace
+}  // namespace dauth::store

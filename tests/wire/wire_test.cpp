@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "wire/reader.h"
+#include "wire/writer.h"
+
+namespace dauth::wire {
+namespace {
+
+TEST(Wire, PrimitiveRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  w.i64(-42);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Wire, BytesAndStrings) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.string("hello");
+  w.bytes({});  // empty
+
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.string(), "hello");
+  EXPECT_TRUE(r.bytes().empty());
+  r.expect_done();
+}
+
+TEST(Wire, FixedArrays) {
+  Writer w;
+  const ByteArray<16> arr = array_from_hex<16>("000102030405060708090a0b0c0d0e0f");
+  w.fixed(arr);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.fixed<16>(), arr);
+}
+
+TEST(Wire, TruncatedReadsThrow) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_THROW(r.u16(), WireError);  // only 1 byte left
+}
+
+TEST(Wire, TruncatedBytesThrow) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow, none do
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), WireError);
+}
+
+TEST(Wire, InvalidBooleanThrows) {
+  const Bytes data = {2};
+  Reader r(data);
+  EXPECT_THROW(r.boolean(), WireError);
+}
+
+TEST(Wire, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  (void)r.u8();
+  EXPECT_THROW(r.expect_done(), WireError);
+}
+
+TEST(Wire, RemainingTracksProgress) {
+  Writer w;
+  w.u64(1);
+  Reader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(Wire, DeterministicEncoding) {
+  // Identical logical content must serialize to identical bytes (signatures
+  // depend on this).
+  auto encode = [] {
+    Writer w;
+    w.string("network-a");
+    w.u64(17);
+    w.bytes(Bytes{9, 9, 9});
+    return std::move(w).take();
+  };
+  EXPECT_EQ(encode(), encode());
+}
+
+TEST(Wire, EmptyFrame) {
+  Reader r(ByteView{});
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u8(), WireError);
+}
+
+}  // namespace
+}  // namespace dauth::wire
