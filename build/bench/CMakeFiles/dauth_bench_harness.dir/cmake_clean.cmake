@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/dauth_bench_harness.dir/harness.cpp.o.d"
+  "libdauth_bench_harness.a"
+  "libdauth_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

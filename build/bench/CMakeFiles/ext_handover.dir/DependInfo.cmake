@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_handover.cpp" "bench/CMakeFiles/ext_handover.dir/ext_handover.cpp.o" "gcc" "bench/CMakeFiles/ext_handover.dir/ext_handover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dauth_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dauth_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dauth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dauth_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dauth_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dauth_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dauth_aka.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dauth_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dauth_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dauth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dauth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_handover.dir/ext_handover.cpp.o"
+  "CMakeFiles/ext_handover.dir/ext_handover.cpp.o.d"
+  "ext_handover"
+  "ext_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_single_ue.dir/fig3_single_ue.cpp.o"
+  "CMakeFiles/fig3_single_ue.dir/fig3_single_ue.cpp.o.d"
+  "fig3_single_ue"
+  "fig3_single_ue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_single_ue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_home_vs_cloud.dir/fig4_home_vs_cloud.cpp.o"
+  "CMakeFiles/fig4_home_vs_cloud.dir/fig4_home_vs_cloud.cpp.o.d"
+  "fig4_home_vs_cloud"
+  "fig4_home_vs_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_home_vs_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

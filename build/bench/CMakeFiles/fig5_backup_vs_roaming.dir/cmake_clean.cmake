@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_backup_vs_roaming.dir/fig5_backup_vs_roaming.cpp.o"
+  "CMakeFiles/fig5_backup_vs_roaming.dir/fig5_backup_vs_roaming.cpp.o.d"
+  "fig5_backup_vs_roaming"
+  "fig5_backup_vs_roaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_backup_vs_roaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_backup_vs_roaming.
+# This may be replaced when dependencies are built.

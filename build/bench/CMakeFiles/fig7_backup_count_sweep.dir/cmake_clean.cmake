@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_backup_count_sweep.dir/fig7_backup_count_sweep.cpp.o"
+  "CMakeFiles/fig7_backup_count_sweep.dir/fig7_backup_count_sweep.cpp.o.d"
+  "fig7_backup_count_sweep"
+  "fig7_backup_count_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_backup_count_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_backup_count_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_availability.dir/table1_availability.cpp.o"
+  "CMakeFiles/table1_availability.dir/table1_availability.cpp.o.d"
+  "table1_availability"
+  "table1_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

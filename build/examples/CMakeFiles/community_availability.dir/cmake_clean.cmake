@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_availability.dir/community_availability.cpp.o"
+  "CMakeFiles/community_availability.dir/community_availability.cpp.o.d"
+  "community_availability"
+  "community_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

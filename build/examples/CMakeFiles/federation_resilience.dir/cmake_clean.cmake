@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_resilience.dir/federation_resilience.cpp.o"
+  "CMakeFiles/federation_resilience.dir/federation_resilience.cpp.o.d"
+  "federation_resilience"
+  "federation_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

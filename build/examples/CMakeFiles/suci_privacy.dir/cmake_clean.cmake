@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suci_privacy.dir/suci_privacy.cpp.o"
+  "CMakeFiles/suci_privacy.dir/suci_privacy.cpp.o.d"
+  "suci_privacy"
+  "suci_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suci_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

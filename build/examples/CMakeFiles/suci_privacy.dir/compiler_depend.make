@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for suci_privacy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ue_hosted_home.dir/ue_hosted_home.cpp.o"
+  "CMakeFiles/ue_hosted_home.dir/ue_hosted_home.cpp.o.d"
+  "ue_hosted_home"
+  "ue_hosted_home.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ue_hosted_home.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aka/auth_vector.cpp" "src/CMakeFiles/dauth_aka.dir/aka/auth_vector.cpp.o" "gcc" "src/CMakeFiles/dauth_aka.dir/aka/auth_vector.cpp.o.d"
+  "/root/repo/src/aka/sim_card.cpp" "src/CMakeFiles/dauth_aka.dir/aka/sim_card.cpp.o" "gcc" "src/CMakeFiles/dauth_aka.dir/aka/sim_card.cpp.o.d"
+  "/root/repo/src/aka/sqn.cpp" "src/CMakeFiles/dauth_aka.dir/aka/sqn.cpp.o" "gcc" "src/CMakeFiles/dauth_aka.dir/aka/sqn.cpp.o.d"
+  "/root/repo/src/aka/suci.cpp" "src/CMakeFiles/dauth_aka.dir/aka/suci.cpp.o" "gcc" "src/CMakeFiles/dauth_aka.dir/aka/suci.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dauth_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dauth_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dauth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_aka.dir/aka/auth_vector.cpp.o"
+  "CMakeFiles/dauth_aka.dir/aka/auth_vector.cpp.o.d"
+  "CMakeFiles/dauth_aka.dir/aka/sim_card.cpp.o"
+  "CMakeFiles/dauth_aka.dir/aka/sim_card.cpp.o.d"
+  "CMakeFiles/dauth_aka.dir/aka/sqn.cpp.o"
+  "CMakeFiles/dauth_aka.dir/aka/sqn.cpp.o.d"
+  "CMakeFiles/dauth_aka.dir/aka/suci.cpp.o"
+  "CMakeFiles/dauth_aka.dir/aka/suci.cpp.o.d"
+  "libdauth_aka.a"
+  "libdauth_aka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_aka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

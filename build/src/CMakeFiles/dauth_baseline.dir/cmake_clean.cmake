@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_baseline.dir/baseline/standalone_core.cpp.o"
+  "CMakeFiles/dauth_baseline.dir/baseline/standalone_core.cpp.o.d"
+  "libdauth_baseline.a"
+  "libdauth_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/dauth_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/dauth_common.dir/common/rng.cpp.o"
+  "CMakeFiles/dauth_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/dauth_common.dir/common/stats.cpp.o"
+  "CMakeFiles/dauth_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/dauth_common.dir/common/time.cpp.o"
+  "CMakeFiles/dauth_common.dir/common/time.cpp.o.d"
+  "libdauth_common.a"
+  "libdauth_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_core.dir/core/backup_network.cpp.o"
+  "CMakeFiles/dauth_core.dir/core/backup_network.cpp.o.d"
+  "CMakeFiles/dauth_core.dir/core/dauth_node.cpp.o"
+  "CMakeFiles/dauth_core.dir/core/dauth_node.cpp.o.d"
+  "CMakeFiles/dauth_core.dir/core/home_network.cpp.o"
+  "CMakeFiles/dauth_core.dir/core/home_network.cpp.o.d"
+  "CMakeFiles/dauth_core.dir/core/messages.cpp.o"
+  "CMakeFiles/dauth_core.dir/core/messages.cpp.o.d"
+  "CMakeFiles/dauth_core.dir/core/serving_network.cpp.o"
+  "CMakeFiles/dauth_core.dir/core/serving_network.cpp.o.d"
+  "libdauth_core.a"
+  "libdauth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

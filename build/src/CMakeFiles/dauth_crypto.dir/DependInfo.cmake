@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cpp" "src/CMakeFiles/dauth_crypto.dir/crypto/aes128.cpp.o" "gcc" "src/CMakeFiles/dauth_crypto.dir/crypto/aes128.cpp.o.d"
+  "/root/repo/src/crypto/curve25519.cpp" "src/CMakeFiles/dauth_crypto.dir/crypto/curve25519.cpp.o" "gcc" "src/CMakeFiles/dauth_crypto.dir/crypto/curve25519.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/CMakeFiles/dauth_crypto.dir/crypto/drbg.cpp.o" "gcc" "src/CMakeFiles/dauth_crypto.dir/crypto/drbg.cpp.o.d"
+  "/root/repo/src/crypto/ed25519.cpp" "src/CMakeFiles/dauth_crypto.dir/crypto/ed25519.cpp.o" "gcc" "src/CMakeFiles/dauth_crypto.dir/crypto/ed25519.cpp.o.d"
+  "/root/repo/src/crypto/feldman.cpp" "src/CMakeFiles/dauth_crypto.dir/crypto/feldman.cpp.o" "gcc" "src/CMakeFiles/dauth_crypto.dir/crypto/feldman.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/dauth_crypto.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/dauth_crypto.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/kdf_3gpp.cpp" "src/CMakeFiles/dauth_crypto.dir/crypto/kdf_3gpp.cpp.o" "gcc" "src/CMakeFiles/dauth_crypto.dir/crypto/kdf_3gpp.cpp.o.d"
+  "/root/repo/src/crypto/milenage.cpp" "src/CMakeFiles/dauth_crypto.dir/crypto/milenage.cpp.o" "gcc" "src/CMakeFiles/dauth_crypto.dir/crypto/milenage.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/dauth_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/dauth_crypto.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha512.cpp" "src/CMakeFiles/dauth_crypto.dir/crypto/sha512.cpp.o" "gcc" "src/CMakeFiles/dauth_crypto.dir/crypto/sha512.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/CMakeFiles/dauth_crypto.dir/crypto/shamir.cpp.o" "gcc" "src/CMakeFiles/dauth_crypto.dir/crypto/shamir.cpp.o.d"
+  "/root/repo/src/crypto/x25519.cpp" "src/CMakeFiles/dauth_crypto.dir/crypto/x25519.cpp.o" "gcc" "src/CMakeFiles/dauth_crypto.dir/crypto/x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dauth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_crypto.dir/crypto/aes128.cpp.o"
+  "CMakeFiles/dauth_crypto.dir/crypto/aes128.cpp.o.d"
+  "CMakeFiles/dauth_crypto.dir/crypto/curve25519.cpp.o"
+  "CMakeFiles/dauth_crypto.dir/crypto/curve25519.cpp.o.d"
+  "CMakeFiles/dauth_crypto.dir/crypto/drbg.cpp.o"
+  "CMakeFiles/dauth_crypto.dir/crypto/drbg.cpp.o.d"
+  "CMakeFiles/dauth_crypto.dir/crypto/ed25519.cpp.o"
+  "CMakeFiles/dauth_crypto.dir/crypto/ed25519.cpp.o.d"
+  "CMakeFiles/dauth_crypto.dir/crypto/feldman.cpp.o"
+  "CMakeFiles/dauth_crypto.dir/crypto/feldman.cpp.o.d"
+  "CMakeFiles/dauth_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/dauth_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/dauth_crypto.dir/crypto/kdf_3gpp.cpp.o"
+  "CMakeFiles/dauth_crypto.dir/crypto/kdf_3gpp.cpp.o.d"
+  "CMakeFiles/dauth_crypto.dir/crypto/milenage.cpp.o"
+  "CMakeFiles/dauth_crypto.dir/crypto/milenage.cpp.o.d"
+  "CMakeFiles/dauth_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/dauth_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/dauth_crypto.dir/crypto/sha512.cpp.o"
+  "CMakeFiles/dauth_crypto.dir/crypto/sha512.cpp.o.d"
+  "CMakeFiles/dauth_crypto.dir/crypto/shamir.cpp.o"
+  "CMakeFiles/dauth_crypto.dir/crypto/shamir.cpp.o.d"
+  "CMakeFiles/dauth_crypto.dir/crypto/x25519.cpp.o"
+  "CMakeFiles/dauth_crypto.dir/crypto/x25519.cpp.o.d"
+  "libdauth_crypto.a"
+  "libdauth_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

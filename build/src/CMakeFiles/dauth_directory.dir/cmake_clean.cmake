@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_directory.dir/directory/client.cpp.o"
+  "CMakeFiles/dauth_directory.dir/directory/client.cpp.o.d"
+  "CMakeFiles/dauth_directory.dir/directory/directory.cpp.o"
+  "CMakeFiles/dauth_directory.dir/directory/directory.cpp.o.d"
+  "libdauth_directory.a"
+  "libdauth_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_ran.dir/ran/gnb.cpp.o"
+  "CMakeFiles/dauth_ran.dir/ran/gnb.cpp.o.d"
+  "CMakeFiles/dauth_ran.dir/ran/load_generator.cpp.o"
+  "CMakeFiles/dauth_ran.dir/ran/load_generator.cpp.o.d"
+  "CMakeFiles/dauth_ran.dir/ran/ue.cpp.o"
+  "CMakeFiles/dauth_ran.dir/ran/ue.cpp.o.d"
+  "libdauth_ran.a"
+  "libdauth_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_loop.cpp" "src/CMakeFiles/dauth_sim.dir/sim/event_loop.cpp.o" "gcc" "src/CMakeFiles/dauth_sim.dir/sim/event_loop.cpp.o.d"
+  "/root/repo/src/sim/failure.cpp" "src/CMakeFiles/dauth_sim.dir/sim/failure.cpp.o" "gcc" "src/CMakeFiles/dauth_sim.dir/sim/failure.cpp.o.d"
+  "/root/repo/src/sim/latency.cpp" "src/CMakeFiles/dauth_sim.dir/sim/latency.cpp.o" "gcc" "src/CMakeFiles/dauth_sim.dir/sim/latency.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/dauth_sim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/dauth_sim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/CMakeFiles/dauth_sim.dir/sim/node.cpp.o" "gcc" "src/CMakeFiles/dauth_sim.dir/sim/node.cpp.o.d"
+  "/root/repo/src/sim/rpc.cpp" "src/CMakeFiles/dauth_sim.dir/sim/rpc.cpp.o" "gcc" "src/CMakeFiles/dauth_sim.dir/sim/rpc.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/dauth_sim.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/dauth_sim.dir/sim/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dauth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

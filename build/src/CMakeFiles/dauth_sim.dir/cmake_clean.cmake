@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_sim.dir/sim/event_loop.cpp.o"
+  "CMakeFiles/dauth_sim.dir/sim/event_loop.cpp.o.d"
+  "CMakeFiles/dauth_sim.dir/sim/failure.cpp.o"
+  "CMakeFiles/dauth_sim.dir/sim/failure.cpp.o.d"
+  "CMakeFiles/dauth_sim.dir/sim/latency.cpp.o"
+  "CMakeFiles/dauth_sim.dir/sim/latency.cpp.o.d"
+  "CMakeFiles/dauth_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/dauth_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/dauth_sim.dir/sim/node.cpp.o"
+  "CMakeFiles/dauth_sim.dir/sim/node.cpp.o.d"
+  "CMakeFiles/dauth_sim.dir/sim/rpc.cpp.o"
+  "CMakeFiles/dauth_sim.dir/sim/rpc.cpp.o.d"
+  "CMakeFiles/dauth_sim.dir/sim/topology.cpp.o"
+  "CMakeFiles/dauth_sim.dir/sim/topology.cpp.o.d"
+  "libdauth_sim.a"
+  "libdauth_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_store.dir/store/kv_store.cpp.o"
+  "CMakeFiles/dauth_store.dir/store/kv_store.cpp.o.d"
+  "CMakeFiles/dauth_store.dir/store/wal.cpp.o"
+  "CMakeFiles/dauth_store.dir/store/wal.cpp.o.d"
+  "libdauth_store.a"
+  "libdauth_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_wire.dir/wire/reader.cpp.o"
+  "CMakeFiles/dauth_wire.dir/wire/reader.cpp.o.d"
+  "CMakeFiles/dauth_wire.dir/wire/writer.cpp.o"
+  "CMakeFiles/dauth_wire.dir/wire/writer.cpp.o.d"
+  "libdauth_wire.a"
+  "libdauth_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

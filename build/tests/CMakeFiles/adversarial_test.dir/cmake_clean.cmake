@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_test.dir/integration/adversarial_test.cpp.o"
+  "CMakeFiles/adversarial_test.dir/integration/adversarial_test.cpp.o.d"
+  "adversarial_test"
+  "adversarial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

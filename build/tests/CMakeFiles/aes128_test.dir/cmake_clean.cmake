@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes128_test.dir/crypto/aes128_test.cpp.o"
+  "CMakeFiles/aes128_test.dir/crypto/aes128_test.cpp.o.d"
+  "aes128_test"
+  "aes128_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes128_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

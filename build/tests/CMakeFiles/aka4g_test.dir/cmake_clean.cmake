@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aka4g_test.dir/aka/aka4g_test.cpp.o"
+  "CMakeFiles/aka4g_test.dir/aka/aka4g_test.cpp.o.d"
+  "aka4g_test"
+  "aka4g_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aka4g_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

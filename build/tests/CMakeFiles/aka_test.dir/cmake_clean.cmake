@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aka_test.dir/aka/aka_test.cpp.o"
+  "CMakeFiles/aka_test.dir/aka/aka_test.cpp.o.d"
+  "aka_test"
+  "aka_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aka_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing_test.dir/core/billing_test.cpp.o"
+  "CMakeFiles/billing_test.dir/core/billing_test.cpp.o.d"
+  "billing_test"
+  "billing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

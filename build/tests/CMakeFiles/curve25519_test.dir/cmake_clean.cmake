@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curve25519_test.dir/crypto/curve25519_test.cpp.o"
+  "CMakeFiles/curve25519_test.dir/crypto/curve25519_test.cpp.o.d"
+  "curve25519_test"
+  "curve25519_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curve25519_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

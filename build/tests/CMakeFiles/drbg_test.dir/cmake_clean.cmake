@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drbg_test.dir/crypto/drbg_test.cpp.o"
+  "CMakeFiles/drbg_test.dir/crypto/drbg_test.cpp.o.d"
+  "drbg_test"
+  "drbg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drbg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

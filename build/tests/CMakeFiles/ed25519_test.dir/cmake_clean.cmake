@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ed25519_test.dir/crypto/ed25519_test.cpp.o"
+  "CMakeFiles/ed25519_test.dir/crypto/ed25519_test.cpp.o.d"
+  "ed25519_test"
+  "ed25519_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ed25519_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

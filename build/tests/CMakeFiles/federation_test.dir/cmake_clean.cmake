@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_test.dir/integration/federation_test.cpp.o"
+  "CMakeFiles/federation_test.dir/integration/federation_test.cpp.o.d"
+  "federation_test"
+  "federation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feldman_test.dir/crypto/feldman_test.cpp.o"
+  "CMakeFiles/feldman_test.dir/crypto/feldman_test.cpp.o.d"
+  "feldman_test"
+  "feldman_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feldman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

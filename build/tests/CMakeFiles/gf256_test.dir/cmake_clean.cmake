@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf256_test.dir/crypto/gf256_test.cpp.o"
+  "CMakeFiles/gf256_test.dir/crypto/gf256_test.cpp.o.d"
+  "gf256_test"
+  "gf256_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guti_test.dir/integration/guti_test.cpp.o"
+  "CMakeFiles/guti_test.dir/integration/guti_test.cpp.o.d"
+  "guti_test"
+  "guti_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handover_test.dir/integration/handover_test.cpp.o"
+  "CMakeFiles/handover_test.dir/integration/handover_test.cpp.o.d"
+  "handover_test"
+  "handover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

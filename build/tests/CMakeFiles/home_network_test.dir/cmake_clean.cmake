@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_network_test.dir/core/home_network_test.cpp.o"
+  "CMakeFiles/home_network_test.dir/core/home_network_test.cpp.o.d"
+  "home_network_test"
+  "home_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_time_test.dir/common/ids_time_test.cpp.o"
+  "CMakeFiles/ids_time_test.dir/common/ids_time_test.cpp.o.d"
+  "ids_time_test"
+  "ids_time_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

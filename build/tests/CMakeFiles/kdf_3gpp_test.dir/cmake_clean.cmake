@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdf_3gpp_test.dir/crypto/kdf_3gpp_test.cpp.o"
+  "CMakeFiles/kdf_3gpp_test.dir/crypto/kdf_3gpp_test.cpp.o.d"
+  "kdf_3gpp_test"
+  "kdf_3gpp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdf_3gpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

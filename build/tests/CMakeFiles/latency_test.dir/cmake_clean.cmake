@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_test.dir/sim/latency_test.cpp.o"
+  "CMakeFiles/latency_test.dir/sim/latency_test.cpp.o.d"
+  "latency_test"
+  "latency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

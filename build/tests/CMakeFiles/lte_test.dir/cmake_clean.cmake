@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_test.dir/baseline/lte_test.cpp.o"
+  "CMakeFiles/lte_test.dir/baseline/lte_test.cpp.o.d"
+  "lte_test"
+  "lte_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milenage_test.dir/crypto/milenage_test.cpp.o"
+  "CMakeFiles/milenage_test.dir/crypto/milenage_test.cpp.o.d"
+  "milenage_test"
+  "milenage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milenage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ran_test.dir/ran/ran_test.cpp.o"
+  "CMakeFiles/ran_test.dir/ran/ran_test.cpp.o.d"
+  "ran_test"
+  "ran_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ran_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resync_test.dir/integration/resync_test.cpp.o"
+  "CMakeFiles/resync_test.dir/integration/resync_test.cpp.o.d"
+  "resync_test"
+  "resync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

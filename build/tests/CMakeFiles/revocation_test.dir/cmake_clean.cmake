@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revocation_test.dir/integration/revocation_test.cpp.o"
+  "CMakeFiles/revocation_test.dir/integration/revocation_test.cpp.o.d"
+  "revocation_test"
+  "revocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

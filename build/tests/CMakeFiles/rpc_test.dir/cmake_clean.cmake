@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_test.dir/sim/rpc_test.cpp.o"
+  "CMakeFiles/rpc_test.dir/sim/rpc_test.cpp.o.d"
+  "rpc_test"
+  "rpc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sha512_test.dir/crypto/sha512_test.cpp.o"
+  "CMakeFiles/sha512_test.dir/crypto/sha512_test.cpp.o.d"
+  "sha512_test"
+  "sha512_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sha512_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shamir_test.dir/crypto/shamir_test.cpp.o"
+  "CMakeFiles/shamir_test.dir/crypto/shamir_test.cpp.o.d"
+  "shamir_test"
+  "shamir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shamir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

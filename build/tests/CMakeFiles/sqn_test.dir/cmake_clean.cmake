@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqn_test.dir/aka/sqn_test.cpp.o"
+  "CMakeFiles/sqn_test.dir/aka/sqn_test.cpp.o.d"
+  "sqn_test"
+  "sqn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standalone_core_test.dir/baseline/standalone_core_test.cpp.o"
+  "CMakeFiles/standalone_core_test.dir/baseline/standalone_core_test.cpp.o.d"
+  "standalone_core_test"
+  "standalone_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standalone_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

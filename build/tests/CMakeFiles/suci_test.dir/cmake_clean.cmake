@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suci_test.dir/aka/suci_test.cpp.o"
+  "CMakeFiles/suci_test.dir/aka/suci_test.cpp.o.d"
+  "suci_test"
+  "suci_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

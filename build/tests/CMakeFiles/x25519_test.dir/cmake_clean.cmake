@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x25519_test.dir/crypto/x25519_test.cpp.o"
+  "CMakeFiles/x25519_test.dir/crypto/x25519_test.cpp.o.d"
+  "x25519_test"
+  "x25519_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x25519_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_sim_cli.dir/dauth_sim.cpp.o"
+  "CMakeFiles/dauth_sim_cli.dir/dauth_sim.cpp.o.d"
+  "dauth-sim"
+  "dauth-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
