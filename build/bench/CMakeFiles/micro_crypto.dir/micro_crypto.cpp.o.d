@@ -186,9 +186,25 @@ bench/CMakeFiles/micro_crypto.dir/micro_crypto.cpp.o: \
  /root/repo/src/crypto/aes128.h /root/repo/src/common/bytes.h \
  /usr/include/c++/12/array /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
- /root/repo/src/crypto/drbg.h /root/repo/src/crypto/shamir.h \
- /root/repo/src/crypto/sha256.h /root/repo/src/crypto/ed25519.h \
- /root/repo/src/crypto/feldman.h /root/repo/src/crypto/curve25519.h \
- /root/repo/src/crypto/hmac.h /root/repo/src/crypto/kdf_3gpp.h \
- /root/repo/src/crypto/milenage.h /root/repo/src/crypto/sha512.h \
- /root/repo/src/crypto/x25519.h
+ /root/repo/src/common/secret.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/bits/locale_classes.h \
+ /usr/include/c++/12/bits/locale_classes.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/bits/basic_ios.h \
+ /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
+ /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_base.h \
+ /usr/include/c++/12/bits/streambuf_iterator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
+ /usr/include/c++/12/bits/locale_facets.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/ostream.tcc /root/repo/src/crypto/drbg.h \
+ /root/repo/src/crypto/shamir.h /root/repo/src/crypto/sha256.h \
+ /root/repo/src/crypto/ed25519.h /root/repo/src/crypto/feldman.h \
+ /root/repo/src/crypto/curve25519.h /root/repo/src/crypto/hmac.h \
+ /root/repo/src/crypto/kdf_3gpp.h /root/repo/src/crypto/milenage.h \
+ /root/repo/src/crypto/sha512.h /root/repo/src/crypto/x25519.h

@@ -210,10 +210,11 @@ examples/CMakeFiles/community_availability.dir/community_availability.cpp.o: \
  /root/repo/src/aka/auth_vector.h /root/repo/src/common/bytes.h \
  /usr/include/c++/12/array /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
- /root/repo/src/crypto/kdf_3gpp.h /root/repo/src/crypto/milenage.h \
- /root/repo/src/crypto/aes128.h /root/repo/src/crypto/sha256.h \
- /root/repo/src/common/ids.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/crypto/kdf_3gpp.h /root/repo/src/common/secret.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/crypto/milenage.h /root/repo/src/crypto/aes128.h \
+ /root/repo/src/crypto/sha256.h /root/repo/src/common/ids.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
@@ -228,7 +229,6 @@ examples/CMakeFiles/community_availability.dir/community_availability.cpp.o: \
  /root/repo/src/crypto/x25519.h /root/repo/src/sim/rpc.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/sim/network.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/latency.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/limits /root/repo/src/sim/node.h \
  /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \

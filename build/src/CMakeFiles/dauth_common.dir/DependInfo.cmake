@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/dauth_common.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/dauth_common.dir/common/bytes.cpp.o.d"
   "/root/repo/src/common/rng.cpp" "src/CMakeFiles/dauth_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/dauth_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/secret.cpp" "src/CMakeFiles/dauth_common.dir/common/secret.cpp.o" "gcc" "src/CMakeFiles/dauth_common.dir/common/secret.cpp.o.d"
   "/root/repo/src/common/stats.cpp" "src/CMakeFiles/dauth_common.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/dauth_common.dir/common/stats.cpp.o.d"
   "/root/repo/src/common/time.cpp" "src/CMakeFiles/dauth_common.dir/common/time.cpp.o" "gcc" "src/CMakeFiles/dauth_common.dir/common/time.cpp.o.d"
   )

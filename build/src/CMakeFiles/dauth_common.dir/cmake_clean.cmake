@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dauth_common.dir/common/bytes.cpp.o.d"
   "CMakeFiles/dauth_common.dir/common/rng.cpp.o"
   "CMakeFiles/dauth_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/dauth_common.dir/common/secret.cpp.o"
+  "CMakeFiles/dauth_common.dir/common/secret.cpp.o.d"
   "CMakeFiles/dauth_common.dir/common/stats.cpp.o"
   "CMakeFiles/dauth_common.dir/common/stats.cpp.o.d"
   "CMakeFiles/dauth_common.dir/common/time.cpp.o"

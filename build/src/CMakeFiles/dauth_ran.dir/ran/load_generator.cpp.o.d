@@ -215,17 +215,17 @@ src/CMakeFiles/dauth_ran.dir/ran/load_generator.cpp.o: \
  /root/repo/src/aka/auth_vector.h /root/repo/src/common/bytes.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/span /root/repo/src/crypto/kdf_3gpp.h \
- /root/repo/src/crypto/milenage.h /root/repo/src/crypto/aes128.h \
- /root/repo/src/crypto/sha256.h /root/repo/src/aka/sqn.h \
- /root/repo/src/common/ids.h /root/repo/src/aka/suci.h \
- /root/repo/src/crypto/drbg.h /root/repo/src/crypto/shamir.h \
- /root/repo/src/crypto/x25519.h /root/repo/src/sim/rpc.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/common/secret.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/crypto/milenage.h \
+ /root/repo/src/crypto/aes128.h /root/repo/src/crypto/sha256.h \
+ /root/repo/src/aka/sqn.h /root/repo/src/common/ids.h \
+ /root/repo/src/aka/suci.h /root/repo/src/crypto/drbg.h \
+ /root/repo/src/crypto/shamir.h /root/repo/src/crypto/x25519.h \
+ /root/repo/src/sim/rpc.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/sim/network.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/latency.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/limits /root/repo/src/sim/node.h \
  /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \

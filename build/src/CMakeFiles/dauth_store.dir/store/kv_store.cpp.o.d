@@ -214,4 +214,5 @@ src/CMakeFiles/dauth_store.dir/store/kv_store.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/wire/reader.h \
- /root/repo/src/wire/writer.h
+ /root/repo/src/wire/writer.h /root/repo/src/common/secret.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

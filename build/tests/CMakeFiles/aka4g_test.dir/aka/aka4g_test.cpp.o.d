@@ -295,8 +295,8 @@ tests/CMakeFiles/aka4g_test.dir/aka/aka4g_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/aka/auth_vector.h /root/repo/src/common/bytes.h \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
- /root/repo/src/crypto/kdf_3gpp.h /root/repo/src/crypto/milenage.h \
- /root/repo/src/crypto/aes128.h /root/repo/src/crypto/sha256.h \
- /root/repo/src/aka/sim_card.h /root/repo/src/aka/sqn.h \
- /root/repo/src/common/ids.h /root/repo/src/crypto/drbg.h \
- /root/repo/src/crypto/shamir.h
+ /root/repo/src/crypto/kdf_3gpp.h /root/repo/src/common/secret.h \
+ /root/repo/src/crypto/milenage.h /root/repo/src/crypto/aes128.h \
+ /root/repo/src/crypto/sha256.h /root/repo/src/aka/sim_card.h \
+ /root/repo/src/aka/sqn.h /root/repo/src/common/ids.h \
+ /root/repo/src/crypto/drbg.h /root/repo/src/crypto/shamir.h

@@ -300,19 +300,19 @@ tests/CMakeFiles/billing_test.dir/core/billing_test.cpp.o: \
  /root/repo/src/common/time.h /root/repo/src/core/messages.h \
  /root/repo/src/aka/auth_vector.h /root/repo/src/common/bytes.h \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
- /root/repo/src/crypto/kdf_3gpp.h /root/repo/src/crypto/milenage.h \
- /root/repo/src/crypto/aes128.h /root/repo/src/crypto/sha256.h \
- /root/repo/src/common/ids.h /root/repo/src/crypto/ed25519.h \
- /root/repo/src/crypto/drbg.h /root/repo/src/crypto/shamir.h \
- /root/repo/src/crypto/feldman.h /root/repo/src/crypto/curve25519.h \
- /root/repo/src/core/metrics.h /root/repo/src/directory/client.h \
- /root/repo/src/directory/directory.h /root/repo/src/crypto/x25519.h \
- /root/repo/src/sim/rpc.h /root/repo/src/sim/network.h \
- /root/repo/src/sim/latency.h /root/repo/src/common/rng.h \
- /root/repo/src/sim/node.h /root/repo/src/sim/event_loop.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/store/kv_store.h /root/repo/src/store/wal.h \
- /root/repo/src/core/home_network.h /root/repo/src/aka/sqn.h \
- /root/repo/src/aka/suci.h /root/repo/src/core/serving_network.h \
- /root/repo/src/ran/gnb.h /root/repo/src/ran/ue.h \
- /root/repo/src/aka/sim_card.h
+ /root/repo/src/crypto/kdf_3gpp.h /root/repo/src/common/secret.h \
+ /root/repo/src/crypto/milenage.h /root/repo/src/crypto/aes128.h \
+ /root/repo/src/crypto/sha256.h /root/repo/src/common/ids.h \
+ /root/repo/src/crypto/ed25519.h /root/repo/src/crypto/drbg.h \
+ /root/repo/src/crypto/shamir.h /root/repo/src/crypto/feldman.h \
+ /root/repo/src/crypto/curve25519.h /root/repo/src/core/metrics.h \
+ /root/repo/src/directory/client.h /root/repo/src/directory/directory.h \
+ /root/repo/src/crypto/x25519.h /root/repo/src/sim/rpc.h \
+ /root/repo/src/sim/network.h /root/repo/src/sim/latency.h \
+ /root/repo/src/common/rng.h /root/repo/src/sim/node.h \
+ /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/store/kv_store.h \
+ /root/repo/src/store/wal.h /root/repo/src/core/home_network.h \
+ /root/repo/src/aka/sqn.h /root/repo/src/aka/suci.h \
+ /root/repo/src/core/serving_network.h /root/repo/src/ran/gnb.h \
+ /root/repo/src/ran/ue.h /root/repo/src/aka/sim_card.h

@@ -293,5 +293,5 @@ tests/CMakeFiles/curve25519_test.dir/crypto/curve25519_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/crypto/drbg.h /root/repo/src/crypto/shamir.h \
- /root/repo/src/crypto/sha256.h
+ /root/repo/src/crypto/drbg.h /root/repo/src/common/secret.h \
+ /root/repo/src/crypto/shamir.h /root/repo/src/crypto/sha256.h

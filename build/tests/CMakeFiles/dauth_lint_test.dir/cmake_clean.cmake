@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_lint_test.dir/tools/dauth_lint_test.cpp.o"
+  "CMakeFiles/dauth_lint_test.dir/tools/dauth_lint_test.cpp.o.d"
+  "dauth_lint_test"
+  "dauth_lint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_lint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -298,17 +298,17 @@ tests/CMakeFiles/determinism_test.dir/sim/determinism_test.cpp.o: \
  /root/repo/src/aka/sim_card.h /root/repo/src/aka/auth_vector.h \
  /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/crypto/kdf_3gpp.h \
- /root/repo/src/crypto/milenage.h /root/repo/src/crypto/aes128.h \
- /root/repo/src/crypto/sha256.h /root/repo/src/aka/sqn.h \
- /root/repo/src/common/ids.h /root/repo/src/aka/suci.h \
- /root/repo/src/crypto/drbg.h /root/repo/src/crypto/shamir.h \
- /root/repo/src/crypto/x25519.h /root/repo/src/sim/rpc.h \
- /root/repo/src/sim/network.h /root/repo/src/sim/latency.h \
- /root/repo/src/common/rng.h /root/repo/src/sim/node.h \
- /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/topology.h \
+ /root/repo/src/common/secret.h /root/repo/src/crypto/milenage.h \
+ /root/repo/src/crypto/aes128.h /root/repo/src/crypto/sha256.h \
+ /root/repo/src/aka/sqn.h /root/repo/src/common/ids.h \
+ /root/repo/src/aka/suci.h /root/repo/src/crypto/drbg.h \
+ /root/repo/src/crypto/shamir.h /root/repo/src/crypto/x25519.h \
+ /root/repo/src/sim/rpc.h /root/repo/src/sim/network.h \
+ /root/repo/src/sim/latency.h /root/repo/src/common/rng.h \
+ /root/repo/src/sim/node.h /root/repo/src/sim/event_loop.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/topology.h \
  /root/repo/tests/sim/../integration/federation_fixture.h \
  /root/repo/src/core/dauth_node.h /root/repo/src/core/backup_network.h \
  /root/repo/src/core/config.h /root/repo/src/core/messages.h \

@@ -137,24 +137,7 @@ tests/CMakeFiles/standalone_core_test.dir/baseline/standalone_core_test.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/crypto/kdf_3gpp.h \
- /root/repo/src/crypto/milenage.h /root/repo/src/crypto/aes128.h \
- /root/repo/src/crypto/sha256.h /root/repo/src/aka/sqn.h \
- /root/repo/src/common/ids.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/core/config.h \
- /root/repo/src/common/time.h /root/repo/src/crypto/drbg.h \
- /root/repo/src/crypto/shamir.h /root/repo/src/sim/rpc.h \
- /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /root/repo/src/common/secret.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
@@ -185,7 +168,25 @@ tests/CMakeFiles/standalone_core_test.dir/baseline/standalone_core_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/crypto/milenage.h \
+ /root/repo/src/crypto/aes128.h /root/repo/src/crypto/sha256.h \
+ /root/repo/src/aka/sqn.h /root/repo/src/common/ids.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/core/config.h \
+ /root/repo/src/common/time.h /root/repo/src/crypto/drbg.h \
+ /root/repo/src/crypto/shamir.h /root/repo/src/sim/rpc.h \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -222,7 +223,6 @@ tests/CMakeFiles/standalone_core_test.dir/baseline/standalone_core_test.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/sim/network.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/latency.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/limits /root/repo/src/sim/node.h \
  /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \

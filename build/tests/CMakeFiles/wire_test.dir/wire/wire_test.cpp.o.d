@@ -295,4 +295,4 @@ tests/CMakeFiles/wire_test.dir/wire/wire_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/wire/reader.h /root/repo/src/common/bytes.h \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
- /root/repo/src/wire/writer.h
+ /root/repo/src/wire/writer.h /root/repo/src/common/secret.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_lint_cli.dir/dauth_lint.cpp.o"
+  "CMakeFiles/dauth_lint_cli.dir/dauth_lint.cpp.o.d"
+  "dauth-lint"
+  "dauth-lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_lint_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

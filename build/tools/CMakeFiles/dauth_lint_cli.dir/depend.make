@@ -1,0 +1,2 @@
+# Empty dependencies file for dauth_lint_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dauth_lint_core.dir/lint_core.cpp.o"
+  "CMakeFiles/dauth_lint_core.dir/lint_core.cpp.o.d"
+  "libdauth_lint_core.a"
+  "libdauth_lint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dauth_lint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdauth_lint_core.a"
+)

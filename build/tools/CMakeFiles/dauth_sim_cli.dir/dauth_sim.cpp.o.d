@@ -207,10 +207,12 @@ tools/CMakeFiles/dauth_sim_cli.dir/dauth_sim.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/aka/auth_vector.h \
  /root/repo/src/common/bytes.h /usr/include/c++/12/array \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/crypto/kdf_3gpp.h /root/repo/src/crypto/milenage.h \
- /root/repo/src/crypto/aes128.h /root/repo/src/crypto/sha256.h \
- /root/repo/src/aka/sqn.h /root/repo/src/common/ids.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/crypto/kdf_3gpp.h /root/repo/src/common/secret.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/crypto/milenage.h /root/repo/src/crypto/aes128.h \
+ /root/repo/src/crypto/sha256.h /root/repo/src/aka/sqn.h \
+ /root/repo/src/common/ids.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
@@ -222,7 +224,6 @@ tools/CMakeFiles/dauth_sim_cli.dir/dauth_sim.cpp.o: \
  /root/repo/src/crypto/shamir.h /root/repo/src/sim/rpc.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/sim/network.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/latency.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/limits /root/repo/src/sim/node.h \
  /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \

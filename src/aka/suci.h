@@ -21,14 +21,17 @@
 namespace dauth::aka {
 
 /// A concealed identifier as sent over the air.
+///
+/// No operator==: although every field is ciphertext or routing info, SUCIs
+/// are linkability-sensitive and nothing in the protocol compares them —
+/// equality would only ever be a bug (e.g. replay "detection" that defeats
+/// the unlinkability the scheme buys). Compare fields explicitly if needed.
 struct Suci {
   std::string mcc;                        // routing info stays cleartext
   std::string mnc;
   crypto::X25519Point ephemeral_public;   // UE's ephemeral key
   Bytes ciphertext;                       // encrypted MSIN digits
   ByteArray<8> mac;                       // truncated HMAC tag
-
-  bool operator==(const Suci&) const = default;
 };
 
 /// Conceals `supi` to the home network's public key.

@@ -56,6 +56,11 @@ bool ct_equal(ByteView a, ByteView b);
 /// Lower-case hex encoding ("deadbeef").
 std::string to_hex(ByteView data);
 
+/// Exact-match overload: keeps `to_hex(Bytes)` unambiguous next to the
+/// redacting SecretBytes overload in common/secret.h (both are one implicit
+/// conversion away from Bytes).
+inline std::string to_hex(const Bytes& data) { return to_hex(ByteView(data)); }
+
 /// Parses hex (upper or lower case, no separators). Throws on bad input.
 Bytes from_hex(std::string_view hex);
 
@@ -82,8 +87,11 @@ ByteArray<N> take(ByteView view) {
 inline Bytes to_bytes(ByteView view) { return Bytes(view.begin(), view.end()); }
 
 /// Interprets an ASCII string as bytes (no copy of the terminator).
+/// char -> unsigned char is one of the object-representation reinterpretations
+/// the standard blesses; routed through void* so no pointer type is punned.
 inline ByteView as_bytes(std::string_view s) {
-  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+  static_assert(sizeof(std::uint8_t) == sizeof(char) && alignof(std::uint8_t) == alignof(char));
+  return {static_cast<const std::uint8_t*>(static_cast<const void*>(s.data())), s.size()};
 }
 
 }  // namespace dauth

@@ -3,8 +3,8 @@
 namespace dauth {
 namespace {
 
-inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
+inline std::uint64_t rotl(std::uint64_t x, int shift) noexcept {
+  return (x << shift) | (x >> (64 - shift));
 }
 
 }  // namespace

@@ -1,0 +1,20 @@
+#include "common/secret.h"
+
+#include <atomic>
+
+namespace dauth {
+
+void secure_wipe(void* data, std::size_t size) noexcept {
+  if (data == nullptr || size == 0) return;
+  // Volatile stores cannot be elided as dead writes even when the object is
+  // about to be destroyed; the signal fence (plus an asm barrier on GCC and
+  // Clang) keeps the optimizer from reordering or dropping the loop.
+  auto* bytes = static_cast<volatile std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) bytes[i] = 0;
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ __volatile__("" : : "r"(data) : "memory");
+#endif
+}
+
+}  // namespace dauth

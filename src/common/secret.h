@@ -1,0 +1,196 @@
+// Zeroizing wrappers for key material (the "secret hygiene" type layer).
+//
+// dAuth's security argument rests on key material — K_i, OPc, CK/IK,
+// K_seaf/asme, Shamir shares, RES* preimages — never leaking to a
+// semi-trusted backup, onto the wire in the clear, or into a log line.
+// `Secret<N>` / `SecretBytes` make those invariants structural:
+//
+//   * storage is zeroized on destruction and on move-from, through a
+//     `secure_wipe()` the optimizer cannot elide;
+//   * `operator==` is deleted — equality goes through `ct_equal` only, so
+//     comparisons are constant-time by construction;
+//   * `to_hex()` and stream insertion print "<redacted:N>" instead of the
+//     bytes, so debug/trace output cannot leak material;
+//   * read access to the raw bytes is an *explicit* act: `ByteView(s)`,
+//     `s.data()`, or `s.raw()` — all greppable, all flagged by dauth-lint
+//     when misused (see docs/SECURITY.md).
+//
+// Known boundary: temporaries of plain `ByteArray<N>` returned by crypto
+// primitives (e.g. an HMAC digest adopted into a `Secret<32>`) are not
+// wiped; named intermediates in key paths are (see milenage.cpp, kdf_3gpp.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace dauth {
+
+/// Overwrites `size` bytes with zeros such that the compiler cannot remove
+/// the stores as dead (volatile writes plus a compiler fence).
+void secure_wipe(void* data, std::size_t size) noexcept;
+
+inline void secure_wipe(MutableByteView view) noexcept {
+  secure_wipe(view.data(), view.size());
+}
+
+/// Fixed-size secret: a ByteArray<N> that wipes itself. Implicitly
+/// constructible from ByteArray<N> (adopting freshly derived material is the
+/// common case); read access back out is explicit.
+template <std::size_t N>
+class Secret {
+ public:
+  using value_type = std::uint8_t;
+
+  Secret() noexcept : bytes_{} {}
+  // NOLINTNEXTLINE(google-explicit-constructor): adoption is intentional.
+  Secret(const ByteArray<N>& raw) noexcept : bytes_(raw) {}
+
+  /// Adopts a view; throws if the length does not match.
+  explicit Secret(ByteView raw) {
+    if (raw.size() != N) throw std::invalid_argument("Secret: length mismatch");
+    for (std::size_t i = 0; i < N; ++i) bytes_[i] = raw[i];
+  }
+
+  Secret(const Secret& other) noexcept : bytes_(other.bytes_) {}
+  Secret& operator=(const Secret& other) noexcept {
+    bytes_ = other.bytes_;
+    return *this;
+  }
+  Secret(Secret&& other) noexcept : bytes_(other.bytes_) { other.wipe(); }
+  Secret& operator=(Secret&& other) noexcept {
+    if (this != &other) {
+      bytes_ = other.bytes_;
+      other.wipe();
+    }
+    return *this;
+  }
+  ~Secret() { wipe(); }
+
+  /// Equality only through ct_equal (both sides convert to ByteView).
+  bool operator==(const Secret&) const = delete;
+
+  static constexpr std::size_t size() noexcept { return N; }
+
+  std::uint8_t* data() noexcept { return bytes_.data(); }
+  const std::uint8_t* data() const noexcept { return bytes_.data(); }
+  std::uint8_t& operator[](std::size_t i) noexcept { return bytes_[i]; }
+  std::uint8_t operator[](std::size_t i) const noexcept { return bytes_[i]; }
+  auto begin() noexcept { return bytes_.begin(); }
+  auto end() noexcept { return bytes_.end(); }
+  auto begin() const noexcept { return bytes_.begin(); }
+  auto end() const noexcept { return bytes_.end(); }
+
+  /// Read-only view of the bytes (implicit: feeds KDFs, MACs, ct_equal).
+  operator ByteView() const noexcept { return ByteView(bytes_); }  // NOLINT
+  MutableByteView mutable_view() noexcept { return MutableByteView(bytes_); }
+  /// Explicit escape hatch to the underlying array (test vectors, FFI).
+  const ByteArray<N>& raw() const noexcept { return bytes_; }
+
+  void fill(std::uint8_t value) noexcept {
+    for (auto& b : bytes_) b = value;
+  }
+  void wipe() noexcept { secure_wipe(bytes_.data(), N); }
+
+ private:
+  ByteArray<N> bytes_;
+};
+
+/// Variable-length secret buffer (Shamir share values, reconstructed keys,
+/// KDF scratch). Wipes current contents on destruction, assignment and
+/// move-from. Note: growth past capacity reallocates like std::vector — size
+/// the buffer once (resize from empty) when it will hold live material.
+class SecretBytes {
+ public:
+  SecretBytes() noexcept = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): adoption is intentional.
+  SecretBytes(Bytes raw) noexcept : bytes_(std::move(raw)) {}
+  explicit SecretBytes(ByteView raw) : bytes_(raw.begin(), raw.end()) {}
+  explicit SecretBytes(std::size_t size) : bytes_(size, 0) {}
+
+  SecretBytes(const SecretBytes& other) : bytes_(other.bytes_) {}
+  SecretBytes& operator=(const SecretBytes& other) {
+    if (this != &other) {
+      wipe();
+      bytes_ = other.bytes_;
+    }
+    return *this;
+  }
+  SecretBytes(SecretBytes&& other) noexcept : bytes_(std::move(other.bytes_)) {
+    other.bytes_.clear();
+  }
+  SecretBytes& operator=(SecretBytes&& other) noexcept {
+    if (this != &other) {
+      wipe();
+      bytes_ = std::move(other.bytes_);
+      other.bytes_.clear();
+    }
+    return *this;
+  }
+  ~SecretBytes() { wipe(); }
+
+  bool operator==(const SecretBytes&) const = delete;
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+  bool empty() const noexcept { return bytes_.empty(); }
+  std::uint8_t* data() noexcept { return bytes_.data(); }
+  const std::uint8_t* data() const noexcept { return bytes_.data(); }
+  std::uint8_t& operator[](std::size_t i) noexcept { return bytes_[i]; }
+  std::uint8_t operator[](std::size_t i) const noexcept { return bytes_[i]; }
+  auto begin() noexcept { return bytes_.begin(); }
+  auto end() noexcept { return bytes_.end(); }
+  auto begin() const noexcept { return bytes_.begin(); }
+  auto end() const noexcept { return bytes_.end(); }
+
+  /// Shrinking wipes the tail first; growing may reallocate (see class note).
+  void resize(std::size_t size) {
+    if (size < bytes_.size()) secure_wipe(bytes_.data() + size, bytes_.size() - size);
+    bytes_.resize(size);
+  }
+
+  operator ByteView() const noexcept { return ByteView(bytes_); }  // NOLINT
+  MutableByteView mutable_view() noexcept { return MutableByteView(bytes_); }
+
+  void wipe() noexcept { secure_wipe(bytes_.data(), bytes_.size()); }
+
+ private:
+  Bytes bytes_;
+};
+
+// ---- Redacting formatters ---------------------------------------------------
+// Exact-match overloads beat the ByteView conversion, so a Secret reaching a
+// formatter prints "<redacted:N>" instead of its bytes. Reveal explicitly
+// with to_hex(s.raw()) where a test vector demands it.
+
+template <std::size_t N>
+std::string to_hex(const Secret<N>&) {
+  return "<redacted:" + std::to_string(N) + ">";
+}
+
+inline std::string to_hex(const SecretBytes& s) {
+  return "<redacted:" + std::to_string(s.size()) + ">";
+}
+
+template <std::size_t N>
+std::ostream& operator<<(std::ostream& os, const Secret<N>&) {
+  return os << "<redacted:" << N << ">";
+}
+
+inline std::ostream& operator<<(std::ostream& os, const SecretBytes& s) {
+  return os << "<redacted:" << s.size() << ">";
+}
+
+/// XOR helpers mixing plain and secret fixed-size buffers (Milenage masks).
+template <std::size_t N>
+ByteArray<N> xor_arrays(const ByteArray<N>& a, const Secret<N>& b) {
+  ByteArray<N> out;
+  for (std::size_t i = 0; i < N; ++i) out[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return out;
+}
+
+}  // namespace dauth

@@ -226,8 +226,8 @@ void BackupNetwork::handle_get_vector(ByteView request, sim::Responder responder
     }
 
     // Find the user under any home network we back up.
-    for (auto& [key, user] : users_) {
-      if (key.supi != supi) continue;
+    for (auto& [id, user] : users_) {
+      if (id.supi != supi) continue;
       if (user.vectors.empty()) {
         responder.fail("no vectors remaining");
         return;
@@ -235,7 +235,7 @@ void BackupNetwork::handle_get_vector(ByteView request, sim::Responder responder
       const AuthVectorBundle bundle = user.vectors.front();
       user.vectors.pop_front();
       if (store_ != nullptr) {
-        store_->erase("vec/" + key.home.str() + "/" + supi.str() + "/" +
+        store_->erase("vec/" + id.home.str() + "/" + supi.str() + "/" +
                       to_hex(bundle.hxres_star));
       }
       ++metrics_.vectors_served;
@@ -274,14 +274,14 @@ void BackupNetwork::handle_get_share(ByteView request, sim::Responder responder)
       return;
     }
     rpc_.network().node(node_).execute(config_.costs.share_fetch, [this, proof, responder] {
-      for (auto& [key, user] : users_) {
-        if (key.supi != proof.supi) continue;
-        const auto share_it = user.shares.find(to_hex(proof.hxres_star));
-        if (share_it == user.shares.end()) continue;
+      for (auto& [id, user] : users_) {
+        if (id.supi != proof.supi) continue;
+        const auto bundle_it = user.shares.find(to_hex(proof.hxres_star));
+        if (bundle_it == user.shares.end()) continue;
 
         // Persist the proof for later reporting (§4.2.2: "backups store the
         // received bundle ... to report a proof of consumption").
-        persist_proof(key.home, proof);
+        persist_proof(id.home, proof);
         // The proof also tells us the vector itself is consumed; drop any
         // copy WE hold (flood vectors are replicated to every backup, §4.3).
         auto& vectors = user.vectors;
@@ -292,7 +292,7 @@ void BackupNetwork::handle_get_share(ByteView request, sim::Responder responder)
           }
         }
         ++metrics_.shares_served;
-        responder.reply(share_it->second.encode());
+        responder.reply(bundle_it->second.encode());
         return;
       }
       ++metrics_.rejected_requests;

@@ -418,14 +418,14 @@ void HomeNetwork::handle_get_key(ByteView request, sim::Responder responder) {
         return;
       }
       const std::string index = to_hex(proof.hxres_star);
-      auto key_it = sub_it->second.pending_keys.find(index);
-      if (key_it == sub_it->second.pending_keys.end()) {
+      auto pending_it = sub_it->second.pending_keys.find(index);
+      if (pending_it == sub_it->second.pending_keys.end()) {
         ++metrics_.rejected_requests;
         responder.fail("no pending key for proof");
         return;
       }
-      const crypto::Key256 k_seaf = key_it->second;
-      sub_it->second.pending_keys.erase(key_it);  // one-time release
+      const crypto::Key256 k_seaf = pending_it->second;
+      sub_it->second.pending_keys.erase(pending_it);  // one-time release
       sub_it->second.seen_proofs[index] = proof.serving_network;
       ++usage_ledger_[proof.serving_network];
       ++metrics_.keys_released;

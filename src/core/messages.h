@@ -19,6 +19,7 @@
 
 #include "aka/auth_vector.h"
 #include "common/ids.h"
+#include "common/secret.h"
 #include "common/time.h"
 #include "crypto/ed25519.h"
 #include "crypto/feldman.h"
@@ -85,7 +86,8 @@ struct StoreMaterialRequest {
   std::vector<KeyShareBundle> shares;
   /// §4.2.1: "if 5G ID encryption is used ... the home network shares the ID
   /// decryption key with the backup networks". Empty when not shared.
-  Bytes suci_secret;
+  /// A private key in transit — self-wiping, redacted in any formatter.
+  SecretBytes suci_secret;
 
   Bytes encode() const;
   static StoreMaterialRequest decode(ByteView data);

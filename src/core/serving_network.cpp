@@ -877,7 +877,7 @@ void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
           std::vector<crypto::ShamirShare> shares;
           shares.reserve(state->bundles.size());
           for (const auto& b : state->bundles) shares.push_back(b.share);
-          const Bytes secret = crypto::shamir_combine(shares);
+          const SecretBytes secret = crypto::shamir_combine(shares);
           if (secret.size() != 32) throw std::runtime_error("bad secret size");
           k_seaf = take<32>(secret);
         }

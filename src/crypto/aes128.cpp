@@ -47,7 +47,20 @@ inline std::uint8_t xtime(std::uint8_t x) noexcept {
 
 }  // namespace
 
-Aes128::Aes128(const AesKey& key) noexcept {
+Aes128::Aes128(const AesKey& key) noexcept { expand_key(key.data()); }
+
+Aes128::Aes128(ByteView key) noexcept {
+  // A wrong-size key is a programming error; fail closed with a zero key
+  // rather than reading out of bounds (callers pass Secret<16> views).
+  if (key.size() != 16) {
+    static constexpr AesKey kZeroKey{};
+    expand_key(kZeroKey.data());
+    return;
+  }
+  expand_key(key.data());
+}
+
+void Aes128::expand_key(const std::uint8_t* key) noexcept {
   for (int i = 0; i < 4; ++i) {
     round_keys_[i] = (std::uint32_t{key[4 * i]} << 24) |
                      (std::uint32_t{key[4 * i + 1]} << 16) |
@@ -103,15 +116,17 @@ AesBlock Aes128::encrypt_block(const AesBlock& plaintext) const noexcept {
 
   AesBlock out;
   std::memcpy(out.data(), s, 16);
+  secure_wipe(s, sizeof(s));
   return out;
 }
 
 void aes128_ctr_xor(const Aes128& cipher, const AesBlock& initial_counter,
                     MutableByteView data) noexcept {
   AesBlock counter = initial_counter;
+  AesBlock keystream{};
   std::size_t offset = 0;
   while (offset < data.size()) {
-    const AesBlock keystream = cipher.encrypt_block(counter);
+    keystream = cipher.encrypt_block(counter);
     const std::size_t n = data.size() - offset < 16 ? data.size() - offset : 16;
     for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= keystream[i];
     offset += n;
@@ -120,6 +135,7 @@ void aes128_ctr_xor(const Aes128& cipher, const AesBlock& initial_counter,
       if (++counter[i] != 0) break;
     }
   }
+  secure_wipe(MutableByteView(keystream));
 }
 
 }  // namespace dauth::crypto

@@ -8,21 +8,32 @@
 #include <cstdint>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 
 namespace dauth::crypto {
 
 using AesKey = ByteArray<16>;
 using AesBlock = ByteArray<16>;
 
-/// Key-expanded AES-128 context.
+/// Key-expanded AES-128 context. The expanded schedule is key-equivalent
+/// material, so the destructor zeroizes it.
 class Aes128 {
  public:
   explicit Aes128(const AesKey& key) noexcept;
+  /// Keys held in a Secret<16> convert implicitly to ByteView; the size is
+  /// asserted at runtime. Behaviour is identical to the AesKey overload.
+  explicit Aes128(ByteView key) noexcept;
+  ~Aes128() { secure_wipe(round_keys_, sizeof(round_keys_)); }
+
+  Aes128(const Aes128&) = default;
+  Aes128& operator=(const Aes128&) = default;
 
   /// Encrypts a single 16-byte block (ECB primitive).
   AesBlock encrypt_block(const AesBlock& plaintext) const noexcept;
 
  private:
+  void expand_key(const std::uint8_t* key) noexcept;
+
   std::uint32_t round_keys_[44];
 };
 

@@ -23,7 +23,7 @@ DeterministicDrbg::DeterministicDrbg(std::string_view label, std::uint64_t seed)
 
 void DeterministicDrbg::update(ByteView provided) {
   // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
-  Bytes input = concat(value_, ByteArray<1>{0x00}, provided);
+  SecretBytes input(concat(value_, ByteArray<1>{0x00}, provided));
   key_ = hmac_sha256(key_, input);
   value_ = hmac_sha256(key_, value_);
   if (!provided.empty()) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/shamir.h"  // RandomSource
 #include "crypto/sha256.h"
 
@@ -38,8 +39,10 @@ class DeterministicDrbg final : public RandomSource {
  private:
   void update(ByteView provided);
 
-  ByteArray<32> key_;
-  ByteArray<32> value_;
+  // DRBG internal state is key material: anyone holding (K, V) can predict
+  // every future output, so both wipe on destruction.
+  Secret<32> key_;
+  Secret<32> value_;
 };
 
 }  // namespace dauth::crypto

@@ -93,6 +93,10 @@ FeldmanSharing feldman_split(ByteView secret, std::size_t threshold, std::size_t
       const cv::Scalar x = cv::scalar_from_u64(out.shares[s].x);
       out.shares[s].chunks.push_back(poly_eval(coeffs, x));
     }
+
+    // coeffs[0] is the secret chunk and the higher coefficients, together
+    // with threshold-1 shares, determine it — wipe the whole polynomial.
+    for (auto& coeff : coeffs) secure_wipe(coeff.data(), coeff.size());
   }
   return out;
 }
@@ -127,7 +131,7 @@ bool feldman_verify(const FeldmanShare& share, const FeldmanCommitments& commitm
   return true;
 }
 
-Bytes feldman_combine(const std::vector<FeldmanShare>& shares, std::size_t secret_length) {
+SecretBytes feldman_combine(const std::vector<FeldmanShare>& shares, std::size_t secret_length) {
   if (shares.empty()) throw std::invalid_argument("feldman_combine: no shares");
   const std::size_t chunks = chunk_count(secret_length);
   for (const auto& share : shares) {
@@ -174,7 +178,7 @@ Bytes feldman_combine(const std::vector<FeldmanShare>& shares, std::size_t secre
     basis[i] = cv::scalar_mul(numerator, scalar_invert(denominator));
   }
 
-  Bytes secret(secret_length, 0);
+  SecretBytes secret(secret_length);
   for (std::size_t c = 0; c < chunks; ++c) {
     cv::Scalar acc{};
     for (std::size_t i = 0; i < shares.size(); ++i) {
@@ -183,6 +187,7 @@ Bytes feldman_combine(const std::vector<FeldmanShare>& shares, std::size_t secre
     const std::size_t begin = c * kChunkSize;
     const std::size_t end = std::min(begin + kChunkSize, secret_length);
     for (std::size_t i = begin; i < end; ++i) secret[i] = acc[i - begin];
+    secure_wipe(acc.data(), acc.size());  // acc holds the reconstructed chunk
   }
   return secret;
 }

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/curve25519.h"
 #include "crypto/shamir.h"  // RandomSource
 
@@ -25,19 +27,44 @@ namespace dauth::crypto {
 
 /// A verifiable share of one participant: x-coordinate plus one scalar per
 /// 16-byte secret chunk.
+///
+/// Chunk scalars are key material, so the share wipes them on destruction
+/// and move-from. No operator== — shares are never compared, only verified
+/// against commitments (feldman_verify).
 struct FeldmanShare {
   std::uint8_t x = 0;
   std::vector<curve25519::Scalar> chunks;
 
-  bool operator==(const FeldmanShare&) const = default;
+  FeldmanShare() = default;
+  FeldmanShare(const FeldmanShare&) = default;
+  FeldmanShare& operator=(const FeldmanShare&) = default;
+  FeldmanShare(FeldmanShare&& other) noexcept
+      : x(other.x), chunks(std::move(other.chunks)) {
+    other.wipe();
+  }
+  FeldmanShare& operator=(FeldmanShare&& other) noexcept {
+    if (this != &other) {
+      wipe();
+      x = other.x;
+      chunks = std::move(other.chunks);
+      other.wipe();
+    }
+    return *this;
+  }
+  ~FeldmanShare() { wipe(); }
+
+  void wipe() noexcept {
+    for (auto& chunk : chunks) secure_wipe(chunk.data(), chunk.size());
+    chunks.clear();
+  }
 };
 
 /// Public commitment set: per chunk, `threshold` compressed group elements.
+/// These are public by design (anyone may verify shares against them), so
+/// plain member-wise equality is fine here.
 struct FeldmanCommitments {
   std::size_t secret_length = 0;
   std::vector<std::vector<ByteArray<32>>> per_chunk;
-
-  bool operator==(const FeldmanCommitments&) const = default;
 };
 
 struct FeldmanSharing {
@@ -55,7 +82,7 @@ bool feldman_verify(const FeldmanShare& share, const FeldmanCommitments& commitm
 
 /// Reconstructs the secret from >= threshold verified shares.
 /// Throws on malformed input (duplicate x, inconsistent chunk counts).
-Bytes feldman_combine(const std::vector<FeldmanShare>& shares, std::size_t secret_length);
+SecretBytes feldman_combine(const std::vector<FeldmanShare>& shares, std::size_t secret_length);
 
 /// Scalar inverse mod L via Fermat (exposed for tests).
 curve25519::Scalar scalar_invert(const curve25519::Scalar& a);

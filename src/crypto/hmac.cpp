@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/secret.h"
+
 namespace dauth::crypto {
 namespace {
 
@@ -15,7 +17,9 @@ Sha256Digest hmac_sha256(ByteView key, ByteView data) {
   if (key.size() > kBlockSize) {
     const Sha256Digest hashed = sha256(key);
     std::memcpy(key_block, hashed.data(), hashed.size());
-  } else {
+  } else if (!key.empty()) {
+    // key.data() may be null for an empty key (HKDF with empty salt);
+    // memcpy's pointer arguments must be non-null even for size 0.
     std::memcpy(key_block, key.data(), key.size());
   }
 
@@ -34,7 +38,13 @@ Sha256Digest hmac_sha256(ByteView key, ByteView data) {
   Sha256 outer;
   outer.update(ByteView(opad, kBlockSize));
   outer.update(inner_digest);
-  return outer.finish();
+  const Sha256Digest mac = outer.finish();
+
+  // The padded key blocks are trivially invertible back to the key.
+  secure_wipe(key_block, kBlockSize);
+  secure_wipe(ipad, kBlockSize);
+  secure_wipe(opad, kBlockSize);
+  return mac;
 }
 
 Sha256Digest hkdf_extract(ByteView salt, ByteView ikm) {
@@ -47,16 +57,17 @@ Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
 
   Bytes okm;
   okm.reserve(length);
-  Bytes t;  // T(i-1)
+  Bytes t;  // T(i-1) — carries output key material between iterations
   std::uint8_t counter = 1;
   while (okm.size() < length) {
-    Bytes block = concat(t, info, ByteView(&counter, 1));
+    SecretBytes block(concat(t, info, ByteView(&counter, 1)));
     const Sha256Digest digest = hmac_sha256(prk, block);
     t.assign(digest.begin(), digest.end());
     const std::size_t need = length - okm.size();
     append(okm, ByteView(t.data(), need < kHashLen ? need : kHashLen));
     ++counter;
   }
+  secure_wipe(t.data(), t.size());
   return okm;
 }
 

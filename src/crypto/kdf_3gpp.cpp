@@ -7,19 +7,23 @@
 namespace dauth::crypto {
 
 Key256 kdf_3gpp(ByteView key, std::uint8_t fc, std::initializer_list<ByteView> params) {
-  Bytes s;
-  s.push_back(fc);
+  Bytes buf;
+  buf.push_back(fc);
   for (ByteView p : params) {
-    append(s, p);
-    s.push_back(static_cast<std::uint8_t>(p.size() >> 8));
-    s.push_back(static_cast<std::uint8_t>(p.size() & 0xff));
+    append(buf, p);
+    buf.push_back(static_cast<std::uint8_t>(p.size() >> 8));
+    buf.push_back(static_cast<std::uint8_t>(p.size() & 0xff));
   }
+  // The S string can embed secret-derived params; wipe it once consumed.
+  const SecretBytes s(std::move(buf));
   return hmac_sha256(key, s);
 }
 
 namespace {
 
-Bytes ck_ik(const Ck& ck, const Ik& ik) { return concat(ck, ik); }
+// CK||IK is the key-hierarchy root after Milenage; the temporary wipes
+// itself at the end of the caller's full expression.
+SecretBytes ck_ik(const Ck& ck, const Ik& ik) { return concat(ck, ik); }
 
 }  // namespace
 

@@ -9,13 +9,17 @@
 #include <string_view>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/milenage.h"
 #include "crypto/sha256.h"
 
 namespace dauth::crypto {
 
-using Key256 = ByteArray<32>;
-using ResStar = ByteArray<16>;
+// Derived session keys and the RES* preimage are Secret: releasing a RES*
+// is what authorizes key-share release (paper §4.2.2), so until that moment
+// it must be handled exactly like a key.
+using Key256 = Secret<32>;
+using ResStar = Secret<16>;
 
 /// Generic TS 33.220 B.2 KDF:
 ///   out = HMAC-SHA-256(key, FC || P0 || L0 || P1 || L1 || ...)

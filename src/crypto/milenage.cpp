@@ -27,14 +27,16 @@ AesBlock with_low_bit_constant(std::uint8_t low_byte) noexcept {
 
 MilenageOpc derive_opc(const MilenageKey& k, const MilenageOp& op) noexcept {
   const Aes128 cipher(k);
-  const AesBlock enc = cipher.encrypt_block(op);
-  return xor_arrays(op, enc);
+  AesBlock enc = cipher.encrypt_block(op);
+  MilenageOpc opc(xor_arrays(op, enc));
+  secure_wipe(MutableByteView(enc));  // enc ^ OP == OPc: key-equivalent material
+  return opc;
 }
 
 MilenageOutput milenage(const MilenageKey& k, const MilenageOpc& opc, const Rand& rand,
                         const Sqn& sqn, const Amf& amf) noexcept {
   const Aes128 cipher(k);
-  const AesBlock temp = cipher.encrypt_block(xor_arrays(rand, opc));
+  AesBlock temp = cipher.encrypt_block(xor_arrays(rand, opc));
 
   // IN1 = SQN || AMF || SQN || AMF
   AesBlock in1;
@@ -44,9 +46,9 @@ MilenageOutput milenage(const MilenageKey& k, const MilenageOpc& opc, const Rand
   std::memcpy(in1.data() + 14, amf.data(), 2);
 
   // OUT1 = E_K(TEMP ^ rot(IN1 ^ OPc, r1) ^ c1) ^ OPc
-  const AesBlock rot1 = rotate_left_bits(xor_arrays(in1, opc), kR1);
+  AesBlock rot1 = rotate_left_bits(xor_arrays(in1, opc), kR1);
   AesBlock out1_in = xor_arrays(temp, rot1);  // c1 == 0
-  const AesBlock out1 = xor_arrays(cipher.encrypt_block(out1_in), opc);
+  AesBlock out1 = xor_arrays(cipher.encrypt_block(out1_in), opc);
 
   auto out_n = [&](int rot_bits, std::uint8_t c_low) noexcept {
     const AesBlock rotated = rotate_left_bits(xor_arrays(temp, opc), rot_bits);
@@ -54,10 +56,10 @@ MilenageOutput milenage(const MilenageKey& k, const MilenageOpc& opc, const Rand
     return xor_arrays(cipher.encrypt_block(input), opc);
   };
 
-  const AesBlock out2 = out_n(kR2, 0x01);
-  const AesBlock out3 = out_n(kR3, 0x02);
-  const AesBlock out4 = out_n(kR4, 0x04);
-  const AesBlock out5 = out_n(kR5, 0x08);
+  AesBlock out2 = out_n(kR2, 0x01);
+  AesBlock out3 = out_n(kR3, 0x02);
+  AesBlock out4 = out_n(kR4, 0x04);
+  AesBlock out5 = out_n(kR5, 0x08);
 
   MilenageOutput out;
   std::memcpy(out.mac_a.data(), out1.data(), 8);
@@ -67,6 +69,12 @@ MilenageOutput milenage(const MilenageKey& k, const MilenageOpc& opc, const Rand
   std::memcpy(out.ck.data(), out3.data(), 16);
   std::memcpy(out.ik.data(), out4.data(), 16);
   std::memcpy(out.ak_star.data(), out5.data(), 6);
+
+  // TEMP and the OUT blocks are derived under K and carry CK/IK/AK material;
+  // leave nothing on the stack frame for a later caller to read.
+  for (AesBlock* block : {&temp, &rot1, &out1_in, &out1, &out2, &out3, &out4, &out5}) {
+    secure_wipe(MutableByteView(*block));
+  }
   return out;
 }
 

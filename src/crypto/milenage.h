@@ -15,21 +15,25 @@
 #pragma once
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/aes128.h"
 
 namespace dauth::crypto {
 
-using MilenageKey = ByteArray<16>;  // subscriber key K
+// Long-term subscriber credentials and the session-key halves are Secret:
+// they zeroize on destruction, compare only via ct_equal, and redact in
+// formatters. RAND/AUTN components stay plain — they travel in the clear.
+using MilenageKey = Secret<16>;     // subscriber key K
 using MilenageOp = ByteArray<16>;   // operator variant algorithm config OP
-using MilenageOpc = ByteArray<16>;  // OPc = OP ^ E_K(OP)
+using MilenageOpc = Secret<16>;     // OPc = OP ^ E_K(OP)
 using Rand = ByteArray<16>;
 using Sqn = ByteArray<6>;
 using Amf = ByteArray<2>;
 using MacA = ByteArray<8>;
 using MacS = ByteArray<8>;
 using Res = ByteArray<8>;
-using Ck = ByteArray<16>;
-using Ik = ByteArray<16>;
+using Ck = Secret<16>;
+using Ik = Secret<16>;
 using Ak = ByteArray<6>;
 
 /// Derives OPc from OP under subscriber key K (TS 35.206 §4.1).

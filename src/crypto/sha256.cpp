@@ -90,6 +90,9 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
 
 void Sha256::update(ByteView data) noexcept {
   total_len_ += data.size();
+  // Empty input is a no-op; data.data() may be null and memcpy's pointer
+  // arguments must be non-null even for size 0.
+  if (data.empty()) return;
   std::size_t offset = 0;
   if (buffer_len_ > 0) {
     const std::size_t need = 64 - buffer_len_;

@@ -104,6 +104,9 @@ void Sha512::process_block(const std::uint8_t* block) noexcept {
 
 void Sha512::update(ByteView data) noexcept {
   total_len_ += data.size();
+  // Empty input is a no-op; data.data() may be null and memcpy's pointer
+  // arguments must be non-null even for size 0.
+  if (data.empty()) return;
   std::size_t offset = 0;
   if (buffer_len_ > 0) {
     const std::size_t need = 128 - buffer_len_;

@@ -14,11 +14,13 @@ std::vector<ShamirShare> shamir_split(ByteView secret, std::size_t threshold,
   if (share_count > 255) throw std::invalid_argument("shamir_split: at most 255 shares");
 
   // coefficients[d] holds the degree-(d+1) coefficient for every secret byte;
-  // the constant term (degree 0) is the secret itself.
-  std::vector<Bytes> coefficients(threshold - 1);
+  // the constant term (degree 0) is the secret itself. Coefficients are as
+  // sensitive as the secret (threshold-1 of them plus one share leak it), so
+  // they live in self-wiping buffers.
+  std::vector<SecretBytes> coefficients(threshold - 1);
   for (auto& coeff_row : coefficients) {
     coeff_row.resize(secret.size());
-    random.fill(coeff_row);
+    random.fill(coeff_row.mutable_view());
   }
 
   std::vector<ShamirShare> shares(share_count);
@@ -39,7 +41,7 @@ std::vector<ShamirShare> shamir_split(ByteView secret, std::size_t threshold,
   return shares;
 }
 
-Bytes shamir_combine(const std::vector<ShamirShare>& shares) {
+SecretBytes shamir_combine(const std::vector<ShamirShare>& shares) {
   if (shares.empty()) throw std::invalid_argument("shamir_combine: no shares");
   const std::size_t length = shares.front().y.size();
   for (const auto& share : shares) {
@@ -67,7 +69,7 @@ Bytes shamir_combine(const std::vector<ShamirShare>& shares) {
     basis[i] = gf256::div(numerator, denominator);
   }
 
-  Bytes secret(length, 0);
+  SecretBytes secret(length);
   for (std::size_t i = 0; i < shares.size(); ++i) {
     for (std::size_t b = 0; b < length; ++b) {
       secret[b] = gf256::add(secret[b], gf256::mul(basis[i], shares[i].y[b]));

@@ -16,15 +16,19 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 
 namespace dauth::crypto {
 
 /// One Shamir share: the x-coordinate (1..255) and per-byte y values.
+///
+/// The y values are key material (threshold many of them reconstruct the
+/// session key), so they live in a SecretBytes that wipes on destruction.
+/// There is deliberately no operator==: comparing shares byte-wise is a
+/// timing side channel, and no protocol step needs share equality.
 struct ShamirShare {
   std::uint8_t x = 0;
-  Bytes y;
-
-  bool operator==(const ShamirShare&) const = default;
+  SecretBytes y;
 };
 
 /// A source of random bytes for polynomial coefficients.
@@ -47,6 +51,6 @@ std::vector<ShamirShare> shamir_split(ByteView secret, std::size_t threshold,
 /// fewer than threshold shares the result is garbage (by design,
 /// indistinguishable from random), and with inconsistent share lengths or
 /// duplicate x-coordinates an exception is thrown.
-Bytes shamir_combine(const std::vector<ShamirShare>& shares);
+SecretBytes shamir_combine(const std::vector<ShamirShare>& shares);
 
 }  // namespace dauth::crypto

@@ -13,7 +13,7 @@ const cv::Fe k121665 = {{121665, 0, 0, 0, 0}};
 }  // namespace
 
 X25519Point x25519(const X25519Scalar& scalar, const X25519Point& point) {
-  ByteArray<32> z = scalar;
+  ByteArray<32> z = scalar.raw();
   z[0] &= 248;
   z[31] = static_cast<std::uint8_t>((z[31] & 127) | 64);
 
@@ -51,6 +51,7 @@ X25519Point x25519(const X25519Scalar& scalar, const X25519Point& point) {
   cv::fe_mul(a, a, zi);
   X25519Point out;
   cv::fe_pack(out, a);
+  secure_wipe(MutableByteView(z));  // clamped copy of the private scalar
   return out;
 }
 
@@ -62,7 +63,7 @@ X25519Point x25519_base(const X25519Scalar& scalar) {
 
 X25519KeyPair x25519_generate(RandomSource& random) {
   X25519KeyPair kp;
-  random.fill(kp.secret);
+  random.fill(kp.secret.mutable_view());
   kp.public_key = x25519_base(kp.secret);
   return kp;
 }

@@ -8,11 +8,15 @@
 #pragma once
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/drbg.h"
 
 namespace dauth::crypto {
 
-using X25519Scalar = ByteArray<32>;
+// An X25519 private scalar is a long-lived decryption key (the home network
+// shares it with backups for offline SUCI de-concealment), so it is Secret.
+// Points are public by definition.
+using X25519Scalar = Secret<32>;
 using X25519Point = ByteArray<32>;
 
 /// scalar * point (general Diffie-Hellman function).

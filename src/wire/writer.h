@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 
 namespace dauth::wire {
 
@@ -31,6 +32,14 @@ class Writer {
 
   template <std::size_t N>
   void fixed(const ByteArray<N>& data) {
+    raw(ByteView(data));
+  }
+
+  /// Serializing a Secret is a deliberate disclosure point (e.g. a RES* in a
+  /// UsageProof, which *is* the protocol's release mechanism) — explicit
+  /// overload so such sites are greppable rather than silent conversions.
+  template <std::size_t N>
+  void fixed(const Secret<N>& data) {
     raw(ByteView(data));
   }
 

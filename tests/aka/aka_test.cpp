@@ -33,12 +33,12 @@ TEST(Aka, SuccessfulMutualAuthentication) {
   ASSERT_TRUE(result.ok());
 
   // UE response matches the expected response.
-  EXPECT_EQ(result.response->res_star, vector.xres_star);
+  EXPECT_TRUE(ct_equal(result.response->res_star, vector.xres_star));
   // Serving network verifies via the hash.
   EXPECT_EQ(crypto::derive_hres_star(vector.rand, result.response->res_star),
             vector.hxres_star);
   // Both sides derived the same session key.
-  EXPECT_EQ(result.response->k_seaf, vector.k_seaf);
+  EXPECT_TRUE(ct_equal(result.response->k_seaf, vector.k_seaf));
   EXPECT_EQ(result.response->sqn, sqn);
 }
 
@@ -146,8 +146,8 @@ TEST(Aka, VectorsForDifferentServingNetworksDiffer) {
   const AuthVector b =
       generate_auth_vector(keys, 32, rand, crypto::serving_network_name("901", "551"));
   EXPECT_EQ(a.autn, b.autn);            // AUTN doesn't bind to SNN
-  EXPECT_NE(a.xres_star, b.xres_star);  // but the 5G responses do
-  EXPECT_NE(a.k_seaf, b.k_seaf);
+  EXPECT_FALSE(ct_equal(a.xres_star, b.xres_star));  // but the 5G responses do
+  EXPECT_FALSE(ct_equal(a.k_seaf, b.k_seaf));
 }
 
 TEST(Aka, UeRejectsVectorBoundToOtherNetwork) {

@@ -16,7 +16,7 @@ TEST(Bytes, HexUpperCaseAccepted) {
 }
 
 TEST(Bytes, HexEmpty) {
-  EXPECT_EQ(to_hex({}), "");
+  EXPECT_EQ(to_hex(ByteView{}), "");
   EXPECT_TRUE(from_hex("").empty());
 }
 
@@ -44,6 +44,29 @@ TEST(Bytes, CtEqual) {
   EXPECT_FALSE(ct_equal(a, c));
   EXPECT_FALSE(ct_equal(a, d));
   EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, CtEqualEdgeCases) {
+  // Length mismatch must fail fast regardless of content, including when one
+  // side is empty or a prefix of the other.
+  const Bytes a = {1, 2, 3};
+  EXPECT_FALSE(ct_equal(a, ByteView{}));
+  EXPECT_FALSE(ct_equal(ByteView{}, a));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2}, Bytes{1, 2, 0}));
+
+  // Single-byte and all-zero buffers.
+  EXPECT_TRUE(ct_equal(Bytes{0}, Bytes{0}));
+  EXPECT_FALSE(ct_equal(Bytes{0}, Bytes{1}));
+  EXPECT_TRUE(ct_equal(Bytes(32, 0), Bytes(32, 0)));
+
+  // A difference only in the last byte must still be caught (the accumulator
+  // folds every position, it does not early-exit).
+  Bytes tail_diff = a;
+  tail_diff.back() ^= 0x80;
+  EXPECT_FALSE(ct_equal(a, tail_diff));
+
+  // Aliasing: comparing a buffer against itself.
+  EXPECT_TRUE(ct_equal(a, a));
 }
 
 TEST(Bytes, Concat) {

@@ -75,7 +75,7 @@ TEST(Messages, KeyShareBundleRoundTrip) {
 
   const KeyShareBundle decoded = KeyShareBundle::decode(b.encode());
   EXPECT_EQ(decoded.share.x, 3);
-  EXPECT_EQ(decoded.share.y, b.share.y);
+  EXPECT_TRUE(ct_equal(decoded.share.y, b.share.y));
   EXPECT_FALSE(decoded.feldman_share.has_value());
   EXPECT_TRUE(decoded.verify(keys.public_key));
 
@@ -102,8 +102,15 @@ TEST(Messages, KeyShareBundleWithFeldmanRoundTrip) {
   const KeyShareBundle decoded = KeyShareBundle::decode(b.encode());
   ASSERT_TRUE(decoded.feldman_share.has_value());
   ASSERT_TRUE(decoded.feldman_commitments.has_value());
-  EXPECT_EQ(*decoded.feldman_share, sharing.shares[1]);
-  EXPECT_EQ(*decoded.feldman_commitments, sharing.commitments);
+  // FeldmanShare/Commitments no longer expose operator==; compare the
+  // round-trip field-wise (chunk scalars via ct_equal, commitments exactly).
+  EXPECT_EQ(decoded.feldman_share->x, sharing.shares[1].x);
+  ASSERT_EQ(decoded.feldman_share->chunks.size(), sharing.shares[1].chunks.size());
+  for (std::size_t i = 0; i < decoded.feldman_share->chunks.size(); ++i) {
+    EXPECT_TRUE(ct_equal(decoded.feldman_share->chunks[i], sharing.shares[1].chunks[i]));
+  }
+  EXPECT_EQ(decoded.feldman_commitments->secret_length, sharing.commitments.secret_length);
+  EXPECT_EQ(decoded.feldman_commitments->per_chunk, sharing.commitments.per_chunk);
   EXPECT_TRUE(decoded.verify(keys.public_key));
   EXPECT_TRUE(crypto::feldman_verify(*decoded.feldman_share, *decoded.feldman_commitments));
 }
@@ -149,7 +156,7 @@ TEST(Messages, StoreMaterialRequestRoundTrip) {
   EXPECT_EQ(decoded.home_network, req.home_network);
   ASSERT_EQ(decoded.vectors.size(), 2u);
   ASSERT_EQ(decoded.shares.size(), 1u);
-  EXPECT_EQ(decoded.suci_secret, req.suci_secret);
+  EXPECT_TRUE(ct_equal(decoded.suci_secret, req.suci_secret));
   EXPECT_TRUE(decoded.vectors[0].verify(keys.public_key));
   EXPECT_TRUE(decoded.shares[0].verify(keys.public_key));
 }

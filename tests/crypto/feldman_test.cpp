@@ -41,14 +41,14 @@ TEST(Feldman, RoundTrip32ByteSecret) {
   EXPECT_EQ(sharing.commitments.per_chunk.size(), 2u);  // 32B = 2 chunks
 
   const std::vector<FeldmanShare> subset(sharing.shares.begin(), sharing.shares.begin() + 3);
-  EXPECT_EQ(feldman_combine(subset, 32), secret);
+  EXPECT_TRUE(ct_equal(feldman_combine(subset, 32), secret));
 }
 
 TEST(Feldman, ShortSecret) {
   DeterministicDrbg rng("feldman", 2);
   const Bytes secret = test_secret(10);
   const auto sharing = feldman_split(secret, 2, 3, rng);
-  EXPECT_EQ(feldman_combine({sharing.shares[0], sharing.shares[2]}, 10), secret);
+  EXPECT_TRUE(ct_equal(feldman_combine({sharing.shares[0], sharing.shares[2]}, 10), secret));
 }
 
 TEST(Feldman, AllSharesVerify) {
@@ -88,7 +88,7 @@ TEST(Feldman, BelowThresholdDoesNotReconstruct) {
   const Bytes secret = test_secret(32);
   const auto sharing = feldman_split(secret, 3, 5, rng);
   const std::vector<FeldmanShare> too_few(sharing.shares.begin(), sharing.shares.begin() + 2);
-  EXPECT_NE(feldman_combine(too_few, 32), secret);
+  EXPECT_FALSE(ct_equal(feldman_combine(too_few, 32), secret));
 }
 
 TEST(Feldman, InvalidParametersThrow) {
@@ -127,7 +127,7 @@ TEST_P(FeldmanSweep, RoundTripAndVerify) {
   }
   const std::vector<FeldmanShare> subset(sharing.shares.end() - threshold,
                                          sharing.shares.end());
-  EXPECT_EQ(feldman_combine(subset, 32), secret);
+  EXPECT_TRUE(ct_equal(feldman_combine(subset, 32), secret));
 }
 
 INSTANTIATE_TEST_SUITE_P(MN, FeldmanSweep,

@@ -15,7 +15,7 @@ TEST(Kdf3gpp, MatchesManualHmacConstruction) {
 
   Bytes s = {0x6a, 0xde, 0xad, 0x00, 0x02};
   const Key256 manual = hmac_sha256(key, s);
-  EXPECT_EQ(via_kdf, manual);
+  EXPECT_TRUE(ct_equal(via_kdf, manual));
 }
 
 TEST(Kdf3gpp, ParamLengthEncoding) {
@@ -24,7 +24,7 @@ TEST(Kdf3gpp, ParamLengthEncoding) {
   const Bytes key(32, 0x22);
   const Key256 a = kdf_3gpp(key, 0x10, {as_bytes("ab"), as_bytes("c")});
   const Key256 b = kdf_3gpp(key, 0x10, {as_bytes("a"), as_bytes("bc")});
-  EXPECT_NE(a, b);
+  EXPECT_FALSE(ct_equal(a, b));
 }
 
 TEST(Kdf3gpp, ServingNetworkNameFormat) {
@@ -43,15 +43,15 @@ TEST(Kdf3gpp, KeyHierarchyIsDeterministicAndDistinct) {
   const Key256 k_gnb = derive_k_gnb(k_amf, 0);
 
   // All levels distinct.
-  EXPECT_NE(k_ausf, k_seaf);
-  EXPECT_NE(k_seaf, k_amf);
-  EXPECT_NE(k_amf, k_gnb);
+  EXPECT_FALSE(ct_equal(k_ausf, k_seaf));
+  EXPECT_FALSE(ct_equal(k_seaf, k_amf));
+  EXPECT_FALSE(ct_equal(k_amf, k_gnb));
 
   // Deterministic.
-  EXPECT_EQ(derive_k_ausf(ck, ik, snn, sqn_ak), k_ausf);
+  EXPECT_TRUE(ct_equal(derive_k_ausf(ck, ik, snn, sqn_ak), k_ausf));
 
   // Serving network binding: different SNN -> different K_AUSF.
-  EXPECT_NE(derive_k_ausf(ck, ik, serving_network_name("901", "551"), sqn_ak), k_ausf);
+  EXPECT_FALSE(ct_equal(derive_k_ausf(ck, ik, serving_network_name("901", "551"), sqn_ak), k_ausf));
 }
 
 TEST(Kdf3gpp, ResStarBindsToRandAndNetwork) {
@@ -65,8 +65,8 @@ TEST(Kdf3gpp, ResStarBindsToRandAndNetwork) {
 
   Rand rand2 = rand;
   rand2[0] ^= 1;
-  EXPECT_NE(derive_res_star(ck, ik, snn, rand2, res), rs);
-  EXPECT_NE(derive_res_star(ck, ik, serving_network_name("001", "01F"), rand, res), rs);
+  EXPECT_FALSE(ct_equal(derive_res_star(ck, ik, snn, rand2, res), rs));
+  EXPECT_FALSE(ct_equal(derive_res_star(ck, ik, serving_network_name("001", "01F"), rand, res), rs));
 }
 
 TEST(Kdf3gpp, HresStarIsHashPrefix) {
@@ -83,12 +83,12 @@ TEST(Kdf3gpp, KasmeBindsToPlmn) {
   const ByteArray<6> sqn_ak{};
   const Bytes plmn1 = from_hex("09f155");
   const Bytes plmn2 = from_hex("09f156");
-  EXPECT_NE(derive_k_asme(ck, ik, plmn1, sqn_ak), derive_k_asme(ck, ik, plmn2, sqn_ak));
+  EXPECT_FALSE(ct_equal(derive_k_asme(ck, ik, plmn1, sqn_ak), derive_k_asme(ck, ik, plmn2, sqn_ak)));
 }
 
 TEST(Kdf3gpp, GnbKeyDependsOnNasCount) {
   const Key256 k_amf{};
-  EXPECT_NE(derive_k_gnb(k_amf, 0), derive_k_gnb(k_amf, 1));
+  EXPECT_FALSE(ct_equal(derive_k_gnb(k_amf, 0), derive_k_gnb(k_amf, 1)));
 }
 
 }  // namespace

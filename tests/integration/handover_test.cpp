@@ -42,7 +42,7 @@ TEST(Handover, TransfersSessionWithoutReauth) {
 
   // Session moved: new issuer, new key, no extra vector generated at home.
   EXPECT_EQ(ue->guti()->issuer, f.net(4).id());
-  EXPECT_NE(*ue->session_key(), old_key);
+  EXPECT_FALSE(ct_equal(*ue->session_key(), old_key));
   EXPECT_EQ(f.net(0).home().metrics().vectors_served, vectors_served_before);
   EXPECT_EQ(f.net(4).serving().session_count(), 1u);
   // The source retired its session anchor.

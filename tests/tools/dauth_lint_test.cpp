@@ -1,0 +1,218 @@
+// Self-test for the dauth-lint rule engine (tools/lint_core.h).
+//
+// Each rule L1-L5 is exercised with a known-bad fixture snippet that MUST be
+// flagged and a known-good sibling that MUST stay clean — this is the seeded
+// mutation check the CI gate relies on: if a rule regresses, the bad fixture
+// stops flagging and this test fails before src/ can rot.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace dauth::lint {
+namespace {
+
+std::vector<Finding> lint(std::string_view content,
+                          std::string_view path = "src/crypto/fixture.cpp") {
+  return lint_source(path, content);
+}
+
+bool has_rule(const std::vector<Finding>& findings, std::string_view rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// ---- L1: byte-wise comparison of secrets -----------------------------------
+
+TEST(LintL1, FlagsEqualityOnSecretIdentifier) {
+  const auto f = lint("bool check() { return k_seaf == other.k_seaf; }");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "L1");
+  EXPECT_EQ(f[0].line, 1);
+}
+
+TEST(LintL1, FlagsInequalityOnMemberChain) {
+  const auto f = lint("if (ctx.keys.res_star != expected) fail();");
+  EXPECT_TRUE(has_rule(f, "L1"));
+}
+
+TEST(LintL1, FlagsMemcmpOnSecret) {
+  const auto f = lint("int r = memcmp(opc.data(), other, 16);");
+  EXPECT_TRUE(has_rule(f, "L1"));
+}
+
+TEST(LintL1, CleanOnPublicAndSizeComparisons) {
+  EXPECT_TRUE(lint("if (hxres_star == expected) ok();").empty());
+  EXPECT_TRUE(lint("if (key.size() != 32) throw;").empty());
+  EXPECT_TRUE(lint("if (share_count == 3) ok();").empty());
+  EXPECT_TRUE(lint("bool b = ct_equal(k_seaf, other);").empty());
+}
+
+TEST(LintL1, CleanOnIteratorSentinelComparison) {
+  EXPECT_TRUE(lint("if (bundle_it == user.shares.end()) return;").empty());
+}
+
+// ---- L2: secret material reaching logs -------------------------------------
+
+TEST(LintL2, FlagsToHexOfSecret) {
+  const auto f = lint("log(to_hex(opc));");
+  EXPECT_TRUE(has_rule(f, "L2"));
+  EXPECT_TRUE(has_rule(lint("trace(to_hex(bundle.enc_key));"), "L2"));
+}
+
+TEST(LintL2, FlagsStreamInsertionOfSecret) {
+  const auto f = lint("std::cerr << opc << '\\n';");
+  EXPECT_TRUE(has_rule(f, "L2"));
+}
+
+TEST(LintL2, CleanOnPublicValuesAndDeclarations) {
+  EXPECT_TRUE(lint("log(to_hex(hxres_star));").empty());
+  // The redacting overload declaration is not a call site.
+  EXPECT_TRUE(lint("std::string to_hex(const Secret<N>& key);").empty());
+  // Bit shifts by a non-secret-named amount are not stream insertions.
+  EXPECT_TRUE(lint("return (x << n) | (x >> (64 - n));").empty());
+}
+
+TEST(LintL2, KnownLimitationShiftByIdentifierNamedK) {
+  // Token-level analysis cannot tell `x << k` (shift) from `os << k` (stream
+  // insert); an amount named exactly `k` flags. Documented in SECURITY.md —
+  // resolve by renaming (as done for rotl() in src/common/rng.cpp) or via the
+  // allowlist.
+  EXPECT_TRUE(has_rule(lint("return x << k;"), "L2"));
+}
+
+// ---- L3: non-CSPRNG randomness in crypto/core paths -------------------------
+
+TEST(LintL3, FlagsRandFamilyUnderCrypto) {
+  EXPECT_TRUE(has_rule(lint("int n = rand();"), "L3"));
+  EXPECT_TRUE(has_rule(lint("srand(42);"), "L3"));
+  EXPECT_TRUE(has_rule(lint("std::random_device rd;"), "L3"));
+}
+
+TEST(LintL3, ScopedToCryptoAndCoreOnly) {
+  EXPECT_TRUE(lint("int n = rand();", "tools/bench.cpp").empty());
+  EXPECT_TRUE(has_rule(lint("int n = rand();", "src/core/x.cpp"), "L3"));
+}
+
+TEST(LintL3, CleanOnUnrelatedIdentifiers) {
+  EXPECT_TRUE(lint("int operand = 3; rng.rand_weight();").empty());
+}
+
+// ---- L4: defaulted equality over secret structs ------------------------------
+
+TEST(LintL4, FlagsDefaultedEqWithSecretMember) {
+  const auto f = lint(
+      "struct Vault { Bytes share_y; bool operator==(const Vault&) const = default; };");
+  EXPECT_TRUE(has_rule(f, "L4"));
+}
+
+TEST(LintL4, FlagsDefaultedSpaceshipOnSecretNamedStruct) {
+  const auto f = lint(
+      "struct SessionKey { int id; auto operator<=>(const SessionKey&) const = default; };");
+  EXPECT_TRUE(has_rule(f, "L4"));
+}
+
+TEST(LintL4, CleanWhenStructHoldsNoSecrets) {
+  const auto f = lint(
+      "struct Point { int x; int y; bool operator==(const Point&) const = default; };");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(LintL4, CleanOnHandWrittenEquality) {
+  const auto f = lint(
+      "struct Vault { Bytes share_y; bool operator==(const Vault& o) const "
+      "{ return ct_equal(share_y, o.share_y); } };");
+  EXPECT_TRUE(f.empty());
+}
+
+// ---- L5: raw memset ----------------------------------------------------------
+
+TEST(LintL5, FlagsRawMemset) {
+  EXPECT_TRUE(has_rule(lint("std::memset(buf, 0, sizeof(buf));"), "L5"));
+  EXPECT_TRUE(has_rule(lint("memset(key_block.data(), 0, 64);"), "L5"));
+}
+
+TEST(LintL5, CleanOnSecureWipeAndMemberMemset) {
+  EXPECT_TRUE(lint("secure_wipe(buf.data(), buf.size());").empty());
+  EXPECT_TRUE(lint("arena.memset(0);").empty());
+}
+
+// ---- Tokenizer hygiene: comments / strings / preprocessor -------------------
+
+TEST(LintTokenizer, IgnoresCommentsStringsAndPreprocessor) {
+  EXPECT_TRUE(lint("// if (k_seaf == other) bad\n"
+                   "/* memcmp(opc, o, 16) */\n"
+                   "const char* s = \"k_seaf == leak\";\n"
+                   "#define CHECK(k) ((k) == 0)\n")
+                  .empty());
+}
+
+TEST(LintTokenizer, ReportsCorrectLineNumbers) {
+  const auto f = lint("int a;\nint b;\nbool c = k_ausf == k2;\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 3);
+}
+
+// ---- Secret-name classifier --------------------------------------------------
+
+TEST(LintNames, SecretComponentPatterns) {
+  EXPECT_TRUE(is_secret_component("k_seaf"));
+  EXPECT_TRUE(is_secret_component("enc_key"));
+  EXPECT_TRUE(is_secret_component("xres"));
+  EXPECT_TRUE(is_secret_component("res_star"));
+  EXPECT_TRUE(is_secret_component("opc"));
+  EXPECT_TRUE(is_secret_component("shares"));
+  EXPECT_TRUE(is_secret_component("ck"));
+  EXPECT_FALSE(is_secret_component("mask_count"));
+  // Substring matching is deliberate and coarse: "monkey" contains "key".
+  // The *chain*-level suffix exemptions (_count, _len, ...) are what keep
+  // such names usable; see LintL1.CleanOnPublicAndSizeComparisons.
+  EXPECT_TRUE(is_secret_component("monkey"));
+  EXPECT_FALSE(is_secret_component("hxres_star"));
+  EXPECT_FALSE(is_secret_component("supi"));
+  EXPECT_FALSE(is_secret_component("index"));
+}
+
+// ---- Allowlist ---------------------------------------------------------------
+
+TEST(LintAllowlist, ParsesRuleSuffixLineAndComments) {
+  const auto entries = parse_allowlist(
+      "# comment\n"
+      "\n"
+      "L1 src/crypto/gf256.cpp:42 table index\n"
+      "* tools/fixture.cpp whole file\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].rule, "L1");
+  EXPECT_EQ(entries[0].path_suffix, "src/crypto/gf256.cpp");
+  EXPECT_EQ(entries[0].line, 42);
+  EXPECT_EQ(entries[1].rule, "*");
+  EXPECT_EQ(entries[1].line, -1);
+}
+
+TEST(LintAllowlist, FiltersMatchingFindingsOnly) {
+  auto findings = lint("bool b = k_seaf == o;\nint r = memcmp(opc, o, 16);\n");
+  ASSERT_EQ(findings.size(), 2u);
+
+  // Suffix+line entry removes only the first finding.
+  const auto one = apply_allowlist(
+      findings, parse_allowlist("L1 crypto/fixture.cpp:1 reason\n"));
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].line, 2);
+
+  // Wildcard rule + file-wide entry removes both.
+  const auto none =
+      apply_allowlist(findings, parse_allowlist("* fixture.cpp\n"));
+  EXPECT_TRUE(none.empty());
+
+  // Non-matching suffix removes nothing.
+  const auto all =
+      apply_allowlist(findings, parse_allowlist("L1 other.cpp\n"));
+  EXPECT_EQ(all.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dauth::lint

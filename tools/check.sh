@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# One-command secret-hygiene gate (docs/SECURITY.md):
+#
+#   1. ASan+UBSan build of everything, -Werror, full ctest suite
+#      (includes dauth_lint_test and the dauth_lint_check sweep of src/)
+#   2. TSan build, event-loop/simulator-facing tests only
+#
+# Usage: tools/check.sh [--skip-tsan]
+# Build trees land in build-asan/ and build-tsan/ so the default build/ stays
+# untouched for local iteration.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "usage: tools/check.sh [--skip-tsan]" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> [1/2] ASan+UBSan build + full test suite"
+cmake -B build-asan -S . \
+  -DDAUTH_SANITIZE="address;undefined" \
+  -DDAUTH_WERROR=ON > /dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+  echo "==> [2/2] TSan pass skipped (--skip-tsan)"
+else
+  echo "==> [2/2] TSan build + event-loop/simulator tests"
+  cmake -B build-tsan -S . \
+    -DDAUTH_SANITIZE="thread" \
+    -DDAUTH_WERROR=ON > /dev/null
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'event_loop_test|node_test|network_test|rpc_test|failure_test|latency_test|determinism_test|federation_test'
+fi
+
+echo "==> check.sh: all gates passed"

@@ -1,0 +1,91 @@
+// dauth-lint CLI: scans C++ sources for secret-hygiene violations (rules
+// L1-L5, see lint_core.h and docs/SECURITY.md) and exits non-zero if any
+// finding survives the allowlist. Wired into ctest as `dauth_lint_check`.
+//
+//   dauth-lint [--allowlist FILE] <file-or-directory>...
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" || ext == ".hpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<dauth::lint::AllowEntry> allowlist;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        std::cerr << "dauth-lint: --allowlist requires a file argument\n";
+        return 2;
+      }
+      const fs::path allow_path = argv[++i];
+      if (!fs::exists(allow_path)) {
+        std::cerr << "dauth-lint: allowlist not found: " << allow_path << "\n";
+        return 2;
+      }
+      allowlist = dauth::lint::parse_allowlist(read_file(allow_path));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dauth-lint [--allowlist FILE] <file-or-directory>...\n";
+      return 0;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "dauth-lint: no inputs (see --help)\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& input : inputs) {
+    if (fs::is_directory(input)) {
+      for (const auto& entry : fs::recursive_directory_iterator(input)) {
+        if (entry.is_regular_file() && lintable(entry.path())) files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(input)) {
+      files.push_back(input);
+    } else {
+      std::cerr << "dauth-lint: no such file or directory: " << input << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<dauth::lint::Finding> all;
+  for (const fs::path& file : files) {
+    auto findings = dauth::lint::lint_source(file.generic_string(), read_file(file));
+    findings = dauth::lint::apply_allowlist(std::move(findings), allowlist);
+    all.insert(all.end(), findings.begin(), findings.end());
+  }
+
+  for (const auto& f : all) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  std::cout << "dauth-lint: " << files.size() << " file(s), " << all.size()
+            << " finding(s)\n";
+  return all.empty() ? 0 : 1;
+}

@@ -1,0 +1,526 @@
+#include "lint_core.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <unordered_map>
+
+namespace dauth::lint {
+namespace {
+
+// ---- Tokenizer --------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 1;
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Lexes C++ into identifiers / numbers / punctuation, dropping comments,
+/// string and char literal *contents*, and whole preprocessor lines (so
+/// #include "crypto/shamir.h" never looks like a secret identifier).
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+
+  auto skip_to_eol = [&] {  // honours backslash continuations
+    while (i < src.size()) {
+      if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+        i += 2;
+        ++line;
+        continue;
+      }
+      if (src[i] == '\n') return;
+      ++i;
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      skip_to_eol();
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      skip_to_eol();
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(i + 2, src.size());
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      ++i;
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < src.size()) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < src.size()) ++i;  // closing quote
+      out.push_back({Token::Kind::kString, std::string(1, quote), start_line});
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < src.size() && ident_char(src[j])) ++j;
+      out.push_back({Token::Kind::kIdent, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < src.size() && (ident_char(src[j]) || src[j] == '.' ||
+                                ((src[j] == '+' || src[j] == '-') && j > i &&
+                                 (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.push_back({Token::Kind::kNumber, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Punctuation: longest match among the operators the rules care about.
+    static constexpr std::array<std::string_view, 10> kMulti = {
+        "<=>", "<<=", ">>=", "==", "!=", "->", "::", "<<", ">>", "&&"};
+    std::string_view rest = src.substr(i);
+    std::string text(1, c);
+    for (std::string_view op : kMulti) {
+      if (rest.substr(0, op.size()) == op) {
+        text = std::string(op);
+        break;
+      }
+    }
+    out.push_back({Token::Kind::kPunct, text, line});
+    i += text.size();
+  }
+  return out;
+}
+
+// ---- Identifier-chain classification ----------------------------------------
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Accessors that reveal nothing about the bytes: `shares.size() == n` or
+/// `it == map.end()` are structurally fine even on secret containers. `raw`
+/// is the documented explicit escape hatch — greppable, reviewed, not linted.
+bool is_harmless_accessor(std::string_view name) {
+  static constexpr std::array<std::string_view, 14> kAccessors = {
+      "size", "length", "empty",     "count", "x",        "find",  "begin",
+      "end",  "str",    "has_value", "value_or", "contains", "raw", "c_str"};
+  if (std::find(kAccessors.begin(), kAccessors.end(), name) != kAccessors.end()) return true;
+  return ends_with(name, "_it") || ends_with(name, "_count") || ends_with(name, "_len") ||
+         ends_with(name, "_size") || ends_with(name, "_index");
+}
+
+/// A chain of member accesses around an operator, e.g. {"user","shares","end"}
+/// for `user.shares.end()`. `outermost` is the component nearest the operator.
+struct Chain {
+  std::vector<std::string> components;
+  int line = 0;
+
+  bool empty() const { return components.empty(); }
+  std::string joined() const {
+    std::string out;
+    for (const auto& c : components) {
+      if (!out.empty()) out += '.';
+      out += c;
+    }
+    return out;
+  }
+};
+
+bool is_secret_chain(const Chain& chain) {
+  if (chain.empty()) return false;
+  const std::string full = lower(chain.joined());
+  // Deliberately-public derivatives: HXRES*/HRES* are hashes published to
+  // serving networks; public_key and friends are public by definition.
+  if (contains(full, "public") || contains(full, "hxres") || contains(full, "hres")) {
+    return false;
+  }
+  if (is_harmless_accessor(lower(chain.components.back()))) return false;
+  return std::any_of(chain.components.begin(), chain.components.end(),
+                     [](const std::string& c) { return is_secret_component(c); });
+}
+
+bool is_separator(const Token& t) {
+  return t.kind == Token::Kind::kPunct &&
+         (t.text == "." || t.text == "->" || t.text == "::");
+}
+
+// Keywords after which a function name is still a *call*, not a declaration.
+bool is_call_keyword(std::string_view word) {
+  return word == "return" || word == "co_return" || word == "co_yield" ||
+         word == "co_await" || word == "throw" || word == "case" ||
+         word == "else" || word == "do";
+}
+
+// ---- Per-file analysis -------------------------------------------------------
+
+class Analyzer {
+ public:
+  Analyzer(std::string_view path, std::vector<Token> tokens)
+      : path_(path), tokens_(std::move(tokens)) {
+    match_brackets();
+  }
+
+  std::vector<Finding> run() {
+    check_comparisons();     // L1 (== / !=)
+    check_calls();           // L1 (memcmp), L2 (to_hex), L3, L5
+    check_stream_inserts();  // L2 (operator<<)
+    check_defaulted_eq();    // L4
+    std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
+      return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+    });
+    return std::move(findings_);
+  }
+
+ private:
+  void report(int line, std::string rule, std::string message) {
+    findings_.push_back({std::string(path_), line, std::move(rule), std::move(message)});
+  }
+
+  void match_brackets() {
+    std::vector<std::size_t> stack;
+    partner_.assign(tokens_.size(), static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      const std::string& t = tokens_[i].text;
+      if (tokens_[i].kind != Token::Kind::kPunct) continue;
+      if (t == "(" || t == "[" || t == "{") {
+        stack.push_back(i);
+      } else if (t == ")" || t == "]" || t == "}") {
+        if (!stack.empty()) {
+          partner_[i] = stack.back();
+          partner_[stack.back()] = i;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  bool is_punct(std::size_t i, std::string_view text) const {
+    return i < tokens_.size() && tokens_[i].kind == Token::Kind::kPunct &&
+           tokens_[i].text == text;
+  }
+
+  /// Walks backwards from `pos` (exclusive) collecting the primary-expression
+  /// identifier chain on the left of an operator.
+  Chain left_chain(std::size_t pos) const {
+    Chain chain;
+    if (pos == 0) return chain;
+    std::size_t i = pos - 1;
+    while (true) {
+      // Skip a matched () or [] group: `foo(...)`, `arr[...]`.
+      while (tokens_[i].kind == Token::Kind::kPunct &&
+             (tokens_[i].text == ")" || tokens_[i].text == "]") &&
+             partner_[i] != static_cast<std::size_t>(-1) && partner_[i] > 0) {
+        i = partner_[i] - 1;
+      }
+      if (tokens_[i].kind != Token::Kind::kIdent) break;
+      chain.components.insert(chain.components.begin(), tokens_[i].text);
+      chain.line = tokens_[i].line;
+      if (i == 0 || !is_separator(tokens_[i - 1]) || i < 2) break;
+      i -= 2;
+    }
+    return chain;
+  }
+
+  /// Walks forwards from `pos` (exclusive) collecting the chain on the right.
+  Chain right_chain(std::size_t pos) const {
+    Chain chain;
+    std::size_t i = pos + 1;
+    // Unary prefixes that don't change what is being compared.
+    while (i < tokens_.size() && tokens_[i].kind == Token::Kind::kPunct &&
+           (tokens_[i].text == "!" || tokens_[i].text == "*" || tokens_[i].text == "&")) {
+      ++i;
+    }
+    while (i < tokens_.size()) {
+      if (tokens_[i].kind != Token::Kind::kIdent) break;
+      chain.components.push_back(tokens_[i].text);
+      chain.line = tokens_[i].line;
+      ++i;
+      // Subscripts continue the chain (`shares[j].x`); calls end it with the
+      // callee as the outermost component (`map.end()`).
+      if (is_punct(i, "[") && partner_[i] != static_cast<std::size_t>(-1)) {
+        i = partner_[i] + 1;
+      }
+      if (!(i < tokens_.size() && is_separator(tokens_[i]))) break;
+      ++i;
+    }
+    return chain;
+  }
+
+  void check_comparisons() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i].kind != Token::Kind::kPunct) continue;
+      if (tokens_[i].text != "==" && tokens_[i].text != "!=") continue;
+      // `operator==` declarations are not comparisons.
+      if (i > 0 && tokens_[i - 1].kind == Token::Kind::kIdent &&
+          tokens_[i - 1].text == "operator") {
+        continue;
+      }
+      const Chain lhs = left_chain(i);
+      const Chain rhs = right_chain(i);
+      for (const Chain* side : {&lhs, &rhs}) {
+        if (is_secret_chain(*side)) {
+          report(tokens_[i].line, "L1",
+                 "byte-wise '" + tokens_[i].text + "' on secret-named '" + side->joined() +
+                     "' (timing side channel; use ct_equal)");
+          break;
+        }
+      }
+    }
+  }
+
+  /// True when `path_` is inside one of the directories a rule is scoped to.
+  bool in_scoped_dirs(std::initializer_list<std::string_view> dirs) const {
+    for (std::string_view d : dirs) {
+      if (contains(path_, d)) return true;
+    }
+    return false;
+  }
+
+  void check_calls() {
+    const bool crypto_scoped = in_scoped_dirs({"crypto/", "core/"});
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i].kind != Token::Kind::kIdent) continue;
+      const std::string& name = tokens_[i].text;
+      const bool member_access = i > 0 && is_separator(tokens_[i - 1]) &&
+                                 tokens_[i - 1].text != "::";
+      const bool called = is_punct(i + 1, "(");
+
+      if (name == "memset" && !member_access) {
+        report(tokens_[i].line, "L5",
+               "raw memset (dead-store-eliminated on secrets; use secure_wipe)");
+        continue;
+      }
+      if (crypto_scoped && !member_access &&
+          ((name == "rand" && called) || (name == "srand" && called) ||
+           name == "random_device")) {
+        report(tokens_[i].line, "L3",
+               "'" + name + "' is not a CSPRNG; key material must come from the "
+               "seeded HMAC-DRBG (crypto/drbg.h)");
+        continue;
+      }
+      if ((name == "memcmp" || name == "to_hex") && called && !member_access) {
+        // A preceding identifier that is not a call-position keyword means
+        // this is a declaration (`std::string to_hex(const Secret<N>&)`),
+        // not a call — the redacting overloads themselves must not flag.
+        if (i > 0 && tokens_[i - 1].kind == Token::Kind::kIdent &&
+            !is_call_keyword(tokens_[i - 1].text)) {
+          continue;
+        }
+        const std::size_t open = i + 1;
+        const std::size_t close = partner_[open];
+        if (close == static_cast<std::size_t>(-1)) continue;
+        // Evaluate every identifier chain inside the argument list.
+        for (std::size_t j = open + 1; j < close; ++j) {
+          if (tokens_[j].kind != Token::Kind::kIdent) continue;
+          if (j > open + 1 && is_separator(tokens_[j - 1])) continue;  // mid-chain
+          const Chain chain = right_chain(j - 1);
+          if (is_secret_chain(chain)) {
+            if (name == "memcmp") {
+              report(tokens_[i].line, "L1",
+                     "memcmp on secret-named '" + chain.joined() +
+                         "' (timing side channel; use ct_equal)");
+            } else {
+              report(tokens_[i].line, "L2",
+                     "to_hex of secret-named '" + chain.joined() +
+                         "' (leaks material into logs; Secret types redact, "
+                         "use .raw() only for vetted reveals)");
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void check_stream_inserts() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!is_punct(i, "<<")) continue;
+      if (i > 0 && tokens_[i - 1].kind == Token::Kind::kIdent &&
+          tokens_[i - 1].text == "operator") {
+        continue;
+      }
+      const Chain rhs = right_chain(i);
+      if (is_secret_chain(rhs)) {
+        report(tokens_[i].line, "L2",
+               "stream insertion of secret-named '" + rhs.joined() +
+                   "' (leaks material into logs/output)");
+      }
+    }
+  }
+
+  void check_defaulted_eq() {
+    struct StructRange {
+      std::string name;
+      std::size_t open = 0;
+      std::size_t close = 0;
+    };
+    std::vector<StructRange> ranges;
+    for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (tokens_[i].kind != Token::Kind::kIdent) continue;
+      if (tokens_[i].text != "struct" && tokens_[i].text != "class") continue;
+      if (tokens_[i + 1].kind != Token::Kind::kIdent) continue;
+      // Find the opening brace before any ';' (skips forward declarations).
+      std::size_t j = i + 2;
+      while (j < tokens_.size() && !is_punct(j, "{") && !is_punct(j, ";") &&
+             !is_punct(j, ")")) {
+        ++j;
+      }
+      if (j < tokens_.size() && is_punct(j, "{") &&
+          partner_[j] != static_cast<std::size_t>(-1)) {
+        ranges.push_back({tokens_[i + 1].text, j, partner_[j]});
+      }
+    }
+
+    for (std::size_t i = 0; i + 2 < tokens_.size(); ++i) {
+      if (tokens_[i].kind != Token::Kind::kIdent || tokens_[i].text != "operator") continue;
+      const std::string& op = tokens_[i + 1].text;
+      if (op != "==" && op != "<=>") continue;
+      // Defaulted? Scan to the terminating ';' for `= default`.
+      bool defaulted = false;
+      std::size_t j = i + 2;
+      while (j < tokens_.size() && !is_punct(j, ";") && !is_punct(j, "{")) {
+        if (is_punct(j, "=") && j + 1 < tokens_.size() &&
+            tokens_[j + 1].kind == Token::Kind::kIdent && tokens_[j + 1].text == "default") {
+          defaulted = true;
+        }
+        ++j;
+      }
+      if (!defaulted) continue;
+      // Innermost enclosing struct.
+      const StructRange* enclosing = nullptr;
+      for (const auto& r : ranges) {
+        if (r.open < i && i < r.close &&
+            (enclosing == nullptr || r.open > enclosing->open)) {
+          enclosing = &r;
+        }
+      }
+      if (enclosing == nullptr) continue;
+      std::string why;
+      if (is_secret_component(enclosing->name)) {
+        why = "type name '" + enclosing->name + "'";
+      } else {
+        for (std::size_t k = enclosing->open; k < enclosing->close && why.empty(); ++k) {
+          if (tokens_[k].kind == Token::Kind::kIdent && is_secret_component(tokens_[k].text)) {
+            why = "member/identifier '" + tokens_[k].text + "'";
+          }
+        }
+      }
+      if (!why.empty()) {
+        report(tokens_[i].line, "L4",
+               "defaulted operator" + op + " in '" + enclosing->name +
+                   "' which holds secret material (" + why +
+                   "); byte-wise equality leaks timing — delete it and use ct_equal");
+      }
+    }
+  }
+
+  std::string_view path_;
+  std::vector<Token> tokens_;
+  std::vector<std::size_t> partner_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+bool is_secret_component(std::string_view name) {
+  const std::string n = lower(name);
+  if (contains(n, "public") || contains(n, "hxres") || contains(n, "hres")) return false;
+  return contains(n, "key") || contains(n, "xres") || contains(n, "res_star") ||
+         contains(n, "opc") || contains(n, "share") || contains(n, "secret") || n == "k" ||
+         n == "ck" || n == "ik" || n.substr(0, 2) == "k_" || ends_with(n, "_k");
+}
+
+std::vector<AllowEntry> parse_allowlist(std::string_view content) {
+  std::vector<AllowEntry> entries;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    const std::size_t eol = std::min(content.find('\n', pos), content.size());
+    std::string_view line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Trim and drop comments / blanks.
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.front())))
+      line.remove_prefix(1);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back())))
+      line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    const std::size_t space = line.find(' ');
+    if (space == std::string_view::npos) continue;
+    AllowEntry entry;
+    entry.rule = std::string(line.substr(0, space));
+    std::string_view rest = line.substr(space + 1);
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    // Optional trailing `:line`; a reason may follow after whitespace.
+    const std::size_t reason = rest.find(' ');
+    if (reason != std::string_view::npos) rest = rest.substr(0, reason);
+    const std::size_t colon = rest.rfind(':');
+    if (colon != std::string_view::npos &&
+        rest.find_first_not_of("0123456789", colon + 1) == std::string_view::npos &&
+        colon + 1 < rest.size()) {
+      entry.line = std::stoi(std::string(rest.substr(colon + 1)));
+      rest = rest.substr(0, colon);
+    }
+    entry.path_suffix = std::string(rest);
+    if (!entry.path_suffix.empty()) entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view content) {
+  return Analyzer(path, tokenize(content)).run();
+}
+
+std::vector<Finding> apply_allowlist(std::vector<Finding> findings,
+                                     const std::vector<AllowEntry>& allowlist) {
+  auto allowed = [&](const Finding& f) {
+    for (const AllowEntry& e : allowlist) {
+      if (e.rule != "*" && e.rule != f.rule) continue;
+      if (!ends_with(f.file, e.path_suffix)) continue;
+      if (e.line != -1 && e.line != f.line) continue;
+      return true;
+    }
+    return false;
+  };
+  findings.erase(std::remove_if(findings.begin(), findings.end(), allowed), findings.end());
+  return findings;
+}
+
+}  // namespace dauth::lint

@@ -1,0 +1,61 @@
+// dauth-lint: token-level secret-hygiene checker for the dAuth codebase.
+//
+// Complements the Secret<N> type layer (src/common/secret.h): the type system
+// makes misuse of *wrapped* secrets impossible, and this linter catches the
+// residue the type system cannot see — secrets held in plain buffers, raw
+// libc calls, and structures that quietly (re)introduce byte-wise equality.
+//
+// Rules (see docs/SECURITY.md for rationale and examples):
+//   L1  no memcmp / == / != on secret-named identifiers (use ct_equal)
+//   L2  no to_hex() / stream insertion of secret-named identifiers
+//   L3  no rand() / srand() / std::random_device in src/crypto or src/core
+//   L4  no defaulted operator== / operator<=> in a struct with a secret-
+//       pattern name or member
+//   L5  no raw memset (use secure_wipe, which cannot be optimized away)
+//
+// The analysis is deliberately token-level, not AST-level: it must build in
+// seconds with no compiler dependency, run as an ordinary ctest, and err on
+// the side of flagging. False positives are suppressed via naming (public_*,
+// hxres_*, *_count, ...) or, as a last resort, tools/lint_allowlist.txt.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dauth::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;     // "L1".."L5"
+  std::string message;  // human-readable explanation
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// One allowlist entry: `rule path-suffix[:line]`. Rule may be "*".
+struct AllowEntry {
+  std::string rule;
+  std::string path_suffix;
+  int line = -1;  // -1 = any line
+};
+
+/// Parses tools/lint_allowlist.txt content. Lines starting with '#' and blank
+/// lines are ignored; malformed lines are skipped.
+std::vector<AllowEntry> parse_allowlist(std::string_view content);
+
+/// Lints one translation unit. `path` is used for reporting and for the
+/// path-scoped rules (L3 applies under src/crypto and src/core only).
+std::vector<Finding> lint_source(std::string_view path, std::string_view content);
+
+/// Removes findings matched by the allowlist (rule + path suffix + line).
+std::vector<Finding> apply_allowlist(std::vector<Finding> findings,
+                                     const std::vector<AllowEntry>& allowlist);
+
+/// True if `name` (one identifier component) looks like secret material:
+/// contains key/xres/res_star/opc/share/secret, equals k/ck/ik, starts with
+/// k_, or ends with _k. Exposed for tests.
+bool is_secret_component(std::string_view name);
+
+}  // namespace dauth::lint
