@@ -221,8 +221,8 @@ void StandaloneCore::handle_hss_get_av(ByteView request, sim::Responder responde
     wire::Writer w;
     w.fixed(av.rand);
     w.fixed(av.autn);
-    w.fixed(av.xres_star);
-    w.fixed(av.k_seaf);
+    w.fixed(av.xres_star);  // DAUTH_DISCLOSE(baseline 5G AKA ships XRES* to the serving core; dAuth exists to remove this trust)
+    w.fixed(av.k_seaf);  // DAUTH_DISCLOSE(baseline 5G AKA ships K_seaf to the serving core; dAuth exists to remove this trust)
     responder.reply(std::move(w).take());
   });
 }

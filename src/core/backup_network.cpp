@@ -151,6 +151,7 @@ void BackupNetwork::handle_store(ByteView request, sim::Responder responder) {
       if (req.suci_secret.size() == 32) {
         home_state.suci_secret = take<32>(req.suci_secret);
         if (store_ != nullptr) {
+          // DAUTH_DISCLOSE(backups hold the SUCI deconcealment secret by design, §4.2)
           store_->put("sucikey/" + req.home_network.str(), req.suci_secret);
         }
       }
@@ -174,6 +175,7 @@ void BackupNetwork::handle_store(ByteView request, sim::Responder responder) {
         user.shares[to_hex(share.hxres_star)] = share;
         ++metrics_.bundles_stored;
         if (store_ != nullptr) {
+          // DAUTH_DISCLOSE(persisting the signed share bundle is the backup's entire job, §4.2.1)
           store_->put("share/" + req.home_network.str() + "/" + share.supi.str() + "/" +
                           to_hex(share.hxres_star),
                       share.encode());
@@ -292,6 +294,7 @@ void BackupNetwork::handle_get_share(ByteView request, sim::Responder responder)
           }
         }
         ++metrics_.shares_served;
+        // DAUTH_DISCLOSE(key-share release after RES* preimage and signature checks, §4.2.2)
         responder.reply(bundle_it->second.encode());
         return;
       }
@@ -350,6 +353,7 @@ void BackupNetwork::persist_proof(const NetworkId& home, const UsageProof& proof
   homes_[home].pending_proofs.push_back(proof);
   ++metrics_.proofs_pending;
   if (store_ != nullptr) {
+    // DAUTH_DISCLOSE(usage proofs are persisted for the audit report; RES* inside is already spent, §4.2.3)
     store_->put("proof/" + home.str() + "/" + to_hex(proof.hxres_star), proof.encode());
   }
   arm_report(home);
@@ -385,6 +389,7 @@ void BackupNetwork::report_now(const NetworkId& home) {
 
   directory_.get_network(home, [this, home, report](std::optional<directory::NetworkEntry> e) {
     if (!e) return;
+    // DAUTH_DISCLOSE(usage report carries spent RES* preimages back to the home network, §4.2.3)
     rpc_.call(
         node_, static_cast<sim::NodeIndex>(e->address), "home.report", report.encode(), {},
         [this, home, count = report.proofs.size()](Bytes) {

@@ -161,6 +161,7 @@ void HomeNetwork::disseminate(const Supi& supi, std::function<void(std::size_t)>
           finish_one(false);
           return;
         }
+        // DAUTH_DISCLOSE(dissemination sends each backup its own share of K_seaf, §4.2.1)
         rpc_.call(
             node_, static_cast<sim::NodeIndex>(entry->address), "backup.store",
             request.encode(), {}, [finish_one](Bytes) { finish_one(true); },
@@ -429,6 +430,7 @@ void HomeNetwork::handle_get_key(ByteView request, sim::Responder responder) {
       sub_it->second.seen_proofs[index] = proof.serving_network;
       ++usage_ledger_[proof.serving_network];
       ++metrics_.keys_released;
+      // DAUTH_DISCLOSE(K_seaf release to the serving network that proved vector use, §4.2.2)
       responder.reply(to_bytes(ByteView(k_seaf)));
     });
   });
@@ -531,6 +533,7 @@ void HomeNetwork::replenish(const Supi& supi, const NetworkId& holder) {
       directory_.get_network(backup_ids_[b],
                              [this, request](std::optional<directory::NetworkEntry> e) {
                                if (!e) return;
+                               // DAUTH_DISCLOSE(replenishment sends each backup its own share of K_seaf, §4.2.1)
                                rpc_.call(node_, static_cast<sim::NodeIndex>(e->address),
                                          "backup.store", request.encode(), {}, nullptr, nullptr);
                              });
@@ -576,6 +579,7 @@ void HomeNetwork::revoke_backup(const NetworkId& revoked, std::function<void()> 
         directory_.get_network(backup,
                                [this, revoke](std::optional<directory::NetworkEntry> e) {
                                  if (!e) return;
+                                 // DAUTH_DISCLOSE(replenishment sends each backup its own share of K_seaf, §4.2.1)
                                  rpc_.call(node_, static_cast<sim::NodeIndex>(e->address),
                                            "backup.revoke_shares", revoke.encode(), {}, nullptr,
                                            nullptr);
@@ -599,6 +603,7 @@ void HomeNetwork::revoke_backup(const NetworkId& revoked, std::function<void()> 
         directory_.get_network(backup_ids_[b],
                                [this, request](std::optional<directory::NetworkEntry> e) {
                                  if (!e) return;
+                                 // DAUTH_DISCLOSE(replenishment sends each backup its own share of K_seaf, §4.2.1)
                                  rpc_.call(node_, static_cast<sim::NodeIndex>(e->address),
                                            "backup.store", request.encode(), {}, nullptr,
                                            nullptr);

@@ -8,7 +8,7 @@ namespace {
 
 void write_shamir_share(wire::Writer& w, const crypto::ShamirShare& share) {
   w.u8(share.x);
-  w.bytes(share.y);
+  w.bytes(share.y);  // DAUTH_DISCLOSE(Shamir share ordinate: below-threshold subsets reveal nothing, §4.1)
 }
 
 crypto::ShamirShare read_shamir_share(wire::Reader& r) {
@@ -160,7 +160,7 @@ Bytes UsageProof::signed_payload() const {
   w.string(serving_network.str());
   w.string(supi.str());
   w.fixed(hxres_star);
-  w.fixed(res_star);
+  w.fixed(res_star);  // DAUTH_DISCLOSE(RES* preimage release is the proof of vector use, §4.2.2)
   w.i64(timestamp);
   return std::move(w).take();
 }
@@ -170,7 +170,7 @@ Bytes UsageProof::encode() const {
   w.string(serving_network.str());
   w.string(supi.str());
   w.fixed(hxres_star);
-  w.fixed(res_star);
+  w.fixed(res_star);  // DAUTH_DISCLOSE(RES* preimage release is the proof of vector use, §4.2.2)
   w.i64(timestamp);
   w.fixed(serving_signature);
   return std::move(w).take();
@@ -202,7 +202,7 @@ Bytes StoreMaterialRequest::encode() const {
   for (const auto& v : vectors) w.bytes(v.encode());
   w.u32(static_cast<std::uint32_t>(shares.size()));
   for (const auto& s : shares) w.bytes(s.encode());
-  w.bytes(suci_secret);
+  w.bytes(suci_secret);  // DAUTH_DISCLOSE(deconcealment secret is provisioned to backups by design, §4.2)
   return std::move(w).take();
 }
 

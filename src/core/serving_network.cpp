@@ -629,7 +629,7 @@ void ServingNetwork::handle_handover_context(ByteView request, sim::Responder re
     wire::Writer w;
     w.string(session.supi.str());
     w.string(session.home.str());
-    w.fixed(k_ho);
+    w.fixed(k_ho);  // DAUTH_DISCLOSE(K_ho handover key to the signature-verified target network, §4.4)
     w.u32(counter);
     responder.reply(std::move(w).take());
     // The session has moved; retire the local anchor (one handover per GUTI).
@@ -810,6 +810,7 @@ void ServingNetwork::complete_with_home_key(const std::shared_ptr<Attach>& attac
                  rpc_.network().simulator().now(), signing_key_);
   sim::RpcOptions options;
   options.timeout = config_.key_share_timeout;
+  // DAUTH_DISCLOSE(usage proof releases the RES* preimage to redeem K_seaf, §4.2.2)
   rpc_.call(
       node_, static_cast<sim::NodeIndex>(attach->home_entry->address), "home.get_key",
       proof.encode(), options,
@@ -897,6 +898,7 @@ void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
   // §6.4: the proof is broadcast to ALL backups concurrently; the first
   // `threshold` distinct valid shares reconstruct K_seaf.
   for (const directory::NetworkEntry& backup : attach->backups) {
+    // DAUTH_DISCLOSE(usage proof releases the RES* preimage to redeem key shares, §4.2.2)
     rpc_.call(
         node_, static_cast<sim::NodeIndex>(backup.address), "backup.get_share", encoded,
         options,

@@ -30,13 +30,15 @@ cv::Scalar reduce_digest(const Sha512Digest& digest) noexcept {
 }  // namespace
 
 Ed25519KeyPair ed25519_keypair(const Ed25519Seed& seed) {
-  const Sha512Digest h = sha512(seed);
-  const ByteArray<32> a = clamp_scalar(h);
+  Sha512Digest h = sha512(seed);
+  ByteArray<32> a = clamp_scalar(h);
   cv::GroupElement p;
   cv::ge_scalarmult_base(p, a);
   Ed25519KeyPair kp;
   kp.seed = seed;
   kp.public_key = cv::ge_pack(p);
+  secure_wipe(h.data(), h.size());  // low half is the secret scalar
+  secure_wipe(a.data(), a.size());
   return kp;
 }
 
@@ -47,15 +49,15 @@ Ed25519KeyPair ed25519_generate(RandomSource& random) {
 }
 
 Ed25519Signature ed25519_sign(ByteView message, const Ed25519KeyPair& key_pair) {
-  const Sha512Digest seed_hash = sha512(key_pair.seed);
-  const ByteArray<32> a = clamp_scalar(seed_hash);
+  Sha512Digest seed_hash = sha512(key_pair.seed);
+  ByteArray<32> a = clamp_scalar(seed_hash);
   const ByteView prefix(seed_hash.data() + 32, 32);
 
   // r = H(prefix || message) mod L
   Sha512 hr;
   hr.update(prefix);
   hr.update(message);
-  const cv::Scalar r = reduce_digest(hr.finish());
+  cv::Scalar r = reduce_digest(hr.finish());
 
   // R = r * B
   cv::GroupElement rp;
@@ -75,6 +77,10 @@ Ed25519Signature ed25519_sign(ByteView message, const Ed25519KeyPair& key_pair) 
   Ed25519Signature sig;
   std::memcpy(sig.data(), r_enc.data(), 32);
   std::memcpy(sig.data() + 32, s.data(), 32);
+  // A leaked nonce r (or the scalar/prefix it came from) recovers the key.
+  secure_wipe(seed_hash.data(), seed_hash.size());
+  secure_wipe(a.data(), a.size());
+  secure_wipe(r.data(), r.size());
   return sig;
 }
 

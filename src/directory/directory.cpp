@@ -155,8 +155,8 @@ DirectoryServer::DirectoryServer(store::KvStore* persistent) : store_(persistent
   if (store_ != nullptr) load_persisted();
 }
 
-void DirectoryServer::persist(const std::string& key, ByteView value) {
-  if (store_ != nullptr) store_->put(key, value);
+void DirectoryServer::persist(const std::string& path, ByteView value) {
+  if (store_ != nullptr) store_->put(path, value);
 }
 
 void DirectoryServer::load_persisted() {

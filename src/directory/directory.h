@@ -90,7 +90,7 @@ class DirectoryServer {
   void bind(sim::Rpc& rpc, sim::NodeIndex node);
 
  private:
-  void persist(const std::string& key, ByteView value);
+  void persist(const std::string& path, ByteView value);
   void load_persisted();
 
   std::map<NetworkId, NetworkEntry> networks_;

@@ -171,7 +171,7 @@ void Ue::run_challenge(std::uint64_t attach_id, const crypto::Rand& rand,
   crypto::Key256 ue_k_seaf{};
   if (result.ok()) {
     ue_k_seaf = result.response->k_seaf;
-    w.fixed(result.response->res_star);
+    w.fixed(result.response->res_star);  // DAUTH_DISCLOSE(RES* is the authentication response itself, §4.2.2)
     w.boolean(false);  // no AUTS
   } else if (result.failure == aka::UsimFailure::kSqnOutOfRange && result.auts &&
              attempt == 0) {
@@ -179,8 +179,8 @@ void Ue::run_challenge(std::uint64_t attach_id, const crypto::Rand& rand,
     // retry (TS 33.102 §6.3.3). One retry only.
     w.fixed(crypto::ResStar{});  // no valid response
     w.boolean(true);
-    w.fixed(result.auts->sqn_ms_xor_ak_star);
-    w.fixed(result.auts->mac_s);
+    w.fixed(result.auts->sqn_ms_xor_ak_star);  // DAUTH_DISCLOSE(AUTS conceals SQNms under AK*, TS 33.102 §6.3.3)
+    w.fixed(result.auts->mac_s);  // DAUTH_DISCLOSE(MAC-S authenticates the resync token, TS 33.102 §6.3.3)
   } else {
     AttachRecord record;
     record.failure = result.failure == aka::UsimFailure::kMacMismatch ? "usim mac failure"

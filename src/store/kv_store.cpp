@@ -29,7 +29,7 @@ void KvStore::log_put(std::string_view key, ByteView value) {
   if (!wal_) return;
   wire::Writer w;
   w.u8(kOpPut);
-  w.string(key);
+  w.string(key);  // DAUTH_DISCLOSE(KV keys are namespaced lookup paths, never raw key material)
   w.bytes(value);
   wal_->append(w.data());
 }
@@ -38,7 +38,7 @@ void KvStore::log_erase(std::string_view key) {
   if (!wal_) return;
   wire::Writer w;
   w.u8(kOpErase);
-  w.string(key);
+  w.string(key);  // DAUTH_DISCLOSE(KV keys are namespaced lookup paths, never raw key material)
   wal_->append(w.data());
 }
 
@@ -77,7 +77,7 @@ void KvStore::compact() {
   for (const auto& [key, value] : map_) {
     wire::Writer w;
     w.u8(kOpPut);
-    w.string(key);
+    w.string(key);  // DAUTH_DISCLOSE(KV keys are namespaced lookup paths, never raw key material)
     w.bytes(value);
     wal_->append(w.data());
   }

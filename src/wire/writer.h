@@ -40,6 +40,7 @@ class Writer {
   /// overload so such sites are greppable rather than silent conversions.
   template <std::size_t N>
   void fixed(const Secret<N>& data) {
+    // DAUTH_DISCLOSE(sole sanctioned Secret-to-wire choke point; every call site is itself taint-checked)
     raw(ByteView(data));
   }
 

@@ -1,0 +1,201 @@
+// Property-style round-trip coverage for every message type in
+// core/messages.h: with randomized field values (including empty/short/long
+// vectors and optional-field presence),
+//
+//   1. encode() -> decode() -> encode() must be byte-identical, and
+//   2. decoding any strict prefix of a valid encoding must throw WireError
+//      (a truncated message must never parse as a shorter valid one).
+//
+// Comparing re-encodings (rather than fields) needs no operator== on the
+// messages — which rule L4 deliberately forbids for secret-bearing structs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/messages.h"
+#include "wire/reader.h"
+
+namespace dauth::core {
+namespace {
+
+using Rng = Xoshiro256StarStar;
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+template <std::size_t N>
+ByteArray<N> random_array(Rng& rng) {
+  ByteArray<N> out;
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+NetworkId random_network(Rng& rng) {
+  return NetworkId("net-" + std::to_string(rng.next_below(100000)));
+}
+
+Supi random_supi(Rng& rng) {
+  std::string digits = "90155";
+  for (int i = 0; i < 10; ++i) digits += static_cast<char>('0' + rng.next_below(10));
+  return Supi(digits);
+}
+
+crypto::ShamirShare random_share(Rng& rng) {
+  crypto::ShamirShare s;
+  s.x = static_cast<std::uint8_t>(1 + rng.next_below(255));
+  s.y = random_bytes(rng, rng.next_below(48));
+  return s;
+}
+
+crypto::FeldmanShare random_feldman_share(Rng& rng) {
+  crypto::FeldmanShare s;
+  s.x = static_cast<std::uint8_t>(1 + rng.next_below(255));
+  const std::size_t chunks = rng.next_below(3);
+  for (std::size_t i = 0; i < chunks; ++i) s.chunks.push_back(random_array<32>(rng));
+  return s;
+}
+
+crypto::FeldmanCommitments random_feldman_commitments(Rng& rng) {
+  crypto::FeldmanCommitments c;
+  c.secret_length = rng.next_below(64);
+  const std::size_t chunks = rng.next_below(3);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    std::vector<ByteArray<32>> row;
+    const std::size_t coeffs = rng.next_below(4);
+    for (std::size_t j = 0; j < coeffs; ++j) row.push_back(random_array<32>(rng));
+    c.per_chunk.push_back(std::move(row));
+  }
+  return c;
+}
+
+AuthVectorBundle random_vector_bundle(Rng& rng) {
+  AuthVectorBundle b;
+  b.home_network = random_network(rng);
+  b.supi = random_supi(rng);
+  b.sqn = rng.next();
+  b.rand = random_array<16>(rng);
+  b.autn = random_array<16>(rng);
+  b.hxres_star = random_array<16>(rng);
+  b.flood = rng.next_below(2) == 1;
+  b.home_signature = random_array<64>(rng);  // round-trip only; not verified
+  return b;
+}
+
+KeyShareBundle random_share_bundle(Rng& rng) {
+  KeyShareBundle b;
+  b.home_network = random_network(rng);
+  b.supi = random_supi(rng);
+  b.hxres_star = random_array<16>(rng);
+  b.share = random_share(rng);
+  if (rng.next_below(2) == 1) b.feldman_share = random_feldman_share(rng);
+  if (rng.next_below(2) == 1) b.feldman_commitments = random_feldman_commitments(rng);
+  b.home_signature = random_array<64>(rng);
+  return b;
+}
+
+UsageProof random_proof(Rng& rng) {
+  UsageProof p;
+  p.serving_network = random_network(rng);
+  p.supi = random_supi(rng);
+  p.hxres_star = random_array<16>(rng);
+  p.res_star = crypto::ResStar(ByteView(random_array<16>(rng)));
+  p.timestamp = static_cast<Time>(rng.next());
+  p.serving_signature = random_array<64>(rng);
+  return p;
+}
+
+StoreMaterialRequest random_store_request(Rng& rng) {
+  StoreMaterialRequest r;
+  r.home_network = random_network(rng);
+  const std::size_t vectors = rng.next_below(3);
+  for (std::size_t i = 0; i < vectors; ++i) r.vectors.push_back(random_vector_bundle(rng));
+  const std::size_t shares = rng.next_below(3);
+  for (std::size_t i = 0; i < shares; ++i) r.shares.push_back(random_share_bundle(rng));
+  r.suci_secret = random_bytes(rng, rng.next_below(2) == 1 ? 32 : 0);
+  return r;
+}
+
+GetVectorRequest random_get_vector(Rng& rng) {
+  GetVectorRequest r;
+  r.serving_network = random_network(rng);
+  if (rng.next_below(2) == 1) {
+    r.supi = random_supi(rng);
+  } else {
+    r.suci = random_bytes(rng, rng.next_below(80));
+  }
+  return r;
+}
+
+ReportRequest random_report(Rng& rng) {
+  ReportRequest r;
+  r.backup_network = random_network(rng);
+  const std::size_t proofs = rng.next_below(4);
+  for (std::size_t i = 0; i < proofs; ++i) r.proofs.push_back(random_proof(rng));
+  return r;
+}
+
+RevokeSharesRequest random_revoke(Rng& rng) {
+  RevokeSharesRequest r;
+  r.home_network = random_network(rng);
+  r.supi = random_supi(rng);
+  const std::size_t indices = rng.next_below(5);
+  for (std::size_t i = 0; i < indices; ++i) r.hxres_indices.push_back(random_array<16>(rng));
+  r.home_signature = random_array<64>(rng);
+  return r;
+}
+
+/// The property itself, shared by all message types: stable re-encoding and
+/// rejection of every strict prefix.
+template <typename Message, typename Builder>
+void check_round_trip(std::uint64_t seed, int iterations, Builder build) {
+  Rng rng(seed);
+  for (int iter = 0; iter < iterations; ++iter) {
+    const Message original = build(rng);
+    const Bytes encoded = original.encode();
+    const Message decoded = Message::decode(encoded);
+    const Bytes re_encoded = decoded.encode();
+    ASSERT_EQ(encoded, re_encoded) << "iteration " << iter;
+
+    for (std::size_t len = 0; len < encoded.size(); ++len) {
+      EXPECT_THROW(Message::decode(ByteView(encoded.data(), len)), wire::WireError)
+          << "prefix of length " << len << " parsed, iteration " << iter;
+    }
+  }
+}
+
+TEST(MessagesRoundTrip, AuthVectorBundle) {
+  check_round_trip<AuthVectorBundle>(0xA1, 25, random_vector_bundle);
+}
+
+TEST(MessagesRoundTrip, KeyShareBundle) {
+  check_round_trip<KeyShareBundle>(0xA2, 25, random_share_bundle);
+}
+
+TEST(MessagesRoundTrip, UsageProof) {
+  check_round_trip<UsageProof>(0xA3, 25, random_proof);
+}
+
+TEST(MessagesRoundTrip, StoreMaterialRequest) {
+  check_round_trip<StoreMaterialRequest>(0xA4, 10, random_store_request);
+}
+
+TEST(MessagesRoundTrip, GetVectorRequest) {
+  check_round_trip<GetVectorRequest>(0xA5, 25, random_get_vector);
+}
+
+TEST(MessagesRoundTrip, ReportRequest) {
+  check_round_trip<ReportRequest>(0xA6, 15, random_report);
+}
+
+TEST(MessagesRoundTrip, RevokeSharesRequest) {
+  check_round_trip<RevokeSharesRequest>(0xA7, 25, random_revoke);
+}
+
+}  // namespace
+}  // namespace dauth::core

@@ -1,0 +1,606 @@
+// Self-test corpus for the dauth-taint analyzer (tools/taint_core.h).
+//
+// Mirrors the dauth-lint self-test contract: every rule is exercised with
+// seeded-violation fixtures that MUST be flagged and near-miss siblings that
+// MUST stay clean. If a propagation path or a contract check regresses, the
+// positive fixture stops flagging and this test fails before src/ can rot;
+// if a suppression (public override, sanitizer, disclosure) regresses, the
+// negative fixture starts flagging and the src/ sweep turns red.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "taint_core.h"
+
+namespace dauth::taint {
+namespace {
+
+Options taint_only() {
+  Options o;
+  o.contracts = false;
+  return o;
+}
+
+Analysis run(std::string_view code, Options options = taint_only(),
+             std::string_view path = "src/core/fixture.cpp") {
+  return analyze({{std::string(path), std::string(code)}}, options);
+}
+
+bool has_rule(const Analysis& a, std::string_view rule) {
+  return std::any_of(a.findings.begin(), a.findings.end(),
+                     [&](const lint::Finding& f) { return f.rule == rule; });
+}
+
+int count_rule(const Analysis& a, std::string_view rule) {
+  return static_cast<int>(std::count_if(
+      a.findings.begin(), a.findings.end(),
+      [&](const lint::Finding& f) { return f.rule == rule; }));
+}
+
+// ===========================================================================
+// Taint pass positives: seeded violations that MUST be flagged.
+
+TEST(TaintT1, SecretLexiconIdentifierIntoWriter) {
+  const auto a = run("void f(wire::Writer& w, const Bytes& k_seaf) { w.bytes(k_seaf); }");
+  ASSERT_TRUE(has_rule(a, "T1"));
+  EXPECT_EQ(a.findings[0].line, 1);
+}
+
+TEST(TaintT1, SecretTypedParameterIntoWriter) {
+  // No lexicon hit on the name: taint comes purely from the Secret<32> type.
+  const auto a = run("void f(wire::Writer& w, const Secret<32>& material) {\n"
+                     "  w.fixed(material);\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T1"));
+}
+
+TEST(TaintT1, TaintSurvivesLocalCopy) {
+  const auto a = run("void f(wire::Writer& w) {\n"
+                     "  Bytes buf;\n"
+                     "  buf = session.k_seaf;\n"
+                     "  w.bytes(buf);\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T1"));
+}
+
+TEST(TaintT1, TaintSurvivesMemcpyIntoPlainBuffer) {
+  const auto a = run("void f(wire::Writer& w, const Key256& k) {\n"
+                     "  std::uint8_t buf[32];\n"
+                     "  std::memcpy(buf, k.data(), 32);\n"
+                     "  w.raw(buf, 32);\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T1"));
+}
+
+TEST(TaintT1, InterproceduralParamToSink) {
+  // The sink is one call away: `emit` forwards its parameter to the writer.
+  const auto a = run("void emit(wire::Writer& w, const Bytes& payload) { w.bytes(payload); }\n"
+                     "void caller(wire::Writer& w, const Bytes& res_star) {\n"
+                     "  emit(w, res_star);\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T1"));
+  const FunctionSummary* emit = a.find_function("emit");
+  ASSERT_NE(emit, nullptr);
+  EXPECT_EQ(emit->params_to_sink, std::uint64_t{1} << 2);  // bit i+1 <=> param i
+}
+
+TEST(TaintT1, ReturnedSecretFlowsToSink) {
+  const auto a = run("Key256 derive_session() { Key256 out; return out; }\n"
+                     "void f(wire::Writer& w) {\n"
+                     "  auto material = derive_session();\n"
+                     "  w.fixed(material);\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T1"));
+}
+
+TEST(TaintT1, CarryingTypeEncodeIsTainted) {
+  // KeyShareBundle carries a secret member, so its serialized form is secret.
+  const auto a = run("struct KeyShareBundle { Bytes share_y; Bytes encode() const; };\n"
+                     "void f(wire::Writer& w, const KeyShareBundle& b) {\n"
+                     "  w.bytes(b.encode());\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T1"));
+  const auto& carrying = a.secret_carrying_types;
+  EXPECT_NE(std::find(carrying.begin(), carrying.end(), "KeyShareBundle"), carrying.end());
+}
+
+TEST(TaintT1, CarryingTypeIsTransitive) {
+  // Wrapper carries a KeyShareBundle member, so the wrapper carries too.
+  const auto a = run("struct KeyShareBundle { Bytes share_y; };\n"
+                     "struct Wrapper { KeyShareBundle inner; };\n"
+                     "void f(wire::Writer& w, const Wrapper& x) { w.bytes(x); }");
+  EXPECT_TRUE(has_rule(a, "T1"));
+}
+
+TEST(TaintT2, ToHexOfSecret) {
+  const auto a = run("std::string f() { return to_hex(opc_value); }");
+  EXPECT_TRUE(has_rule(a, "T2"));
+}
+
+TEST(TaintT2, StreamInsertionOfSecret) {
+  const auto a = run("void f(std::ostream& os) { os << state.k_seaf; }");
+  EXPECT_TRUE(has_rule(a, "T2"));
+}
+
+TEST(TaintT3, SecretIntoKvStore) {
+  const auto a = run("void f(store::KvStore& store, const Bytes& share_bytes) {\n"
+                     "  store.put(\"x\", share_bytes);\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T3"));
+}
+
+TEST(TaintT3, SecretIntoWal) {
+  const auto a = run("void f(store::Wal& wal, const Bytes& k_material) {\n"
+                     "  wal.append(k_material);\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T3"));
+}
+
+TEST(TaintT4, SecretIntoRpcPayload) {
+  const auto a = run("void f(const Bytes& xres_bytes) { rpc_.call(7, \"svc\", xres_bytes); }");
+  EXPECT_TRUE(has_rule(a, "T4"));
+}
+
+TEST(TaintT4, SecretIntoResponderReply) {
+  const auto a = run("void f(sim::Responder& responder, const Key256& k_seaf) {\n"
+                     "  responder.reply(to_bytes(ByteView(k_seaf)));\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T4"));
+}
+
+TEST(TaintT5, DisclosureWithoutReason) {
+  const auto a = run("void f(wire::Writer& w, const Bytes& k) {\n"
+                     "  w.bytes(k);  // DAUTH_DISCLOSE()\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T5"));
+  // An empty reason does NOT suppress the underlying flow either.
+  EXPECT_TRUE(has_rule(a, "T1"));
+}
+
+TEST(TaintT1, SecretMemberOfSecretClassEscapes) {
+  // Inside Secret<N> itself every member is secret material.
+  const auto a = run("struct SecretBox {\n"
+                     "  Bytes bytes_;\n"
+                     "  void dump(wire::Writer& w) { w.bytes(bytes_); }\n"
+                     "};");
+  EXPECT_TRUE(has_rule(a, "T1"));
+}
+
+// ===========================================================================
+// Taint pass negatives: near-misses that MUST stay clean.
+
+TEST(TaintClean, PublicComponentsAreNotSecret) {
+  EXPECT_TRUE(run("void f(wire::Writer& w) { w.fixed(hxres_star); }").findings.empty());
+  EXPECT_TRUE(run("void f(wire::Writer& w) { w.fixed(public_key); }").findings.empty());
+  EXPECT_TRUE(run("void f(wire::Writer& w) { w.fixed(av.rand); w.fixed(av.autn); }")
+                  .findings.empty());
+}
+
+TEST(TaintClean, PublicOverrideBeatsTaintedRoot) {
+  // `material` is secret-carrying, but the hxres_star field inside is public.
+  const auto a = run("void f(wire::Writer& w, const Key256& material) {\n"
+                     "  auto s = to_hex(material_record.vector.hxres_star);\n"
+                     "}");
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(TaintClean, PublicKeyTypeOverridesSecretName) {
+  // Name matches the lexicon, declared type says Public: type wins.
+  const auto a = run("void f(wire::Writer& w) {\n"
+                     "  crypto::Ed25519PublicKey signing_key;\n"
+                     "  w.fixed(signing_key);\n"
+                     "}");
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(TaintClean, CurvePointTypeIsPublic) {
+  const auto a = run("void f(wire::Writer& w) {\n"
+                     "  crypto::X25519Point suci_key;\n"
+                     "  w.fixed(suci_key);\n"
+                     "}");
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(TaintClean, SanitizedFlowsAreLaundered) {
+  EXPECT_TRUE(run("void f(wire::Writer& w, const Key256& k) {\n"
+                  "  w.fixed(hmac_sha256(k, data));\n"
+                  "}").findings.empty());
+  EXPECT_TRUE(run("void f(wire::Writer& w) {\n"
+                  "  const auto sig = crypto::ed25519_sign(payload, signing_key_);\n"
+                  "  w.fixed(sig);\n"
+                  "}").findings.empty());
+  EXPECT_TRUE(run("bool f(const Key256& k, const Bytes& other) {\n"
+                  "  return ct_equal(k, other);\n"
+                  "}").findings.empty());
+}
+
+TEST(TaintClean, MetadataAccessorsAreHarmless) {
+  EXPECT_TRUE(run("void f(wire::Writer& w, const Bytes& key) { w.u32(key.size()); }")
+                  .findings.empty());
+  EXPECT_TRUE(run("void f(wire::Writer& w, const Commitments& c) {\n"
+                  "  w.u32(c.secret_length);\n"
+                  "}").findings.empty());
+  EXPECT_TRUE(run("void f(wire::Writer& w, const ShamirShare& share) { w.u8(share.x); }")
+                  .findings.empty());
+}
+
+TEST(TaintClean, DisclosureWithReasonSuppresses) {
+  const auto a = run("void f(wire::Writer& w, const Bytes& k_seaf) {\n"
+                     "  w.bytes(k_seaf);  // DAUTH_DISCLOSE(release point, reviewed)\n"
+                     "}");
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(TaintClean, DisclosureOnPrecedingLineCoversSink) {
+  const auto a = run("void f(const Bytes& k_seaf) {\n"
+                     "  // DAUTH_DISCLOSE(share release after verification)\n"
+                     "  responder.reply(k_seaf);\n"
+                     "}");
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(TaintClean, DisclosedCalleeDoesNotTaintCallers) {
+  // The callee's sink is a reviewed disclosure; the caller stays clean.
+  const auto a = run("void release(wire::Writer& w, const Bytes& payload) {\n"
+                     "  w.bytes(payload);  // DAUTH_DISCLOSE(sanctioned release)\n"
+                     "}\n"
+                     "void caller(wire::Writer& w, const Bytes& k_seaf) {\n"
+                     "  release(w, k_seaf);\n"
+                     "}");
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(TaintClean, FieldTaintDoesNotSmearToParent) {
+  // Writing one secret field must not taint sibling fields of the struct.
+  const auto a = run("void f(wire::Writer& w, const Bytes& k) {\n"
+                     "  record.key_material = k;\n"
+                     "  w.bytes(record.header);\n"
+                     "}");
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(TaintClean, ParamFieldUseDoesNotMarkWholeParam) {
+  // Only `o.failure` reaches the writer; callers passing secret-carrying
+  // outcomes must stay clean (field-precision of params_to_sink).
+  const auto a = run("void finish(wire::Writer& w, const Outcome& o) {\n"
+                     "  w.string(o.failure);\n"
+                     "}\n"
+                     "void caller(wire::Writer& w, const Outcome& k_outcome) {\n"
+                     "  finish(w, k_outcome);\n"
+                     "}");
+  const FunctionSummary* finish = a.find_function("finish");
+  ASSERT_NE(finish, nullptr);
+  EXPECT_EQ(finish->params_to_sink, std::uint64_t{0});
+}
+
+TEST(TaintClean, LambdaCapturesDoNotLeakIntoCallArguments) {
+  // The callback mentions secret state; the rpc payload itself is clean.
+  const auto a = run("void f(const Bytes& clean_payload, const Key256& k_seaf) {\n"
+                     "  rpc_.call(7, \"svc\", clean_payload,\n"
+                     "            [this, k_seaf](Bytes reply) { consume(k_seaf); });\n"
+                     "}");
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(TaintClean, ReaderMethodsAreNotSinks) {
+  const auto a = run("void f(wire::Reader& r, Bytes& k_out) { k_out = r.bytes(); }");
+  EXPECT_FALSE(has_rule(a, "T1"));
+}
+
+TEST(TaintClean, NonCarryingMessageEncodeIsClean) {
+  // AuthVectorBundle-shaped struct: all members public -> encode is clean.
+  const auto a = run("struct VectorBundle { Bytes rand_v; Bytes autn_v; Bytes hxres_star;\n"
+                     "                      Bytes encode() const; };\n"
+                     "void f(sim::Responder& responder, const VectorBundle& b) {\n"
+                     "  responder.reply(b.encode());\n"
+                     "}");
+  EXPECT_TRUE(a.findings.empty());
+  const auto& carrying = a.secret_carrying_types;
+  EXPECT_EQ(std::find(carrying.begin(), carrying.end(), "VectorBundle"), carrying.end());
+}
+
+// ===========================================================================
+// Contract pass fixtures. Handlers live in "src/core/" (the default scope);
+// the table is injected per-test via Options::contract_table.
+
+Options contracts_only(std::vector<HandlerContract> table) {
+  Options o;
+  o.taint = false;
+  o.contract_table = std::move(table);
+  return o;
+}
+
+// A table must be non-empty or the analyzer substitutes default_contracts();
+// one exempt sentinel keeps fixtures self-contained.
+std::vector<HandlerContract> sentinel_table() {
+  return {{"unused.svc", "", {}, {}, "sentinel: keeps the injected table non-empty"}};
+}
+
+const char* kRegistration =
+    "void Node::install() {\n"
+    "  rpc.register_service(\"svc.op\", [this](sim::Responder& r, Bytes b) {\n"
+    "    handle_op(r, b);\n"
+    "  });\n"
+    "}\n";
+
+// ---- positives ------------------------------------------------------------
+
+TEST(ContractH1, UnknownServiceIsFlagged) {
+  const auto a = run(kRegistration, contracts_only(sentinel_table()));
+  ASSERT_TRUE(has_rule(a, "H1"));
+  EXPECT_EQ(a.findings.size(), 1u);
+}
+
+TEST(ContractH1, EveryUnknownRegistrationIsFlagged) {
+  const auto a = run("void Node::install() {\n"
+                     "  rpc.register_service(\"svc.one\", h1);\n"
+                     "  rpc.register_service(\"svc.two\", h2);\n"
+                     "}\n",
+                     contracts_only(sentinel_table()));
+  EXPECT_EQ(count_rule(a, "H1"), 2);
+}
+
+TEST(ContractH2, MissingGuardIsFlagged) {
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  state_[b.size()] = 1;\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op", {"verify"},
+                                      {"state_["}, "must verify first"}}));
+  EXPECT_TRUE(has_rule(a, "H2"));
+}
+
+TEST(ContractH2, EveryMissingGuardIsFlagged) {
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  state_[0] = 1;\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op",
+                                      {"verify", "ct_equal"}, {"state_["}, "both"}}));
+  EXPECT_EQ(count_rule(a, "H2"), 2);
+}
+
+TEST(ContractH3, MutationBeforeGuardIsFlagged) {
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  state_[0] = 1;\n"
+                         "  if (!verify(b)) { r.fail(\"bad\"); return; }\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op", {"verify"},
+                                      {"state_["}, "must verify first"}}));
+  EXPECT_TRUE(has_rule(a, "H3"));
+}
+
+TEST(ContractH3, StoreWriteBeforeGuardIsFlagged) {
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  store_.put(\"x\", b);\n"
+                         "  if (!verify(b)) return;\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op", {"verify"},
+                                      {"store_.put"}, "must verify first"}}));
+  EXPECT_TRUE(has_rule(a, "H3"));
+}
+
+TEST(ContractH3, MutationBetweenTwoGuardsIsFlagged) {
+  // ALL guards must precede protected mutations, not just the first one.
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  if (!ct_equal(b, expected_)) return;\n"
+                         "  state_[0] = 1;\n"
+                         "  if (!verify(b)) return;\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op",
+                                      {"ct_equal", "verify"}, {"state_["}, "both first"}}));
+  EXPECT_TRUE(has_rule(a, "H3"));
+}
+
+TEST(ContractH4, NonRejectingGuardIsFlagged) {
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  bool ok = verify(b);\n"
+                         "  state_[0] = 1;\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op", {"verify"},
+                                      {"state_["}, "must reject"}}));
+  EXPECT_TRUE(has_rule(a, "H4"));
+}
+
+TEST(ContractH4, GuardWhoseBranchDoesNotBailIsFlagged) {
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  if (verify(b)) { log(\"ok\"); }\n"
+                         "  state_[0] = 1;\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op", {"verify"},
+                                      {"state_["}, "must reject"}}));
+  EXPECT_TRUE(has_rule(a, "H4"));
+}
+
+TEST(ContractH5, StaleHandlerNameIsFlagged) {
+  const auto a = run(kRegistration, contracts_only({{"svc.op", "Node::handle_renamed",
+                                                     {"verify"}, {}, "stale"}}));
+  EXPECT_TRUE(has_rule(a, "H5"));
+}
+
+TEST(ContractH5, HandlerOutsideScopeIsFlagged) {
+  // The handler exists, but in a file outside the contract scope.
+  const auto a = analyze(
+      {{"src/other/fixture.cpp",
+        "void Node::handle_op(sim::Responder& r, Bytes b) { verify(b); }\n"}},
+      contracts_only({{"svc.op", "Node::handle_op", {"verify"}, {}, "scoped"}}));
+  EXPECT_TRUE(has_rule(a, "H5"));
+}
+
+TEST(ContractH3, SubscriptPatternRequiresSubscript) {
+  // Pattern "users_[" must match the indexed write even via arrow chains.
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  users_[supi].shares = b;\n"
+                         "  if (!verify(b)) return;\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op", {"verify"},
+                                      {"users_["}, "verify first"}}));
+  EXPECT_TRUE(has_rule(a, "H3"));
+}
+
+// ---- negatives ------------------------------------------------------------
+
+TEST(ContractClean, WellGuardedHandlerPasses) {
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  if (!verify(b)) { r.fail(\"bad\"); return; }\n"
+                         "  state_[0] = 1;\n"
+                         "  store_.put(\"x\", b);\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op", {"verify"},
+                                      {"state_[", "store_.put"}, "verify first"}}));
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(ContractClean, MultiGuardHandlerPasses) {
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  if (!ct_equal(b, expected_)) { r.fail(\"preimage\"); return; }\n"
+                         "  if (!verify(b)) { r.fail(\"sig\"); return; }\n"
+                         "  state_[0] = 1;\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op",
+                                      {"ct_equal", "verify"}, {"state_["}, "both"}}));
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(ContractClean, ThrowingGuardBranchPasses) {
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  if (!verify(b)) throw std::runtime_error(\"bad\");\n"
+                         "  state_[0] = 1;\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op", {"verify"},
+                                      {"state_["}, "verify first"}}));
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(ContractClean, KnownServiceRegistrationPasses) {
+  const auto a = run(kRegistration, contracts_only({{"svc.op", "", {}, {}, "exempt"}}));
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(ContractClean, ExemptHandlerIsNotChecked) {
+  // handler == "" marks a contract-reviewed stateless service.
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  state_[0] = 1;\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "", {}, {}, "stateless by review"}}));
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(ContractClean, ReadOfProtectedStateIsNotAMutation) {
+  // `.find` / `.at` reads don't match mutation patterns like "state_[".
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  auto it = state_.find(7);\n"
+                         "  if (!verify(b)) { r.fail(\"bad\"); return; }\n"
+                         "  state_[0] = 1;\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op", {"verify"},
+                                      {"state_["}, "verify first"}}));
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(ContractClean, RegistrationOutsideScopeIsIgnored) {
+  const auto a =
+      analyze({{"src/baseline/fixture.cpp", kRegistration}}, contracts_only(sentinel_table()));
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(ContractClean, FrameworkRegisterServiceDefinitionIsIgnored) {
+  // The rpc framework's own declaration has no string literal argument.
+  const auto a = run("void RpcNode::register_service(std::string name, Handler h) {\n"
+                     "  handlers_[name] = h;\n"
+                     "}\n",
+                     contracts_only(sentinel_table()), "src/sim/fixture.cpp");
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(ContractClean, GuardInsideNestedCallbackStillCounts) {
+  // Guards reached inside a lambda body still lexically precede mutations.
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  lookup(7, [this, b](Entry e) {\n"
+                         "    if (!verify(b)) { return; }\n"
+                         "    state_[0] = 1;\n"
+                         "  });\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op", {"verify"},
+                                      {"state_["}, "verify first"}}));
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(ContractClean, MutationAbsentFromHandlerIsNotAnError) {
+  // Renamed/removed state: order check simply has nothing to match (the
+  // taint pass still covers the data flow).
+  const auto a = run(std::string(kRegistration) +
+                         "void Node::handle_op(sim::Responder& r, Bytes b) {\n"
+                         "  if (!verify(b)) { r.fail(\"bad\"); return; }\n"
+                         "}\n",
+                     contracts_only({{"svc.op", "Node::handle_op", {"verify"},
+                                      {"gone_["}, "verify first"}}));
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(ContractClean, DefaultTableCoversProtocolSurface) {
+  // The built-in table names the protocol's services; spot-check invariants.
+  const auto table = default_contracts();
+  EXPECT_GE(table.size(), 16u);
+  for (const auto& c : table) {
+    EXPECT_FALSE(c.service.empty());
+    EXPECT_FALSE(c.rationale.empty()) << c.service;
+  }
+  const auto get_share =
+      std::find_if(table.begin(), table.end(),
+                   [](const HandlerContract& c) { return c.service == "backup.get_share"; });
+  ASSERT_NE(get_share, table.end());
+  // §4.2.2: share release requires BOTH the RES* preimage and the signature.
+  EXPECT_NE(std::find(get_share->guards.begin(), get_share->guards.end(), "ct_equal"),
+            get_share->guards.end());
+  EXPECT_NE(std::find(get_share->guards.begin(), get_share->guards.end(), "verify"),
+            get_share->guards.end());
+}
+
+// ===========================================================================
+// Parser sanity: the function summaries the passes depend on.
+
+TEST(Parser, RecordsQualifiedNamesParamsAndReturnTypes) {
+  const auto a = run("Bytes HomeNetwork::build(const Supi& supi, int n) { return {}; }");
+  const FunctionSummary* f = a.find_function("HomeNetwork::build");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->params.size(), 2u);
+  EXPECT_EQ(f->params[0].name, "supi");
+  EXPECT_EQ(f->params[1].name, "n");
+  EXPECT_EQ(f->return_type, "Bytes");
+}
+
+TEST(Parser, SecretReturnTypeMarksSummary) {
+  const auto a = run("Key256 derive() { Key256 k; return k; }");
+  const FunctionSummary* f = a.find_function("derive");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->returns_secret);
+}
+
+TEST(Parser, ParamToReturnPropagation) {
+  const auto a = run("Bytes xor_buf(const Bytes& a, const Bytes& b) {\n"
+                     "  Bytes out = a;\n"
+                     "  return out;\n"
+                     "}");
+  const FunctionSummary* f = a.find_function("xor_buf");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->params_to_return & 1u << 1, 0u);  // param 0 -> bit 1
+}
+
+}  // namespace
+}  // namespace dauth::taint

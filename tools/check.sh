@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# One-command secret-hygiene gate (docs/SECURITY.md):
+# One-command secret-hygiene gate (docs/SECURITY.md, docs/STATIC_ANALYSIS.md):
 #
-#   1. ASan+UBSan build of everything, -Werror, full ctest suite
-#      (includes dauth_lint_test and the dauth_lint_check sweep of src/)
-#   2. TSan build, event-loop/simulator-facing tests only
+#   1. Static analysis, fast-fail: dauth-lint sweep of src/ + tools/ + bench/
+#      and the dauth-taint interprocedural sweep of src/, built in the plain
+#      build/ tree. Seconds, and catches most hygiene regressions before the
+#      sanitizer builds spend minutes.
+#   2. ASan+UBSan build of everything, -Werror, full ctest suite
+#      (re-runs dauth_lint_check / dauth_taint_check plus their self-tests)
+#   3. TSan build, event-loop/simulator-facing tests only
 #
 # Usage: tools/check.sh [--skip-tsan]
 # Build trees land in build-asan/ and build-tsan/ so the default build/ stays
@@ -22,7 +26,13 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/2] ASan+UBSan build + full test suite"
+echo "==> [1/3] static analysis (dauth-lint + dauth-taint)"
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS" --target dauth_lint_cli dauth_taint_cli
+./build/tools/dauth-lint --allowlist tools/lint_allowlist.txt src tools bench
+./build/tools/dauth-taint --allowlist tools/taint_allowlist.txt src
+
+echo "==> [2/3] ASan+UBSan build + full test suite"
 cmake -B build-asan -S . \
   -DDAUTH_SANITIZE="address;undefined" \
   -DDAUTH_WERROR=ON > /dev/null
@@ -30,9 +40,9 @@ cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
-  echo "==> [2/2] TSan pass skipped (--skip-tsan)"
+  echo "==> [3/3] TSan pass skipped (--skip-tsan)"
 else
-  echo "==> [2/2] TSan build + event-loop/simulator tests"
+  echo "==> [3/3] TSan build + event-loop/simulator tests"
   cmake -B build-tsan -S . \
     -DDAUTH_SANITIZE="thread" \
     -DDAUTH_WERROR=ON > /dev/null

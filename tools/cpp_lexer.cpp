@@ -1,0 +1,160 @@
+#include "cpp_lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace dauth::lex {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Scans one comment's text for DAUTH_DISCLOSE(<reason>) annotations.
+void scan_comment(std::string_view comment, int line, bool alone_on_line,
+                  std::vector<Disclosure>& out) {
+  static constexpr std::string_view kMarker = "DAUTH_DISCLOSE(";
+  std::size_t pos = 0;
+  int current_line = line;
+  std::size_t line_start = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
+    // Line of this occurrence inside a multi-line /* */ comment.
+    for (std::size_t i = line_start; i < pos; ++i) {
+      if (comment[i] == '\n') ++current_line;
+    }
+    line_start = pos;
+    const std::size_t open = pos + kMarker.size() - 1;
+    const std::size_t close = comment.find(')', open);
+    Disclosure d;
+    d.line = current_line;
+    d.covers_next = alone_on_line;
+    if (close != std::string_view::npos) {
+      std::string_view reason = comment.substr(open + 1, close - open - 1);
+      while (!reason.empty() && std::isspace(static_cast<unsigned char>(reason.front())))
+        reason.remove_prefix(1);
+      while (!reason.empty() && std::isspace(static_cast<unsigned char>(reason.back())))
+        reason.remove_suffix(1);
+      d.reason = std::string(reason);
+    }
+    out.push_back(std::move(d));
+    pos = close == std::string_view::npos ? comment.size() : close;
+  }
+}
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult result;
+  std::vector<Token>& out = result.tokens;
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;     // only preprocessor-significant position
+  bool code_on_line = false;     // any token emitted on the current line
+
+  auto skip_to_eol = [&] {  // honours backslash continuations
+    while (i < src.size()) {
+      if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+        i += 2;
+        ++line;
+        continue;
+      }
+      if (src[i] == '\n') return;
+      ++i;
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      code_on_line = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      skip_to_eol();
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      const std::size_t start = i;
+      skip_to_eol();
+      scan_comment(src.substr(start, i - start), line, /*alone_on_line=*/!code_on_line,
+                   result.disclosures);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const int start_line = line;
+      const bool alone = !code_on_line;
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(i + 2, src.size());
+      scan_comment(src.substr(start, i - start), start_line, alone, result.disclosures);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      ++i;
+      const std::size_t content_start = i;
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < src.size()) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      std::string content(src.substr(content_start, i - content_start));
+      if (i < src.size()) ++i;  // closing quote
+      out.push_back({Token::Kind::kString, std::move(content), start_line});
+      code_on_line = true;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < src.size() && ident_char(src[j])) ++j;
+      out.push_back({Token::Kind::kIdent, std::string(src.substr(i, j - i)), line});
+      i = j;
+      code_on_line = true;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < src.size() && (ident_char(src[j]) || src[j] == '.' ||
+                                ((src[j] == '+' || src[j] == '-') && j > i &&
+                                 (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.push_back({Token::Kind::kNumber, std::string(src.substr(i, j - i)), line});
+      i = j;
+      code_on_line = true;
+      continue;
+    }
+    // Punctuation: longest match among the operators the analyses care about.
+    static constexpr std::array<std::string_view, 20> kMulti = {
+        "<=>", "<<=", ">>=", "==", "!=", "<=", ">=", "->", "::", "<<",
+        ">>",  "&&",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^="};
+    std::string_view rest = src.substr(i);
+    std::string text(1, c);
+    for (std::string_view op : kMulti) {
+      if (rest.substr(0, op.size()) == op) {
+        text = std::string(op);
+        break;
+      }
+    }
+    out.push_back({Token::Kind::kPunct, std::move(text), line});
+    i += out.back().text.size();
+    code_on_line = true;
+  }
+  return result;
+}
+
+std::vector<Token> tokenize(std::string_view src) { return lex(src).tokens; }
+
+}  // namespace dauth::lex

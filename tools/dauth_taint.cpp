@@ -1,0 +1,120 @@
+// dauth-taint CLI: interprocedural secret-flow and handler-contract analysis
+// (rules T1-T5 / H1-H5, see taint_core.h and docs/STATIC_ANALYSIS.md). All
+// inputs are analyzed as ONE program so call summaries cross file boundaries.
+// Exits non-zero if any finding survives the allowlist. Wired into ctest as
+// `dauth_taint_check`.
+//
+//   dauth-taint [--allowlist FILE] [--no-taint] [--no-contracts]
+//               [--dump-summaries] <file-or-directory>...
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "taint_core.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool analyzable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" || ext == ".hpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<dauth::lint::AllowEntry> allowlist;
+  std::vector<fs::path> inputs;
+  dauth::taint::Options options;
+  bool dump_summaries = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        std::cerr << "dauth-taint: --allowlist requires a file argument\n";
+        return 2;
+      }
+      const fs::path allow_path = argv[++i];
+      if (!fs::exists(allow_path)) {
+        std::cerr << "dauth-taint: allowlist not found: " << allow_path << "\n";
+        return 2;
+      }
+      allowlist = dauth::lint::parse_allowlist(read_file(allow_path));
+    } else if (arg == "--no-taint") {
+      options.taint = false;
+    } else if (arg == "--no-contracts") {
+      options.contracts = false;
+    } else if (arg == "--dump-summaries") {
+      dump_summaries = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dauth-taint [--allowlist FILE] [--no-taint] [--no-contracts]\n"
+                   "                   [--dump-summaries] <file-or-directory>...\n";
+      return 0;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "dauth-taint: no inputs (see --help)\n";
+    return 2;
+  }
+
+  std::vector<fs::path> paths;
+  for (const fs::path& input : inputs) {
+    if (fs::is_directory(input)) {
+      for (const auto& entry : fs::recursive_directory_iterator(input)) {
+        if (entry.is_regular_file() && analyzable(entry.path()))
+          paths.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(input)) {
+      paths.push_back(input);
+    } else {
+      std::cerr << "dauth-taint: no such file or directory: " << input << "\n";
+      return 2;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<dauth::taint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    files.push_back({p.generic_string(), read_file(p)});
+  }
+
+  const dauth::taint::Analysis analysis = dauth::taint::analyze(files, options);
+  const std::vector<dauth::lint::Finding> findings =
+      dauth::lint::apply_allowlist(analysis.findings, allowlist);
+
+  if (dump_summaries) {
+    for (const auto& f : analysis.functions) {
+      std::cout << "summary " << f.qualified << " returns_secret=" << f.returns_secret
+                << " p2r=" << std::hex << f.params_to_return
+                << " p2s=" << f.params_to_sink << std::dec << "  (" << f.file << ":"
+                << f.line << ")\n";
+    }
+    std::cout << "carrying:";
+    for (const auto& t : analysis.secret_carrying_types) std::cout << " " << t;
+    std::cout << "\n";
+  }
+
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  std::cout << "dauth-taint: " << files.size() << " file(s), "
+            << analysis.functions.size() << " function(s), " << findings.size()
+            << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}

@@ -5,119 +5,17 @@
 #include <cctype>
 #include <unordered_map>
 
+#include "cpp_lexer.h"
+
 namespace dauth::lint {
 namespace {
 
-// ---- Tokenizer --------------------------------------------------------------
-
-struct Token {
-  enum class Kind { kIdent, kNumber, kPunct, kString };
-  Kind kind = Kind::kPunct;
-  std::string text;
-  int line = 1;
-};
-
-bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-/// Lexes C++ into identifiers / numbers / punctuation, dropping comments,
-/// string and char literal *contents*, and whole preprocessor lines (so
-/// #include "crypto/shamir.h" never looks like a secret identifier).
-std::vector<Token> tokenize(std::string_view src) {
-  std::vector<Token> out;
-  std::size_t i = 0;
-  int line = 1;
-  bool at_line_start = true;
-
-  auto skip_to_eol = [&] {  // honours backslash continuations
-    while (i < src.size()) {
-      if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
-        i += 2;
-        ++line;
-        continue;
-      }
-      if (src[i] == '\n') return;
-      ++i;
-    }
-  };
-
-  while (i < src.size()) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (c == '#' && at_line_start) {
-      skip_to_eol();
-      continue;
-    }
-    at_line_start = false;
-    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
-      skip_to_eol();
-      continue;
-    }
-    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
-      i += 2;
-      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      i = std::min(i + 2, src.size());
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      const int start_line = line;
-      ++i;
-      while (i < src.size() && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < src.size()) ++i;
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      if (i < src.size()) ++i;  // closing quote
-      out.push_back({Token::Kind::kString, std::string(1, quote), start_line});
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t j = i;
-      while (j < src.size() && ident_char(src[j])) ++j;
-      out.push_back({Token::Kind::kIdent, std::string(src.substr(i, j - i)), line});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i;
-      while (j < src.size() && (ident_char(src[j]) || src[j] == '.' ||
-                                ((src[j] == '+' || src[j] == '-') && j > i &&
-                                 (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
-        ++j;
-      }
-      out.push_back({Token::Kind::kNumber, std::string(src.substr(i, j - i)), line});
-      i = j;
-      continue;
-    }
-    // Punctuation: longest match among the operators the rules care about.
-    static constexpr std::array<std::string_view, 10> kMulti = {
-        "<=>", "<<=", ">>=", "==", "!=", "->", "::", "<<", ">>", "&&"};
-    std::string_view rest = src.substr(i);
-    std::string text(1, c);
-    for (std::string_view op : kMulti) {
-      if (rest.substr(0, op.size()) == op) {
-        text = std::string(op);
-        break;
-      }
-    }
-    out.push_back({Token::Kind::kPunct, text, line});
-    i += text.size();
-  }
-  return out;
-}
+// The tokenizer lives in cpp_lexer.* (shared with dauth-taint). String and
+// char literals survive as kString tokens whose text is never identifier-
+// matched, and whole preprocessor lines are dropped, so neither `#include
+// "crypto/shamir.h"` nor a log message can look like a secret identifier.
+using lex::Token;
+using lex::tokenize;
 
 // ---- Identifier-chain classification ----------------------------------------
 

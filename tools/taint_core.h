@@ -1,0 +1,120 @@
+// dauth-taint: interprocedural secret-flow analysis for the dAuth codebase.
+//
+// dAuth's core security argument (paper §5) is that no single backup network
+// ever observes K_i or a complete K_seaf — a property of *data flow*, not of
+// any single expression. The token-level dauth-lint (rules L1-L5) cannot see
+// a secret copied into a plain buffer two calls away and then serialized;
+// this analyzer can. Three passes:
+//
+//   Pass 1 (parser): a lightweight C++ parser builds per-function summaries —
+//     name, enclosing class, parameters with types, body token range, local
+//     and member variable types — plus a table of struct definitions used to
+//     derive which types *carry* secret material.
+//
+//   Pass 2 (taint engine): taint is seeded at Secret<N>/SecretBytes-typed
+//     values and at every identifier matching the secret lexicon
+//     (lint::is_secret_component), then propagated through assignments,
+//     initializations, memcpy, .data()/view escapes into plain buffers, and
+//     function calls/returns (a fixed point over the call graph computes, for
+//     every function, whether its return is secret and which parameters flow
+//     to its return or to a sink). A tainted value reaching a sink —
+//     wire::Writer methods, to_hex/ostream logging, kv_store/wal persistence,
+//     rpc payloads / responder replies — is reported unless the sink line is
+//     annotated `// DAUTH_DISCLOSE(<reason>)`.
+//
+//   Pass 3 (handler contracts): every RPC handler in src/core and src/sim
+//     must validate its precondition (Ed25519 signature verification, H(XRES*)
+//     preimage match via ct_equal, AUTS MAC check) BEFORE mutating vector,
+//     share, SQN or key state. The pass checks, per a declarative contract
+//     table, that the required guard call lexically dominates every protected
+//     state mutation and that the guard sits in a rejecting branch.
+//
+// Findings reuse lint::Finding so the allowlist machinery is shared. Rules:
+//   T1 tainted value reaches a wire::Writer method (serialization)
+//   T2 tainted value reaches to_hex / stream insertion (logging)
+//   T3 tainted value reaches kv_store/wal persistence
+//   T4 tainted value reaches the network (rpc payload / responder reply)
+//   T5 DAUTH_DISCLOSE annotation without a written justification
+//   H1 registered RPC service has no handler contract
+//   H2 handler contract guard is never called
+//   H3 protected state mutation precedes the guard
+//   H4 guard exists but is not a rejecting check (no fail/return branch)
+//   H5 contract names a handler function that no longer exists
+//
+// Known, documented approximations (see docs/STATIC_ANALYSIS.md): taint is
+// flow-insensitive within a function (monotone set), field-sensitive only
+// through exact access-path matching, and guard dominance is lexical order —
+// all three err on the side of flagging for the shapes this codebase uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace dauth::taint {
+
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct Param {
+  std::string type;  // rendered type tokens, e.g. "const sim::Responder &"
+  std::string name;  // empty for unnamed parameters
+};
+
+/// Per-function summary: pass 1 shape plus pass 2 fixed-point facts.
+struct FunctionSummary {
+  std::string file;
+  int line = 0;
+  std::string name;       // simple name, e.g. "handle_store"
+  std::string qualified;  // "BackupNetwork::handle_store" when the class is known
+  std::string return_type;
+  std::vector<Param> params;
+
+  // Fixed-point facts (pass 2). Param masks use the engine's encoding: bit 0
+  // is reserved (the intrinsic-secret bit), so param i is bit i+1.
+  bool returns_secret = false;     // return value carries secret material
+  std::uint64_t params_to_return = 0;  // bit i+1: param i flows into the return value
+  std::uint64_t params_to_sink = 0;    // bit i+1: param i (passed whole) reaches a sink
+};
+
+/// One handler contract: the precondition a service's handler must establish
+/// before touching protected state. `handler` empty marks a service whose
+/// inline handler is trivially stateless (exempt). `mutations` are
+/// dot-joined access paths ("store_.put", "pending_keys.erase"); a trailing
+/// "[" requires a subscript (i.e. an indexed write, not a read).
+struct HandlerContract {
+  std::string service;                  // e.g. "backup.store"
+  std::string handler;                  // function whose body is checked
+  std::vector<std::string> guards;      // required guard calls, e.g. {"verify"}
+  std::vector<std::string> mutations;   // protected state access patterns
+  std::string rationale;                // why these guards (or why none)
+};
+
+/// The built-in contract table for the dAuth protocol surface.
+std::vector<HandlerContract> default_contracts();
+
+struct Options {
+  bool taint = true;
+  bool contracts = true;
+  std::vector<HandlerContract> contract_table;     // empty -> default_contracts()
+  std::vector<std::string> contract_scope = {"src/core/", "src/sim/"};
+};
+
+struct Analysis {
+  std::vector<lint::Finding> findings;
+  std::vector<FunctionSummary> functions;          // pass 1+2 artifacts, for tests
+  std::vector<std::string> secret_carrying_types;  // sorted, for tests
+
+  const FunctionSummary* find_function(std::string_view name) const;
+};
+
+/// Runs all enabled passes over the given translation units as one program
+/// (summaries are interprocedural across files).
+Analysis analyze(const std::vector<SourceFile>& files, const Options& options);
+
+}  // namespace dauth::taint
