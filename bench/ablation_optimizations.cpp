@@ -2,9 +2,13 @@
 //   1. gRPC connection re-use between dAuth instances (§5.1 opt. 1)
 //   2. racing GetAuthVector across multiple backups (§5.1 opt. 3)
 //   3. plain Shamir shares vs Feldman verifiable shares (§3.5.2)
-//   4. Open5GS roaming with on-demand vs persistent S6a/N12 connections
+//   4. the signature-verification memo cache (docs/PERFORMANCE.md): raced
+//      backup replies re-verify byte-identical bundles, so disabling the
+//      cache pays a full Ed25519 verify per duplicate
+//   5. Open5GS roaming with on-demand vs persistent S6a/N12 connections
 // All variants run the same backup-mode workload (edge serving core on
-// fiber, 8 backups, threshold 4, 200 registrations/min).
+// fiber, 8 backups, threshold 4, 200 registrations/min), each as an
+// independent deterministically-seeded point on the sweep thread pool.
 #include <cstdio>
 
 #include "harness.h"
@@ -16,21 +20,53 @@ namespace {
 constexpr double kLoad = 200;
 const Time kDuration = minutes(2);
 
-ran::LoadResult run_variant(bool connection_reuse, std::size_t race_width,
-                            bool verifiable_shares) {
+struct DauthVariant {
+  std::string label;
+  bool connection_reuse = true;
+  std::size_t race_width = 2;
+  bool verifiable_shares = false;
+  std::size_t verify_cache_entries = 256;
+};
+
+bench::PointResult run_dauth_variant(const DauthVariant& v, std::uint64_t seed) {
   bench::DauthOptions options;
   options.scenario = sim::Scenario::kEdgeFiber;
   options.pool_size = 96;
   options.backup_count = 8;
   options.home_offline = true;
-  options.connection_reuse = connection_reuse;
+  options.connection_reuse = v.connection_reuse;
   options.config.threshold = 4;
-  options.config.vector_race_width = race_width;
-  options.config.use_verifiable_shares = verifiable_shares;
+  options.config.vector_race_width = v.race_width;
+  options.config.use_verifiable_shares = v.verifiable_shares;
+  options.config.verify_cache_entries = v.verify_cache_entries;
   options.config.vectors_per_backup = 16;
   options.config.report_interval = 0;
+  options.seed = seed;
   bench::DauthBench harness(options);
-  return harness.run_load(kLoad, kDuration);
+  auto result = harness.run_load(kLoad, kDuration);
+
+  bench::PointResult out;
+  out.text = bench::format_summary(v.label, result.latencies);
+  out.rows.push_back(bench::make_row(v.label, kLoad, result.latencies, "summary"));
+  return out;
+}
+
+bench::PointResult run_roaming_variant(bool reuse, std::uint64_t seed) {
+  bench::BaselineOptions options;
+  options.scenario = sim::Scenario::kEdgeFiber;
+  options.pool_size = 96;
+  options.roaming = true;
+  options.core_config.reuse_roaming_connections = reuse;
+  options.seed = seed;
+  bench::BaselineBench harness(options);
+  auto result = harness.run_load(kLoad, kDuration);
+
+  const std::string label =
+      reuse ? "roaming, persistent S6a/N12" : "roaming, on-demand S6a/N12";
+  bench::PointResult out;
+  out.text = bench::format_summary(label, result.latencies);
+  out.rows.push_back(bench::make_row(label, kLoad, result.latencies, "summary"));
+  return out;
 }
 
 }  // namespace
@@ -38,39 +74,30 @@ ran::LoadResult run_variant(bool connection_reuse, std::size_t race_width,
 int main() {
   bench::print_title("Ablation: dAuth prototype optimizations (backup mode, 200/min)");
 
-  {
-    auto result = run_variant(true, 2, false);
-    bench::print_summary("baseline (reuse + race2 + shamir)", result.latencies);
-  }
-  {
-    auto result = run_variant(false, 2, false);
-    bench::print_summary("no connection reuse", result.latencies);
-  }
-  {
-    auto result = run_variant(true, 1, false);
-    bench::print_summary("no vector racing (width 1)", result.latencies);
-  }
-  {
-    auto result = run_variant(true, 4, false);
-    bench::print_summary("wider vector racing (width 4)", result.latencies);
-  }
-  {
-    auto result = run_variant(true, 2, true);
-    bench::print_summary("feldman verifiable shares", result.latencies);
-  }
+  const DauthVariant variants[] = {
+      {"baseline (reuse + race2 + shamir + vcache)"},
+      {"no connection reuse", false},
+      {"no vector racing (width 1)", true, 1},
+      {"wider vector racing (width 4)", true, 4},
+      {"feldman verifiable shares", true, 2, true},
+      {"no verification cache", true, 2, false, 0},
+  };
 
-  std::printf("\nOpen5GS roaming connection handling (same load):\n");
-  for (bool reuse : {false, true}) {
-    bench::BaselineOptions options;
-    options.scenario = sim::Scenario::kEdgeFiber;
-    options.pool_size = 96;
-    options.roaming = true;
-    options.core_config.reuse_roaming_connections = reuse;
-    bench::BaselineBench harness(options);
-    auto result = harness.run_load(kLoad, kDuration);
-    bench::print_summary(reuse ? "roaming, persistent S6a/N12"
-                               : "roaming, on-demand S6a/N12",
-                         result.latencies);
+  std::vector<bench::SweepPoint> points;
+  for (std::size_t i = 0; i < std::size(variants); ++i) {
+    const DauthVariant v = variants[i];
+    points.push_back({v.label, [=] { return run_dauth_variant(v, 42 + 10 * i); }});
   }
+  points.push_back({"roaming header + on-demand", [] {
+                      auto r = run_roaming_variant(false, 142);
+                      r.text = "\nOpen5GS roaming connection handling (same load):\n" +
+                               r.text;
+                      return r;
+                    }});
+  points.push_back({"roaming persistent", [] { return run_roaming_variant(true, 152); }});
+
+  bench::BenchReport report("ablation_optimizations");
+  bench::run_sweep(points, &report);
+  report.write();
   return 0;
 }

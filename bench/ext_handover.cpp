@@ -113,26 +113,34 @@ int main() {
   std::printf("A UE bounces %d times between two federated edge serving networks.\n\n",
               kMoves);
 
-  {
-    MobilityWorld world(/*home_offline=*/false);
-    auto samples = run_reattach_chain(world);
-    bench::print_summary("re-attach per move (home online)", samples);
+  // Four independent worlds: run them concurrently on the sweep pool.
+  struct Variant {
+    std::string label;
+    bool home_offline;
+    bool handover;
+  };
+  const Variant variants[] = {
+      {"re-attach per move (home online)", false, false},
+      {"re-attach per move (backup mode)", true, false},
+      {"handover per move (home online)", false, true},
+      {"handover per move (home OFFLINE)", true, true},
+  };
+
+  std::vector<bench::SweepPoint> points;
+  for (const Variant& v : variants) {
+    points.push_back({v.label, [v] {
+                        MobilityWorld world(v.home_offline);
+                        auto samples = v.handover ? run_handover_chain(world)
+                                                  : run_reattach_chain(world);
+                        bench::PointResult out;
+                        out.text = bench::format_summary(v.label, samples);
+                        out.rows.push_back(bench::make_row(v.label, 0, samples, "summary"));
+                        return out;
+                      }});
   }
-  {
-    MobilityWorld world(/*home_offline=*/true);
-    auto samples = run_reattach_chain(world);
-    bench::print_summary("re-attach per move (backup mode)", samples);
-  }
-  {
-    MobilityWorld world(/*home_offline=*/false);
-    auto samples = run_handover_chain(world);
-    bench::print_summary("handover per move (home online)", samples);
-  }
-  {
-    MobilityWorld world(/*home_offline=*/true);
-    auto samples = run_handover_chain(world);
-    bench::print_summary("handover per move (home OFFLINE)", samples);
-  }
+  bench::BenchReport report("ext_handover");
+  bench::run_sweep(points, &report);
+  report.write();
 
   std::printf(
       "\nHandover needs one context-transfer RPC between the serving networks\n"

@@ -12,6 +12,10 @@
 // Expected shape: dAuth-home ~ Open5GS; backup threshold 2 adds < 50 ms;
 // threshold 6 is limited by the slowest backup (the Atom-class box on a
 // high-latency backhaul) and grows a long tail.
+//
+// The five conditions run concurrently on the sweep thread pool; each owns
+// an independent simulation, and the grouped boxplot/CDF/summary sections
+// are printed after all conditions finish, so output stays deterministic.
 #include <cstdio>
 
 #include "harness.h"
@@ -22,20 +26,23 @@ namespace {
 
 constexpr int kSamples = 250;
 
-SampleSet run_dauth(const bench::DauthOptions& options) {
-  bench::DauthBench harness(options);
+struct ConditionResult {
   SampleSet samples;
   int failures = 0;
+};
+
+ConditionResult run_dauth(const bench::DauthOptions& options) {
+  bench::DauthBench harness(options);
+  ConditionResult r;
   for (int i = 0; i < kSamples; ++i) {
     const auto record = harness.single_attach();
     if (record.success) {
-      samples.add_time(record.latency());
+      r.samples.add_time(record.latency());
     } else {
-      ++failures;
+      ++r.failures;
     }
   }
-  if (failures > 0) std::printf("  (%d failed attaches excluded)\n", failures);
-  return samples;
+  return r;
 }
 
 }  // namespace
@@ -43,23 +50,36 @@ SampleSet run_dauth(const bench::DauthOptions& options) {
 int main() {
   bench::print_title("Figure 3: single-UE attach time, physical RAN profile");
 
-  std::vector<std::pair<std::string, SampleSet>> results;
+  std::vector<std::string> labels;
+  std::vector<ConditionResult> conditions;
+  std::vector<bench::SweepPoint> points;
+  // Each point deposits into its own pre-allocated slot; slots are disjoint,
+  // so concurrent workers never share state.
+  auto add_condition = [&](std::string label, std::function<ConditionResult()> run) {
+    const std::size_t slot = labels.size();
+    labels.push_back(std::move(label));
+    conditions.emplace_back();
+    points.push_back({labels.back(), [&conditions, slot, run] {
+                        conditions[slot] = run();
+                        return bench::PointResult{};
+                      }});
+  };
 
-  {  // Baseline Open5GS edge core.
+  add_condition("open5gs", [] {
     bench::BaselineOptions options;
     options.scenario = sim::Scenario::kEdgeFiber;
     options.physical_ran = true;
     options.pool_size = 1;
     bench::BaselineBench harness(options);
-    SampleSet samples;
+    ConditionResult r;
     for (int i = 0; i < kSamples; ++i) {
       const auto record = harness.single_attach();
-      if (record.success) samples.add_time(record.latency());
+      if (record.success) r.samples.add_time(record.latency());
     }
-    results.emplace_back("open5gs", std::move(samples));
-  }
+    return r;
+  });
 
-  {  // dAuth with the home network online and local.
+  add_condition("dauth-home-online", [] {
     bench::DauthOptions options;
     options.scenario = sim::Scenario::kEdgeFiber;
     options.physical_ran = true;
@@ -68,31 +88,53 @@ int main() {
     options.backup_count = 6;
     options.backup_pool = bench::BackupPool::kNonCloud;
     options.config.vectors_per_backup = 8;
-    results.emplace_back("dauth-home-online", run_dauth(options));
-  }
+    return run_dauth(options);
+  });
 
   for (std::size_t threshold : {2u, 4u, 6u}) {  // dAuth backup mode.
-    bench::DauthOptions options;
-    options.scenario = sim::Scenario::kEdgeFiber;
-    options.physical_ran = true;
-    options.pool_size = 1;
-    options.home_offline = true;
-    options.backup_count = 6;
-    options.backup_pool = bench::BackupPool::kNonCloud;
-    options.config.threshold = threshold;
-    options.config.vectors_per_backup = 2 * kSamples + 16;  // race burns two per attach
-    options.config.report_interval = 0;                     // home never returns
-    results.emplace_back("dauth-backup-thresh[" + std::to_string(threshold) + "]",
-                         run_dauth(options));
+    add_condition("dauth-backup-thresh[" + std::to_string(threshold) + "]",
+                  [threshold] {
+                    bench::DauthOptions options;
+                    options.scenario = sim::Scenario::kEdgeFiber;
+                    options.physical_ran = true;
+                    options.pool_size = 1;
+                    options.home_offline = true;
+                    options.backup_count = 6;
+                    options.backup_pool = bench::BackupPool::kNonCloud;
+                    options.config.threshold = threshold;
+                    // The race burns two vectors per attach.
+                    options.config.vectors_per_backup = 2 * kSamples + 16;
+                    options.config.report_interval = 0;  // home never returns
+                    return run_dauth(options);
+                  });
+  }
+
+  bench::BenchReport report("fig3_single_ue");
+  report.set_threads(bench::sweep_threads());
+  bench::run_sweep_collect(points);
+
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (conditions[i].failures > 0) {
+      std::printf("  (%d failed attaches excluded from %s)\n", conditions[i].failures,
+                  labels[i].c_str());
+    }
   }
 
   std::printf("\nFig 3a (boxplot rows: label,min,q1,median,q3,p95,max in ms)\n");
-  for (auto& [label, samples] : results) bench::print_boxplot(label, samples);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    bench::print_boxplot(labels[i], conditions[i].samples);
+  }
 
   std::printf("\nFig 3b (CDF rows: cdf,label,ms,fraction)\n");
-  for (auto& [label, samples] : results) bench::print_cdf(label, samples, 16);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    bench::print_cdf(labels[i], conditions[i].samples, 16);
+  }
 
   std::printf("\nSummaries\n");
-  for (auto& [label, samples] : results) bench::print_summary(label, samples);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    bench::print_summary(labels[i], conditions[i].samples);
+    report.add(bench::make_row(labels[i], 0, conditions[i].samples, "box"));
+  }
+  report.write();
   return 0;
 }

@@ -8,6 +8,9 @@
 // core's single-box auth pipeline saturates while dAuth spreads NAS
 // handling (serving) and vector generation (home) across machines — the
 // lines cross. Edge placements beat cloud placements throughout.
+//
+// Each (load, scenario, system) point is an independent, deterministically
+// seeded simulation run on the sweep thread pool (harness.h).
 #include <cstdio>
 
 #include "harness.h"
@@ -18,10 +21,56 @@ namespace {
 
 constexpr double kLoads[] = {20, 200, 1000};
 
-Time duration_for(double per_minute) {
+Time fig4_duration(double load) {
   // Aim for a few hundred samples per point without burning hours at 20/min.
-  const double minutes = std::min(10.0, std::max(1.5, 240.0 / per_minute * 60.0 / 60.0));
-  return static_cast<Time>(minutes * static_cast<double>(kMinute));
+  return bench::duration_for(load, 240.0, 1.5, 10.0);
+}
+
+bench::PointResult run_dauth_point(sim::Scenario scenario, double load,
+                                   std::uint64_t seed) {
+  bench::DauthOptions options;
+  options.scenario = scenario;
+  options.pool_size = 64;
+  options.backup_count = 8;
+  options.config.vectors_per_backup = 2;  // unused (home stays online)
+  options.seed = seed;
+  bench::DauthBench harness(options);
+  auto result = harness.run_load(load, fig4_duration(load));
+
+  const std::string label = std::string("dauth,") + sim::to_string(scenario);
+  bench::PointResult out;
+  out.text = bench::format_summary(label, result.latencies);
+  out.text += bench::format_cdf(label + "," + std::to_string(static_cast<int>(load)),
+                                result.latencies, 12);
+  if (result.failed > 0) {
+    char note[160];
+    std::snprintf(note, sizeof note, "  failures=%zu (%s)\n", result.failed,
+                  result.failures.empty() ? "?" : result.failures.front().c_str());
+    out.text += note;
+  }
+  out.rows.push_back(bench::make_row(label, load, result.latencies, "summary"));
+  return out;
+}
+
+bench::PointResult run_baseline_point(sim::Scenario scenario, double load,
+                                      std::uint64_t seed) {
+  bench::BaselineOptions options;
+  options.scenario = scenario;
+  options.pool_size = 64;
+  options.seed = seed;
+  bench::BaselineBench harness(options);
+  auto result = harness.run_load(load, fig4_duration(load));
+
+  const std::string label = std::string("open5gs,") + sim::to_string(scenario);
+  bench::PointResult out;
+  out.text = bench::format_summary(label, result.latencies);
+  out.text += bench::format_cdf(label + "," + std::to_string(static_cast<int>(load)),
+                                result.latencies, 12);
+  if (result.failed > 0) {
+    out.text += "  failures=" + std::to_string(result.failed) + "\n";
+  }
+  out.rows.push_back(bench::make_row(label, load, result.latencies, "summary"));
+  return out;
 }
 
 }  // namespace
@@ -33,41 +82,34 @@ int main() {
       sim::Scenario::kEdgeFiber, sim::Scenario::kEdgeResidential,
       sim::Scenario::kCloudFiber, sim::Scenario::kCloudResidential};
 
-  for (double load : kLoads) {
-    std::printf("\n== %g registrations per minute ==\n", load);
-    for (sim::Scenario scenario : scenarios) {
-      {  // dAuth, home online.
-        bench::DauthOptions options;
-        options.scenario = scenario;
-        options.pool_size = 64;
-        options.backup_count = 8;
-        options.config.vectors_per_backup = 2;  // unused (home stays online)
-        bench::DauthBench harness(options);
-        auto result = harness.run_load(load, duration_for(load));
-        const std::string label =
-            std::string("dauth,") + sim::to_string(scenario);
-        bench::print_summary(label, result.latencies);
-        bench::print_cdf(label + "," + std::to_string(static_cast<int>(load)),
-                         result.latencies, 12);
-        if (result.failed > 0) {
-          std::printf("  failures=%zu (%s)\n", result.failed,
-                      result.failures.empty() ? "?" : result.failures.front().c_str());
-        }
-      }
-      {  // Standalone Open5GS.
-        bench::BaselineOptions options;
-        options.scenario = scenario;
-        options.pool_size = 64;
-        bench::BaselineBench harness(options);
-        auto result = harness.run_load(load, duration_for(load));
-        const std::string label =
-            std::string("open5gs,") + sim::to_string(scenario);
-        bench::print_summary(label, result.latencies);
-        bench::print_cdf(label + "," + std::to_string(static_cast<int>(load)),
-                         result.latencies, 12);
-        if (result.failed > 0) std::printf("  failures=%zu\n", result.failed);
-      }
+  std::vector<bench::SweepPoint> points;
+  for (std::size_t li = 0; li < std::size(kLoads); ++li) {
+    const double load = kLoads[li];
+    // Per-load header rides on the first point of the load group.
+    bool first_in_group = true;
+    for (std::size_t si = 0; si < std::size(scenarios); ++si) {
+      const sim::Scenario scenario = scenarios[si];
+      const std::uint64_t seed = 4000 + 100 * li + 10 * si;
+      const std::string header =
+          first_in_group ? "\n== " + std::to_string(static_cast<int>(load)) +
+                               " registrations per minute ==\n"
+                         : "";
+      first_in_group = false;
+      points.push_back({std::string("dauth ") + sim::to_string(scenario) + " load=" +
+                            std::to_string(static_cast<int>(load)),
+                        [=] {
+                          auto r = run_dauth_point(scenario, load, seed);
+                          r.text = header + r.text;
+                          return r;
+                        }});
+      points.push_back({std::string("open5gs ") + sim::to_string(scenario) + " load=" +
+                            std::to_string(static_cast<int>(load)),
+                        [=] { return run_baseline_point(scenario, load, seed + 5); }});
     }
   }
+
+  bench::BenchReport report("fig4_home_vs_cloud");
+  bench::run_sweep(points, &report);
+  report.write();
   return 0;
 }

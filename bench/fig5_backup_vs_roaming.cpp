@@ -8,6 +8,9 @@
 // minute it outperforms the centralized roaming core — the home HSS is a
 // single choke point that also pays a fresh S6a/N12 connection per request,
 // while dAuth load-shares across the backups over persistent channels.
+//
+// Each (load, scenario, system) point is an independent, deterministically
+// seeded simulation run on the sweep thread pool (harness.h).
 #include <cstdio>
 
 #include "harness.h"
@@ -18,9 +21,57 @@ namespace {
 
 constexpr double kLoads[] = {20, 200, 1000};
 
-Time duration_for(double per_minute) {
-  const double minutes = std::min(10.0, std::max(1.5, 240.0 / per_minute));
-  return static_cast<Time>(minutes * static_cast<double>(kMinute));
+Time fig5_duration(double load) { return bench::duration_for(load, 240.0, 1.5, 10.0); }
+
+bench::PointResult run_backup_point(sim::Scenario scenario, double load,
+                                    std::uint64_t seed) {
+  bench::DauthOptions options;
+  options.scenario = scenario;
+  options.pool_size = 64;
+  options.backup_count = 8;
+  options.home_offline = true;
+  options.config.threshold = 4;
+  options.config.vectors_per_backup = 10;
+  options.config.report_interval = 0;  // home stays down
+  options.seed = seed;
+  bench::DauthBench harness(options);
+  auto result = harness.run_load(load, fig5_duration(load));
+
+  const std::string label = std::string("dauth-backup,") + sim::to_string(scenario);
+  bench::PointResult out;
+  out.text = bench::format_summary(label, result.latencies);
+  out.text += bench::format_cdf(label + "," + std::to_string(static_cast<int>(load)),
+                                result.latencies, 12);
+  if (result.failed > 0) {
+    char note[160];
+    std::snprintf(note, sizeof note, "  failures=%zu (%s)\n", result.failed,
+                  result.failures.empty() ? "?" : result.failures.front().c_str());
+    out.text += note;
+  }
+  out.rows.push_back(bench::make_row(label, load, result.latencies, "summary"));
+  return out;
+}
+
+bench::PointResult run_roaming_point(sim::Scenario scenario, double load,
+                                     std::uint64_t seed) {
+  bench::BaselineOptions options;
+  options.scenario = scenario;
+  options.pool_size = 64;
+  options.roaming = true;
+  options.seed = seed;
+  bench::BaselineBench harness(options);
+  auto result = harness.run_load(load, fig5_duration(load));
+
+  const std::string label = std::string("open5gs-roaming,") + sim::to_string(scenario);
+  bench::PointResult out;
+  out.text = bench::format_summary(label, result.latencies);
+  out.text += bench::format_cdf(label + "," + std::to_string(static_cast<int>(load)),
+                                result.latencies, 12);
+  if (result.failed > 0) {
+    out.text += "  failures=" + std::to_string(result.failed) + "\n";
+  }
+  out.rows.push_back(bench::make_row(label, load, result.latencies, "summary"));
+  return out;
 }
 
 }  // namespace
@@ -32,45 +83,33 @@ int main() {
       sim::Scenario::kEdgeFiber, sim::Scenario::kEdgeResidential,
       sim::Scenario::kCloudFiber, sim::Scenario::kCloudResidential};
 
-  for (double load : kLoads) {
-    std::printf("\n== %g registrations per minute ==\n", load);
-    for (sim::Scenario scenario : scenarios) {
-      {  // dAuth backup mode: 8 random backups, threshold 4.
-        bench::DauthOptions options;
-        options.scenario = scenario;
-        options.pool_size = 64;
-        options.backup_count = 8;
-        options.home_offline = true;
-        options.config.threshold = 4;
-        options.config.vectors_per_backup = 10;
-        options.config.report_interval = 0;  // home stays down
-        bench::DauthBench harness(options);
-        auto result = harness.run_load(load, duration_for(load));
-        const std::string label =
-            std::string("dauth-backup,") + sim::to_string(scenario);
-        bench::print_summary(label, result.latencies);
-        bench::print_cdf(label + "," + std::to_string(static_cast<int>(load)),
-                         result.latencies, 12);
-        if (result.failed > 0) {
-          std::printf("  failures=%zu (%s)\n", result.failed,
-                      result.failures.empty() ? "?" : result.failures.front().c_str());
-        }
-      }
-      {  // Open5GS traditional roaming.
-        bench::BaselineOptions options;
-        options.scenario = scenario;
-        options.pool_size = 64;
-        options.roaming = true;
-        bench::BaselineBench harness(options);
-        auto result = harness.run_load(load, duration_for(load));
-        const std::string label =
-            std::string("open5gs-roaming,") + sim::to_string(scenario);
-        bench::print_summary(label, result.latencies);
-        bench::print_cdf(label + "," + std::to_string(static_cast<int>(load)),
-                         result.latencies, 12);
-        if (result.failed > 0) std::printf("  failures=%zu\n", result.failed);
-      }
+  std::vector<bench::SweepPoint> points;
+  for (std::size_t li = 0; li < std::size(kLoads); ++li) {
+    const double load = kLoads[li];
+    bool first_in_group = true;
+    for (std::size_t si = 0; si < std::size(scenarios); ++si) {
+      const sim::Scenario scenario = scenarios[si];
+      const std::uint64_t seed = 5000 + 100 * li + 10 * si;
+      const std::string header =
+          first_in_group ? "\n== " + std::to_string(static_cast<int>(load)) +
+                               " registrations per minute ==\n"
+                         : "";
+      first_in_group = false;
+      points.push_back({std::string("dauth-backup ") + sim::to_string(scenario) +
+                            " load=" + std::to_string(static_cast<int>(load)),
+                        [=] {
+                          auto r = run_backup_point(scenario, load, seed);
+                          r.text = header + r.text;
+                          return r;
+                        }});
+      points.push_back({std::string("open5gs-roaming ") + sim::to_string(scenario) +
+                            " load=" + std::to_string(static_cast<int>(load)),
+                        [=] { return run_roaming_point(scenario, load, seed + 5); }});
     }
   }
+
+  bench::BenchReport report("fig5_backup_vs_roaming");
+  bench::run_sweep(points, &report);
+  report.write();
   return 0;
 }

@@ -1,7 +1,12 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
 
 namespace dauth::bench {
 namespace {
@@ -262,40 +267,141 @@ ran::AttachRecord BaselineBench::single_attach() {
 
 sim::Simulator& BaselineBench::simulator() { return impl_->simulator; }
 
+// ---- Sweep scheduling -------------------------------------------------------
+
+Time duration_for(double per_minute, double target_arrivals, double min_minutes,
+                  double max_minutes) {
+  const double minutes =
+      std::min(max_minutes, std::max(min_minutes, target_arrivals / per_minute));
+  return static_cast<Time>(minutes * static_cast<double>(kMinute));
+}
+
+int sweep_threads() {
+  if (const char* env = std::getenv("DAUTH_BENCH_THREADS"); env && *env) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<PointResult> run_sweep_collect(const std::vector<SweepPoint>& points,
+                                           int threads) {
+  if (threads <= 0) threads = sweep_threads();
+  threads = std::min<int>(threads, static_cast<int>(points.size()));
+
+  std::vector<PointResult> results(points.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) return;
+      try {
+        results[i] = points[i].run();
+      } catch (const std::exception& e) {
+        results[i].text = "point '" + points[i].name + "' failed: " + e.what() + "\n";
+      }
+      const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      std::fprintf(stderr, "[%zu/%zu] %s\n", finished, points.size(),
+                   points[i].name.c_str());
+    }
+  };
+
+  if (threads <= 1) {
+    worker();  // in-line: no pool, same code path, same output
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  return results;
+}
+
+void run_sweep(const std::vector<SweepPoint>& points, BenchReport* report,
+               int threads) {
+  if (threads <= 0) threads = sweep_threads();
+  if (report) report->set_threads(std::min<int>(threads, static_cast<int>(points.size())));
+  const auto results = run_sweep_collect(points, threads);
+  for (const PointResult& r : results) {
+    std::fputs(r.text.c_str(), stdout);
+    if (report) {
+      for (const ReportRow& row : r.rows) report->add(row);
+    }
+  }
+  std::fflush(stdout);
+}
+
 // ---- Output helpers ---------------------------------------------------------
+
+namespace {
+
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::string strprintf(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return std::string(
+      buf, n < 0 ? 0 : std::min(static_cast<std::size_t>(n), sizeof buf - 1));
+}
+
+}  // namespace
 
 void print_title(const std::string& title) {
   std::printf("\n# %s\n", title.c_str());
 }
 
+std::string format_summary(const std::string& label, SampleSet& samples) {
+  return strprintf("%-42s %s\n", label.c_str(), samples.summary().c_str());
+}
+
 void print_summary(const std::string& label, SampleSet& samples) {
-  std::printf("%-42s %s\n", label.c_str(), samples.summary().c_str());
+  std::fputs(format_summary(label, samples).c_str(), stdout);
+}
+
+std::string format_cdf(const std::string& label, SampleSet& samples,
+                       std::size_t points) {
+  std::string out;
+  for (const auto& [x, f] : samples.cdf_points(points)) {
+    out += strprintf("cdf,%s,%.1f,%.3f\n", label.c_str(), x, f);
+  }
+  return out;
 }
 
 void print_cdf(const std::string& label, SampleSet& samples, std::size_t points) {
-  for (const auto& [x, f] : samples.cdf_points(points)) {
-    std::printf("cdf,%s,%.1f,%.3f\n", label.c_str(), x, f);
-  }
+  std::fputs(format_cdf(label, samples, points).c_str(), stdout);
+}
+
+std::string format_boxplot(const std::string& label, SampleSet& samples) {
+  if (samples.empty()) return strprintf("box,%s,n=0\n", label.c_str());
+  return strprintf("box,%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n", label.c_str(),
+                   samples.min(), samples.quantile(0.25), samples.median(),
+                   samples.quantile(0.75), samples.quantile(0.95), samples.max());
 }
 
 void print_boxplot(const std::string& label, SampleSet& samples) {
+  std::fputs(format_boxplot(label, samples).c_str(), stdout);
+}
+
+std::string format_quantiles(const std::string& label, double load_per_minute,
+                             SampleSet& samples) {
   if (samples.empty()) {
-    std::printf("box,%s,n=0\n", label.c_str());
-    return;
+    return strprintf("quant,%s,%.0f,n=0\n", label.c_str(), load_per_minute);
   }
-  std::printf("box,%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n", label.c_str(), samples.min(),
-              samples.quantile(0.25), samples.median(), samples.quantile(0.75),
-              samples.quantile(0.95), samples.max());
+  return strprintf("quant,%s,%.0f,%.1f,%.1f,%.1f,%.1f\n", label.c_str(),
+                   load_per_minute, samples.quantile(0.5), samples.quantile(0.9),
+                   samples.quantile(0.95), samples.quantile(0.99));
 }
 
 void print_quantiles(const std::string& label, double load_per_minute, SampleSet& samples) {
-  if (samples.empty()) {
-    std::printf("quant,%s,%.0f,n=0\n", label.c_str(), load_per_minute);
-    return;
-  }
-  std::printf("quant,%s,%.0f,%.1f,%.1f,%.1f,%.1f\n", label.c_str(), load_per_minute,
-              samples.quantile(0.5), samples.quantile(0.9), samples.quantile(0.95),
-              samples.quantile(0.99));
+  std::fputs(format_quantiles(label, load_per_minute, samples).c_str(), stdout);
 }
 
 }  // namespace dauth::bench

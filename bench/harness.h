@@ -19,10 +19,13 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "baseline/standalone_core.h"
 #include "core/dauth_node.h"
 #include "ran/gnb.h"
 #include "ran/load_generator.h"
+#include "report.h"
 #include "sim/topology.h"
 
 namespace dauth::bench {
@@ -90,21 +93,73 @@ class BaselineBench {
   std::unique_ptr<Impl> impl_;
 };
 
+// ---- Sweep scheduling -------------------------------------------------------
+
+/// Standard per-point measurement window: run long enough at low load to
+/// collect ~`target_arrivals` samples, clamped to [min_minutes, max_minutes]
+/// so low-load points don't run for hours and high-load points still reach
+/// queueing steady state. Hoisted from the per-figure copies: the 11-point
+/// sweeps (Fig. 6/7) use the defaults, the 3-load comparisons (Fig. 4/5)
+/// pass a wider clamp.
+Time duration_for(double per_minute, double target_arrivals = 300.0,
+                  double min_minutes = 0.75, double max_minutes = 3.0);
+
+/// What one sweep point hands back: text printed verbatim (in submission
+/// order) plus structured rows for the BENCH_<name>.json record.
+struct PointResult {
+  std::string text;
+  std::vector<ReportRow> rows;
+};
+
+/// One independently runnable sweep point. `run` must be self-contained: it
+/// builds its own bench world from a deterministic per-point seed and MUST
+/// NOT touch state shared with other points, because points execute on any
+/// worker thread in any order. Output stays byte-identical for any thread
+/// count since emission follows the submission order, not completion order.
+struct SweepPoint {
+  std::string name;  // progress label (stderr only)
+  std::function<PointResult()> run;
+};
+
+/// Number of worker threads a sweep will use: $DAUTH_BENCH_THREADS if set,
+/// else the hardware concurrency (at least 1).
+int sweep_threads();
+
+/// Runs every point on `threads` workers (0 = sweep_threads()) and returns
+/// the results in submission order. A throwing point yields a PointResult
+/// whose text carries the error; it never takes down the sweep.
+std::vector<PointResult> run_sweep_collect(const std::vector<SweepPoint>& points,
+                                           int threads = 0);
+
+/// run_sweep_collect + prints each result's text to stdout in order and,
+/// when `report` is non-null, appends each result's rows in order.
+void run_sweep(const std::vector<SweepPoint>& points, BenchReport* report,
+               int threads = 0);
+
 // ---- Output helpers ---------------------------------------------------------
+//
+// Each print_* helper has a format_* twin returning the same bytes as a
+// string, so sweep points can defer emission to the ordered printer.
 
 /// Prints "# <title>" and a separator.
 void print_title(const std::string& title);
 
-/// Prints a labelled summary line: "<label>  n=... p50=... ..."
+/// "<label>  n=... p50=... ..." summary line.
+std::string format_summary(const std::string& label, SampleSet& samples);
 void print_summary(const std::string& label, SampleSet& samples);
 
-/// Prints an empirical CDF as "cdf,<label>,<ms>,<fraction>" rows.
+/// Empirical CDF as "cdf,<label>,<ms>,<fraction>" rows.
+std::string format_cdf(const std::string& label, SampleSet& samples,
+                       std::size_t points = 20);
 void print_cdf(const std::string& label, SampleSet& samples, std::size_t points = 20);
 
-/// Prints boxplot stats: "box,<label>,min,q1,median,q3,p95,max".
+/// Boxplot stats: "box,<label>,min,q1,median,q3,p95,max".
+std::string format_boxplot(const std::string& label, SampleSet& samples);
 void print_boxplot(const std::string& label, SampleSet& samples);
 
-/// Prints a quantile row "quant,<label>,<load>,p50,p90,p95,p99".
+/// Quantile row "quant,<label>,<load>,p50,p90,p95,p99".
+std::string format_quantiles(const std::string& label, double load_per_minute,
+                             SampleSet& samples);
 void print_quantiles(const std::string& label, double load_per_minute, SampleSet& samples);
 
 }  // namespace dauth::bench

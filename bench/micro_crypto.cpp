@@ -6,6 +6,8 @@
 // extension's overhead (§3.5.2).
 #include <benchmark/benchmark.h>
 
+#include "micro_main.h"
+
 #include "crypto/aes128.h"
 #include "crypto/drbg.h"
 #include "crypto/ed25519.h"
@@ -165,3 +167,16 @@ BENCHMARK(BM_FeldmanVerifyShare)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace dauth::crypto
+
+int main(int argc, char** argv) {
+  // ns/op measured at the pre-optimization commit (ladder verify, linear
+  // base-table sign, per-byte SHA buffering) on the reference runner; the
+  // JSON record carries these so each run self-reports its speedups.
+  const std::map<std::string, double> baselines = {
+      {"BM_Ed25519Verify", 128841.0},
+      {"BM_Ed25519Sign", 34732.0},
+      {"BM_Sha256_1KiB", 5280.0},
+      {"BM_Sha512_1KiB", 3918.0},
+  };
+  return dauth::bench::run_micro_benchmarks(argc, argv, "micro_crypto", baselines);
+}

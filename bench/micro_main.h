@@ -1,0 +1,70 @@
+// Shared main() body for the google-benchmark micro binaries: runs the
+// registered benchmarks with the normal console output, captures every
+// per-iteration timing, and writes a BENCH_<name>.json perf-trajectory
+// record (docs/PERFORMANCE.md). Optional per-benchmark baselines (ns/op
+// from a prior commit) are emitted alongside as "<name>:baseline_ns" and
+// "<name>:speedup" scalar rows so the record is self-describing.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "report.h"
+
+namespace dauth::bench {
+
+/// ConsoleReporter that also captures (name, ns/op) for the JSON record.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Timing {
+    std::string name;
+    double real_ns;
+    double cpu_ns;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      timings_.push_back({run.benchmark_name(),
+                          run.real_accumulated_time / iters * 1e9,
+                          run.cpu_accumulated_time / iters * 1e9});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Timing>& timings() const noexcept { return timings_; }
+
+ private:
+  std::vector<Timing> timings_;
+};
+
+/// Runs the benchmarks and writes BENCH_<bench_name>.json. `baseline_ns`
+/// maps benchmark names to pre-optimization ns/op for speedup rows.
+inline int run_micro_benchmarks(int argc, char** argv, const std::string& bench_name,
+                                const std::map<std::string, double>& baseline_ns = {}) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  BenchReport report(bench_name);
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  for (const auto& t : reporter.timings()) {
+    report.add_scalar(t.name + ":real_ns", t.real_ns);
+    report.add_scalar(t.name + ":cpu_ns", t.cpu_ns);
+    const auto it = baseline_ns.find(t.name);
+    if (it != baseline_ns.end() && t.real_ns > 0) {
+      report.add_scalar(t.name + ":baseline_ns", it->second);
+      report.add_scalar(t.name + ":speedup", it->second / t.real_ns);
+    }
+  }
+  report.write();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace dauth::bench

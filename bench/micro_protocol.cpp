@@ -3,6 +3,8 @@
 // full vector-generation as a home network performs it.
 #include <benchmark/benchmark.h>
 
+#include "micro_main.h"
+
 #include "aka/auth_vector.h"
 #include "aka/sim_card.h"
 #include "aka/suci.h"
@@ -148,3 +150,7 @@ BENCHMARK(BM_DisseminateOneVector)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 }  // namespace dauth::core
+
+int main(int argc, char** argv) {
+  return dauth::bench::run_micro_benchmarks(argc, argv, "micro_protocol");
+}

@@ -1,0 +1,110 @@
+#include "report.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#ifndef DAUTH_BUILD_COMMIT
+#define DAUTH_BUILD_COMMIT "unknown"
+#endif
+
+namespace dauth::bench {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Minimal JSON string escaping: our labels only contain printable ASCII,
+/// but quotes/backslashes must not corrupt the record.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+ReportRow make_row(const std::string& series, double x, SampleSet& samples,
+                   const std::string& kind) {
+  ReportRow row;
+  row.series = series;
+  row.kind = kind;
+  row.x = x;
+  row.n = samples.size();
+  if (!samples.empty()) {
+    row.p50 = samples.quantile(0.5);
+    row.p90 = samples.quantile(0.9);
+    row.p95 = samples.quantile(0.95);
+    row.p99 = samples.quantile(0.99);
+    row.mean = samples.mean();
+    row.min = samples.min();
+    row.max = samples.max();
+  }
+  return row;
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : name_(std::move(bench_name)), start_monotonic_(now_seconds()) {}
+
+void BenchReport::add(ReportRow row) { rows_.push_back(std::move(row)); }
+
+void BenchReport::add_scalar(const std::string& series, double value) {
+  ReportRow row;
+  row.series = series;
+  row.kind = "scalar";
+  row.value = value;
+  rows_.push_back(std::move(row));
+}
+
+std::string BenchReport::write() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("DAUTH_BENCH_OUT"); env && *env) dir = env;
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+
+  std::ofstream out(path);
+  if (!out) return "";
+
+  const double wall = now_seconds() - start_monotonic_;
+  out << "{\n"
+      << "  \"bench\": \"" << json_escape(name_) << "\",\n"
+      << "  \"commit\": \"" << json_escape(DAUTH_BUILD_COMMIT) << "\",\n"
+      << "  \"threads\": " << threads_ << ",\n"
+      << "  \"wall_clock_seconds\": " << json_number(wall) << ",\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const ReportRow& r = rows_[i];
+    out << "    {\"series\": \"" << json_escape(r.series) << "\", \"kind\": \""
+        << json_escape(r.kind) << "\"";
+    if (r.kind == "scalar") {
+      out << ", \"value\": " << json_number(r.value);
+    } else {
+      out << ", \"x\": " << json_number(r.x) << ", \"n\": " << r.n
+          << ", \"p50\": " << json_number(r.p50) << ", \"p90\": " << json_number(r.p90)
+          << ", \"p95\": " << json_number(r.p95) << ", \"p99\": " << json_number(r.p99)
+          << ", \"mean\": " << json_number(r.mean) << ", \"min\": " << json_number(r.min)
+          << ", \"max\": " << json_number(r.max);
+    }
+    out << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace dauth::bench

@@ -41,6 +41,10 @@ struct CostModel {
   Time key_release = ms(6);
   // Serving network: verify one Ed25519 bundle signature.
   Time signature_verify = msf(0.8);
+  // Serving network: signature check answered by the verification cache
+  // (two SHA-256 fingerprint hashes plus a hash-table probe; see
+  // docs/PERFORMANCE.md §cache).
+  Time signature_cache_hit = usf(30);
   // Serving network: combine Shamir shares into K_seaf.
   Time share_combine_base = msf(0.5);
   Time share_combine_per_share = usf(150);
@@ -82,6 +86,13 @@ struct FederationConfig {
   // §3.5.2 extension: use Feldman verifiable secret sharing instead of plain
   // Shamir (shares are validated individually, at extra CPU cost).
   bool use_verifiable_shares = false;
+
+  // Memoize successful bundle/directory signature verifications (the same
+  // signed artifact reaches a serving core several times: raced backup
+  // replies, resync re-fetches, TTL-refreshed directory entries). Bounds
+  // the per-network cache; 0 disables memoization. See crypto/verify_cache.h
+  // and the ablation bench.
+  std::size_t verify_cache_entries = 256;
 
   CostModel costs;
 };

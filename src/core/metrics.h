@@ -36,6 +36,8 @@ struct ServingMetrics {
   std::uint64_t backup_auths = 0;       // via backup networks
   std::uint64_t home_fallbacks = 0;     // home tried first, then backups
   std::uint64_t ue_rejected = 0;        // UE response hash mismatch
+  std::uint64_t signature_cache_hits = 0;    // verifications answered from cache
+  std::uint64_t signature_cache_misses = 0;  // full group-equation checks
 };
 
 }  // namespace dauth::core

@@ -51,7 +51,20 @@ ServingNetwork::ServingNetwork(sim::Rpc& rpc, sim::NodeIndex node, NetworkId id,
       signing_key_(signing_key),
       directory_(directory),
       config_(std::move(config)),
-      local_home_(local_home) {}
+      local_home_(local_home),
+      verify_cache_(config_.verify_cache_entries) {}
+
+ServingNetwork::SigCheck ServingNetwork::check_signature(
+    ByteView payload, const crypto::Ed25519Signature& signature,
+    const crypto::Ed25519PublicKey& signer) {
+  const auto result = verify_cache_.verify(payload, signature, signer);
+  if (result.cache_hit) {
+    ++metrics_.signature_cache_hits;
+    return {result.ok, config_.costs.signature_cache_hit};
+  }
+  ++metrics_.signature_cache_misses;
+  return {result.ok, config_.costs.signature_verify};
+}
 
 void ServingNetwork::bind_services() {
   rpc_.register_service(node_, "serving.attach_request",
@@ -318,9 +331,10 @@ void ServingNetwork::try_home_auth(const std::shared_ptr<Attach>& attach) {
           finish(attach, {false, AuthPath::kHomeOnline, {}, "malformed vector from home"});
           return;
         }
-        rpc_.network().node(node_).execute(config_.costs.signature_verify, [this, attach,
-                                                                            bundle] {
-          if (!bundle.verify(attach->home_entry->signing_key)) {
+        const SigCheck sig = check_signature(bundle.signed_payload(), bundle.home_signature,
+                                             attach->home_entry->signing_key);
+        rpc_.network().node(node_).execute(sig.cost, [this, attach, bundle, sig] {
+          if (!sig.ok) {
             finish(attach, {false, AuthPath::kHomeOnline, {}, "bad home signature"});
             return;
           }
@@ -411,11 +425,14 @@ void ServingNetwork::request_backup_vector(const std::shared_ptr<Attach>& attach
             racer_failed("malformed bundle");
             return;
           }
+          // Raced backups serve byte-identical flood bundles, so the losing
+          // racers' checks are usually answered by the verification cache.
+          const SigCheck sig = check_signature(bundle.signed_payload(), bundle.home_signature,
+                                               attach->home_entry->signing_key);
           rpc_.network().node(node_).execute(
-              config_.costs.signature_verify,
-              [this, attach, got_vector, racer_failed, bundle] {
+              sig.cost, [this, attach, got_vector, racer_failed, bundle, sig] {
                 if (attach->done || *got_vector) return;
-                if (!bundle.verify(attach->home_entry->signing_key)) {
+                if (!sig.ok) {
                   racer_failed("bad home signature");
                   return;
                 }
@@ -612,7 +629,7 @@ void ServingNetwork::handle_handover_context(ByteView request, sim::Responder re
                                                 target_id, responder](
                                                    std::optional<directory::NetworkEntry>
                                                        target) {
-    if (!target || !crypto::ed25519_verify(payload, signature, target->signing_key)) {
+    if (!target || !check_signature(payload, signature, target->signing_key).ok) {
       responder.fail("invalid target signature");
       return;
     }
@@ -736,7 +753,9 @@ void ServingNetwork::handle_auth_response(ByteView request, sim::Responder respo
               finish(attach, {false, AuthPath::kHomeOnline, {}, "bad resync vector"});
               return;
             }
-            if (!fresh.verify(attach->home_entry->signing_key)) {
+            if (!check_signature(fresh.signed_payload(), fresh.home_signature,
+                                 attach->home_entry->signing_key)
+                     .ok) {
               finish(attach, {false, AuthPath::kHomeOnline, {}, "bad resync signature"});
               return;
             }
@@ -915,15 +934,16 @@ void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
             share_rejected();
             return;
           }
+          const SigCheck sig = check_signature(bundle.signed_payload(), bundle.home_signature,
+                                               attach->home_entry->signing_key);
           const Time verify_cost =
-              config_.costs.signature_verify +
-              (config_.use_verifiable_shares ? config_.costs.feldman_verify_per_share
-                                             : Time{0});
+              sig.cost + (config_.use_verifiable_shares ? config_.costs.feldman_verify_per_share
+                                                        : Time{0});
           rpc_.network().node(node_).execute(
-              verify_cost, [this, attach, state, share_rejected, combine_shares, bundle] {
+              verify_cost, [this, attach, state, share_rejected, combine_shares, bundle, sig] {
                 --state->outstanding;
                 if (state->combined || attach->done) return;
-                if (!bundle.verify(attach->home_entry->signing_key)) {
+                if (!sig.ok) {
                   share_rejected();
                   return;
                 }

@@ -42,6 +42,7 @@
 #include "core/home_network.h"
 #include "core/messages.h"
 #include "core/metrics.h"
+#include "crypto/verify_cache.h"
 #include "directory/client.h"
 #include "sim/rpc.h"
 
@@ -107,6 +108,19 @@ class ServingNetwork {
   void collect_key_shares(const std::shared_ptr<Attach>& attach,
                           const crypto::ResStar& res_star);
   void finish(const std::shared_ptr<Attach>& attach, const AttachOutcome& outcome);
+
+  /// Outcome of a (possibly cache-answered) signature check plus the
+  /// simulated CPU cost the caller should charge for it.
+  struct SigCheck {
+    bool ok;
+    Time cost;
+  };
+  /// Runs `payload`'s signature through the verification cache, updating
+  /// the hit/miss metrics. Cost is signature_cache_hit on a hit and
+  /// signature_verify on a miss.
+  SigCheck check_signature(ByteView payload, const crypto::Ed25519Signature& signature,
+                           const crypto::Ed25519PublicKey& signer);
+
   bool home_reachable(const NetworkId& home) const;
   /// Fires an asynchronous liveness probe ("home.ping") so an expired
   /// "home is down" verdict is refreshed WITHOUT an in-line attach paying
@@ -143,6 +157,11 @@ class ServingNetwork {
   };
   std::map<NetworkId, HealthEntry> home_health_;
   Time health_ttl_ = sec(30);
+
+  // Memoizes successful bundle-signature verifications (raced backup
+  // replies and resync re-fetches re-verify byte-identical artifacts).
+  // Sized by FederationConfig::verify_cache_entries in the constructor.
+  crypto::VerifyCache verify_cache_;
 
   ServingMetrics metrics_;
 };

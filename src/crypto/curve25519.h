@@ -31,8 +31,13 @@ void fe_add(Fe& o, const Fe& a, const Fe& b) noexcept;
 void fe_sub(Fe& o, const Fe& a, const Fe& b) noexcept;
 void fe_mul(Fe& o, const Fe& a, const Fe& b) noexcept;
 void fe_sq(Fe& o, const Fe& a) noexcept;
-void fe_inv(Fe& o, const Fe& a) noexcept;       // a^(p-2)
+void fe_inv(Fe& o, const Fe& a) noexcept;       // a^(p-2), constant-time
 void fe_pow2523(Fe& o, const Fe& a) noexcept;   // a^((p-5)/8)
+
+/// Modular inverse via batched-divstep extended GCD (Bernstein-Yang).
+/// VARIABLE TIME -- public inputs only. ~3.5x faster than fe_inv; never use
+/// on the sign path, where even projective Z coordinates are secret-derived.
+void fe_inv_vartime(Fe& o, const Fe& a) noexcept;
 void fe_carry(Fe& o) noexcept;
 
 /// Constant-time conditional swap of a and b when bit == 1.
@@ -61,11 +66,55 @@ void ge_add(GroupElement& p, const GroupElement& q) noexcept;
 /// r = scalar * q; scalar is a 32-byte little-endian integer.
 void ge_scalarmult(GroupElement& r, const GroupElement& q, const ByteArray<32>& scalar) noexcept;
 
-/// r = scalar * B.
+/// r = scalar * B. Constant-time: signed windowed-comb over a precomputed
+/// table with cmov row scans (the scalar is a signing/commitment secret).
 void ge_scalarmult_base(GroupElement& r, const ByteArray<32>& scalar) noexcept;
+
+/// r = a * p + b * B via Strauss/Shamir joint w-NAF. VARIABLE TIME — use
+/// only with public inputs (signature verification; RFC 8032 verify inputs
+/// are all public).
+void ge_double_scalarmult_vartime(GroupElement& r, const ByteArray<32>& a, const GroupElement& p,
+                                  const ByteArray<32>& b) noexcept;
+
+/// Affine precomputed point (y+x, y-x, 2dxy) for 3-fe_mul mixed additions.
+struct GeNiels {
+  Fe yplusx, yminusx, xy2d;
+};
+
+/// Per-point window table for the Strauss A-side: odd multiples P, 3P, ...,
+/// 15P in affine Niels form. Building one costs the doubling chain plus a
+/// single batched vartime inversion, so it only pays off across repeated
+/// verifications under the same public key (the common federation pattern:
+/// thousands of bundle signatures from a handful of network signing keys).
+/// Public data only.
+struct DblScalarPrecomp {
+  GeNiels multiples[8];
+};
+
+/// Builds the A-side window table for p (public inputs only).
+void ge_dblscal_precompute(DblScalarPrecomp& pre, const GroupElement& p) noexcept;
+
+/// r = a * P + b * B where `pre` was built from P by ge_dblscal_precompute.
+/// VARIABLE TIME — public inputs only.
+void ge_double_scalarmult_vartime_pre(GroupElement& r, const ByteArray<32>& a,
+                                      const DblScalarPrecomp& pre,
+                                      const ByteArray<32>& b) noexcept;
+
+/// r = scalar * q via sliding-window NAF. VARIABLE TIME — public inputs only
+/// (e.g. Feldman commitment evaluation, where commitments and evaluation
+/// points are public).
+void ge_scalarmult_vartime(GroupElement& r, const GroupElement& q, const ByteArray<32>& scalar) noexcept;
+
+/// True iff the encoding's y coordinate is canonical (< 2^255 - 19).
+/// Variable time (encodings are public).
+bool ge_is_canonical(const ByteArray<32>& encoded) noexcept;
 
 /// Compressed 32-byte encoding (y with sign-of-x in the top bit).
 ByteArray<32> ge_pack(const GroupElement& p) noexcept;
+
+/// Same encoding via fe_inv_vartime. VARIABLE TIME -- public points only
+/// (signature verification's recomputed R).
+ByteArray<32> ge_pack_vartime(const GroupElement& p) noexcept;
 
 /// Decompresses an encoded point. Returns false for invalid encodings.
 /// If `negate` is true the x-coordinate is negated (as used by Ed25519

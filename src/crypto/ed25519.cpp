@@ -27,6 +27,44 @@ cv::Scalar reduce_digest(const Sha512Digest& digest) noexcept {
   return cv::scalar_reduce64(wide);
 }
 
+// Per-public-key verification memo. Decompressing A costs a ~250-squaring
+// modular square root and the Strauss A-side window table costs a doubling
+// chain plus a batched inversion -- together a large slice of the verify
+// budget -- and a federation core verifies thousands of bundle signatures
+// under a handful of long-lived network signing keys (docs/PERFORMANCE.md).
+// Everything cached is public (the key encoding and the window table built
+// from its decoded point), so no wiping is required, and the computation is
+// deterministic, so a hit changes no observable behaviour. Thread-local:
+// parallel bench sweeps and simulator threads never contend.
+struct UnpackMemoEntry {
+  Ed25519PublicKey encoded{};
+  cv::DblScalarPrecomp precomp{};
+  bool valid = false;
+};
+constexpr int kUnpackMemoSize = 4;
+thread_local UnpackMemoEntry t_unpack_memo[kUnpackMemoSize];
+thread_local int t_unpack_memo_next = 0;
+
+/// Window table for -A from a (canonical) public-key encoding, memoized.
+/// Returns nullptr for invalid encodings. The pointer is valid until the
+/// next memoized verification on this thread.
+const cv::DblScalarPrecomp* unpack_negated_memoized(const Ed25519PublicKey& public_key) {
+  for (const UnpackMemoEntry& entry : t_unpack_memo) {
+    // Public data: plain memcmp is fine (no timing concern).
+    if (entry.valid && std::memcmp(entry.encoded.data(), public_key.data(), 32) == 0) {
+      return &entry.precomp;
+    }
+  }
+  cv::GroupElement neg_a;
+  if (!cv::ge_unpack(neg_a, public_key, /*negate=*/true)) return nullptr;
+  UnpackMemoEntry& slot = t_unpack_memo[t_unpack_memo_next];
+  t_unpack_memo_next = (t_unpack_memo_next + 1) % kUnpackMemoSize;
+  slot.encoded = public_key;
+  cv::ge_dblscal_precompute(slot.precomp, neg_a);
+  slot.valid = true;
+  return &slot.precomp;
+}
+
 }  // namespace
 
 Ed25519KeyPair ed25519_keypair(const Ed25519Seed& seed) {
@@ -86,9 +124,15 @@ Ed25519Signature ed25519_sign(ByteView message, const Ed25519KeyPair& key_pair) 
 
 bool ed25519_verify(ByteView message, const Ed25519Signature& signature,
                     const Ed25519PublicKey& public_key) {
-  // Decode -A (negated so the check becomes R == s*B + k*(-A)).
-  cv::GroupElement neg_a;
-  if (!cv::ge_unpack(neg_a, public_key, /*negate=*/true)) return false;
+  // Reject non-canonical public-key encodings (y >= p) before decoding;
+  // ge_unpack reduces mod p and would otherwise accept them.
+  if (!cv::ge_is_canonical(public_key)) return false;
+
+  // Window table for -A (negated so the check becomes R == s*B + k*(-A)),
+  // memoized per thread: repeat verifications under the same key skip both
+  // the decode and the Strauss table build.
+  const cv::DblScalarPrecomp* neg_a_pre = unpack_negated_memoized(public_key);
+  if (neg_a_pre == nullptr) return false;
 
   ByteArray<32> r_enc;
   std::memcpy(r_enc.data(), signature.data(), 32);
@@ -113,13 +157,14 @@ bool ed25519_verify(ByteView message, const Ed25519Signature& signature,
   hk.update(message);
   const cv::Scalar k = reduce_digest(hk.finish());
 
+  // check = k*(-A) + s*B in one Strauss double-scalar multiplication.
+  // Variable time is fine here: every input to verification is public.
   cv::GroupElement check;
-  cv::ge_scalarmult(check, neg_a, k);  // k * (-A)
-  cv::GroupElement sb;
-  cv::ge_scalarmult_base(sb, s);  // s * B
-  cv::ge_add(check, sb);          // s*B + k*(-A)
+  cv::ge_double_scalarmult_vartime_pre(check, k, *neg_a_pre, s);
 
-  const ByteArray<32> packed = cv::ge_pack(check);
+  // A non-canonical R encoding can never match: the packed encoding is
+  // canonical. Variable-time pack: `check` is derived from public data.
+  const ByteArray<32> packed = cv::ge_pack_vartime(check);
   return ct_equal(packed, r_enc);
 }
 

@@ -121,7 +121,10 @@ bool feldman_verify(const FeldmanShare& share, const FeldmanCommitments& commitm
       cv::GroupElement commitment;
       if (!cv::ge_unpack(commitment, encoded, /*negate=*/false)) return false;
       cv::GroupElement term;
-      cv::ge_scalarmult(term, commitment, x_pow);
+      // Commitments and evaluation points are public (broadcast with the
+      // sharing), so the faster variable-time ladder is safe here; the
+      // share side (lhs) stays on the constant-time comb.
+      cv::ge_scalarmult_vartime(term, commitment, x_pow);
       cv::ge_add(rhs, term);
       x_pow = cv::scalar_mul(x_pow, x);
     }

@@ -60,23 +60,28 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
 
   std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
   std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t t;
 
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t t2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
+// One round with explicit variable roles: unrolling 8 rounds with rotated
+// arguments removes the 7 register shuffles per round of the naive loop.
+#define DAUTH_SHA256_ROUND(A, B, C, D, E, F, G, H, i)                       \
+  t = (H) + (rotr((E), 6) ^ rotr((E), 11) ^ rotr((E), 25)) +                \
+      (((E) & (F)) ^ (~(E) & (G))) + kK[(i)] + w[(i)];                      \
+  (D) += t;                                                                 \
+  (H) = t + (rotr((A), 2) ^ rotr((A), 13) ^ rotr((A), 22)) +                \
+        (((C) & ((A) ^ (B))) ^ ((A) & (B)))
+
+  for (int i = 0; i < 64; i += 8) {
+    DAUTH_SHA256_ROUND(a, b, c, d, e, f, g, h, i + 0);
+    DAUTH_SHA256_ROUND(h, a, b, c, d, e, f, g, i + 1);
+    DAUTH_SHA256_ROUND(g, h, a, b, c, d, e, f, i + 2);
+    DAUTH_SHA256_ROUND(f, g, h, a, b, c, d, e, i + 3);
+    DAUTH_SHA256_ROUND(e, f, g, h, a, b, c, d, i + 4);
+    DAUTH_SHA256_ROUND(d, e, f, g, h, a, b, c, i + 5);
+    DAUTH_SHA256_ROUND(c, d, e, f, g, h, a, b, i + 6);
+    DAUTH_SHA256_ROUND(b, c, d, e, f, g, h, a, i + 7);
   }
+#undef DAUTH_SHA256_ROUND
 
   state_[0] += a;
   state_[1] += b;
@@ -116,16 +121,20 @@ void Sha256::update(ByteView data) noexcept {
 }
 
 Sha256Digest Sha256::finish() noexcept {
+  // One-shot padding directly in the block buffer instead of feeding the
+  // pad through update() a byte at a time. (Zero loops, not memset: lint
+  // rule L5 reserves memset-shaped calls for secure_wipe.)
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t pad_byte = 0x80;
-  update(ByteView(&pad_byte, 1));
-  const std::uint8_t zero = 0x00;
-  while (buffer_len_ != 56) update(ByteView(&zero, 1));
-
-  std::uint8_t len_bytes[8];
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    for (std::size_t i = buffer_len_; i < 64; ++i) buffer_[i] = 0;
+    process_block(buffer_);
+    buffer_len_ = 0;
+  }
+  for (std::size_t i = buffer_len_; i < 56; ++i) buffer_[i] = 0;
   for (int i = 0; i < 8; ++i)
-    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
-  update(ByteView(len_bytes, 8));
+    buffer_[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  process_block(buffer_);
 
   Sha256Digest digest;
   for (int i = 0; i < 8; ++i) store_be32(digest.data() + 4 * i, state_[i]);

@@ -1,0 +1,64 @@
+#include "crypto/verify_cache.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace dauth::crypto {
+
+VerifyCache::VerifyCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+VerifyCache::Fingerprint VerifyCache::fingerprint(ByteView message,
+                                                 const Ed25519Signature& signature,
+                                                 const Ed25519PublicKey& public_key) {
+  // Hash the (bounded-size) message first so the outer input is fixed-width;
+  // domain-separate so a fingerprint can never be confused with any other
+  // sha256 use in the protocol.
+  const Sha256Digest msg_digest = sha256(message);
+  Sha256 h;
+  static constexpr char kDomain[] = "dauth-verify-cache-v1";
+  h.update(ByteView(reinterpret_cast<const std::uint8_t*>(kDomain), sizeof kDomain - 1));
+  h.update(public_key);
+  h.update(signature);
+  h.update(msg_digest);
+  return h.finish();
+}
+
+std::size_t VerifyCache::FingerprintHash::operator()(const Fingerprint& fp) const noexcept {
+  // The fingerprint is already a uniform digest: any 8 bytes make a hash.
+  std::size_t out;
+  std::memcpy(&out, fp.data(), sizeof out);
+  return out;
+}
+
+VerifyCache::Result VerifyCache::verify(ByteView message, const Ed25519Signature& signature,
+                                        const Ed25519PublicKey& public_key) {
+  if (max_entries_ == 0) {
+    return {ed25519_verify(message, signature, public_key), false};
+  }
+
+  const Fingerprint fp = fingerprint(message, signature, public_key);
+  if (verified_.count(fp) != 0) {
+    ++hits_;
+    return {true, true};
+  }
+  ++misses_;
+  const bool ok = ed25519_verify(message, signature, public_key);
+  if (ok) {
+    while (order_.size() >= max_entries_) {
+      verified_.erase(order_.front());
+      order_.pop_front();
+      ++evictions_;
+    }
+    verified_.insert(fp);
+    order_.push_back(fp);
+  }
+  return {ok, false};
+}
+
+void VerifyCache::clear() {
+  verified_.clear();
+  order_.clear();
+}
+
+}  // namespace dauth::crypto

@@ -7,7 +7,11 @@ namespace dauth::directory {
 
 DirectoryClient::DirectoryClient(sim::Rpc& rpc, sim::NodeIndex self,
                                  sim::NodeIndex directory_node, ClientConfig config)
-    : rpc_(rpc), self_(self), directory_node_(directory_node), config_(config) {}
+    : rpc_(rpc),
+      self_(self),
+      directory_node_(directory_node),
+      config_(config),
+      verify_cache_(config.verify_cache_entries) {}
 
 template <typename Entry>
 std::optional<Entry> DirectoryClient::cache_lookup(std::map<std::string, Cached<Entry>>& cache,
@@ -50,7 +54,9 @@ void DirectoryClient::get_network(const NetworkId& id, NetworkCallback callback)
           callback(std::nullopt);
           return;
         }
-        if (!entry.verify()) {
+        // Memoized: a TTL refresh normally returns the byte-identical entry.
+        if (!verify_cache_.verify(entry.signed_payload(), entry.signature, entry.signing_key)
+                 .ok) {
           callback(std::nullopt);  // tampered directory response
           return;
         }
@@ -85,7 +91,9 @@ void DirectoryClient::get_home(const Supi& supi, UserCallback callback) {
         // Verify against the home network's key (cached or fetched).
         get_network(entry.home_network, [this, entry, callback](
                                             std::optional<NetworkEntry> home) {
-          if (!home || !entry.verify(home->signing_key)) {
+          if (!home || !verify_cache_
+                            .verify(entry.signed_payload(), entry.signature, home->signing_key)
+                            .ok) {
             callback(std::nullopt);
             return;
           }
@@ -120,7 +128,10 @@ void DirectoryClient::get_backups(const NetworkId& home, BackupsCallback callbac
         }
         get_network(entry.home_network, [this, entry, callback](
                                             std::optional<NetworkEntry> home_net) {
-          if (!home_net || !entry.verify(home_net->signing_key)) {
+          if (!home_net ||
+              !verify_cache_
+                   .verify(entry.signed_payload(), entry.signature, home_net->signing_key)
+                   .ok) {
             callback(std::nullopt);
             return;
           }

@@ -12,6 +12,7 @@
 #include <map>
 #include <optional>
 
+#include "crypto/verify_cache.h"
 #include "directory/directory.h"
 
 namespace dauth::directory {
@@ -19,6 +20,10 @@ namespace dauth::directory {
 struct ClientConfig {
   Time cache_ttl = hours(1);
   Time lookup_timeout = sec(2);
+  // Memoize successful entry-signature verifications: after a TTL expiry
+  // the directory usually serves the byte-identical entry again, so the
+  // refresh skips the Ed25519 group equation. 0 disables.
+  std::size_t verify_cache_entries = 64;
 };
 
 class DirectoryClient {
@@ -50,6 +55,9 @@ class DirectoryClient {
   std::uint64_t cache_hits() const noexcept { return cache_hits_; }
   std::uint64_t cache_misses() const noexcept { return cache_misses_; }
 
+  /// Signature-verification memo stats (tests / benches).
+  const crypto::VerifyCache& verify_cache() const noexcept { return verify_cache_; }
+
  private:
   template <typename Entry>
   struct Cached {
@@ -72,6 +80,7 @@ class DirectoryClient {
   std::map<std::string, Cached<NetworkEntry>> network_cache_;
   std::map<std::string, Cached<UserEntry>> user_cache_;
   std::map<std::string, Cached<BackupsEntry>> backups_cache_;
+  crypto::VerifyCache verify_cache_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
 };

@@ -99,6 +99,95 @@ TEST(Ed25519, RejectsHighS) {
   EXPECT_FALSE(ed25519_verify(msg, sig, kp.public_key));
 }
 
+TEST(Ed25519, RejectsSJustAboveL) {
+  // The malleability check must catch every s in [L, 2^253), not just the
+  // high-byte cases: L+1 and L+2^128 differ from L only in low/middle bytes.
+  DeterministicDrbg rng("ed", 40);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = to_bytes(as_bytes("m"));
+  const auto good = ed25519_sign(msg, kp);
+  const Bytes l_bytes = from_hex(
+      "edd3f55c1a631258d69cf7a2def9de14"
+      "00000000000000000000000000000010");
+  for (int bump : {0, 1, 16}) {
+    auto sig = good;
+    for (int i = 0; i < 32; ++i) sig[32 + i] = l_bytes[i];
+    sig[32 + bump] += 1;  // L with one low/middle byte bumped: still >= L
+    EXPECT_FALSE(ed25519_verify(msg, sig, kp.public_key)) << "bump " << bump;
+  }
+}
+
+TEST(Ed25519, RejectsNonCanonicalPublicKey) {
+  // y >= p encodings decode to valid points after reduction mod p, but RFC
+  // 8032 requires rejecting them; ge_is_canonical gates the decode.
+  DeterministicDrbg rng("ed", 41);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = to_bytes(as_bytes("m"));
+  const auto sig = ed25519_sign(msg, kp);
+
+  // p = 2^255-19: encoding edff..ff7f. p+1 -> eeff..ff7f (y=1 after
+  // reduction, a valid low-order point); p+3 -> f0ff..ff7f.
+  for (const char* hex :
+       {"edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+        "eeffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+        "f0ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f"}) {
+    EXPECT_FALSE(ed25519_verify(msg, sig, array_from_hex<32>(hex))) << hex;
+  }
+}
+
+TEST(Ed25519, RejectsNonCanonicalR) {
+  // The verifier recomputes R' = s*B + k*(-A) and packs it canonically, so
+  // any non-canonical R encoding in the signature can never compare equal.
+  DeterministicDrbg rng("ed", 42);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = to_bytes(as_bytes("m"));
+  const auto sig = ed25519_sign(msg, kp);
+  const char* bad_r[] = {
+      // y = p (== 0 after reduction) and y = p+1 (== 1: the identity).
+      "edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+      "eeffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+  };
+  for (const char* hex : bad_r) {
+    auto forged = sig;
+    const auto r = array_from_hex<32>(hex);
+    for (int i = 0; i < 32; ++i) forged[i] = r[i];
+    EXPECT_FALSE(ed25519_verify(msg, forged, kp.public_key)) << hex;
+  }
+}
+
+TEST(Ed25519, IdentityAndLowOrderPublicKeys) {
+  // A real signature must never verify under the identity or a low-order
+  // public key: k*(-A) collapses to a small subgroup while s*B does not.
+  DeterministicDrbg rng("ed", 43);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = to_bytes(as_bytes("m"));
+  const auto sig = ed25519_sign(msg, kp);
+  const char* low_order[] = {
+      // identity (y = 1)
+      "0100000000000000000000000000000000000000000000000000000000000000",
+      // order-2 point (0, -1)
+      "ecffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+      // order-4 point (y = 0, x = sqrt(-1))
+      "0000000000000000000000000000000000000000000000000000000000000000",
+  };
+  for (const char* hex : low_order) {
+    EXPECT_FALSE(ed25519_verify(msg, sig, array_from_hex<32>(hex))) << hex;
+  }
+}
+
+TEST(Ed25519, RejectsZeroSignBitEncodingViolation) {
+  // x = 0 admits only the encoding with sign bit 0; the variant with the
+  // sign bit set must fail to decode (RFC 8032 §5.1.3 step 4).
+  DeterministicDrbg rng("ed", 44);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = to_bytes(as_bytes("m"));
+  const auto sig = ed25519_sign(msg, kp);
+  // y = 1 (identity) has x = 0: setting the sign bit makes it invalid.
+  auto bad = array_from_hex<32>(
+      "0100000000000000000000000000000000000000000000000000000000000080");
+  EXPECT_FALSE(ed25519_verify(msg, sig, bad));
+}
+
 TEST(Ed25519, SignaturesAreDeterministic) {
   DeterministicDrbg rng("ed", 5);
   const auto kp = ed25519_generate(rng);

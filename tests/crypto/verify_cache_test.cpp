@@ -1,0 +1,145 @@
+// Tests for the bounded verification memo (crypto/verify_cache.h): hit/miss
+// accounting, FIFO bounding + eviction, the disabled (0-entry) mode, and the
+// soundness property the design leans on — a tampered artifact must fail
+// verification even when an untampered sibling is sitting in the cache.
+#include "crypto/verify_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+
+namespace dauth::crypto {
+namespace {
+
+struct Signed {
+  Bytes msg;
+  Ed25519Signature sig;
+};
+
+Signed make_signed(const Ed25519KeyPair& kp, DeterministicDrbg& rng) {
+  Signed s;
+  s.msg = rng.bytes(64);
+  s.sig = ed25519_sign(s.msg, kp);
+  return s;
+}
+
+TEST(VerifyCache, HitAndMissAccounting) {
+  DeterministicDrbg rng("vc", 1);
+  const auto kp = ed25519_generate(rng);
+  const auto a = make_signed(kp, rng);
+  VerifyCache cache(16);
+
+  auto r1 = cache.verify(a.msg, a.sig, kp.public_key);
+  EXPECT_TRUE(r1.ok);
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  auto r2 = cache.verify(a.msg, a.sig, kp.public_key);
+  EXPECT_TRUE(r2.ok);
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);  // no duplicate entry
+}
+
+TEST(VerifyCache, FailuresAreNeverMemoized) {
+  DeterministicDrbg rng("vc", 2);
+  const auto kp = ed25519_generate(rng);
+  const auto a = make_signed(kp, rng);
+  auto bad = a.sig;
+  bad[5] ^= 0x20;
+  VerifyCache cache(16);
+
+  for (int i = 0; i < 3; ++i) {
+    const auto r = cache.verify(a.msg, bad, kp.public_key);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.cache_hit);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(VerifyCache, BoundedWithFifoEviction) {
+  DeterministicDrbg rng("vc", 3);
+  const auto kp = ed25519_generate(rng);
+  VerifyCache cache(4);
+
+  std::vector<Signed> artifacts;
+  for (int i = 0; i < 6; ++i) artifacts.push_back(make_signed(kp, rng));
+
+  for (const auto& a : artifacts) {
+    EXPECT_TRUE(cache.verify(a.msg, a.sig, kp.public_key).ok);
+    EXPECT_LE(cache.size(), 4u);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+
+  // FIFO: the two oldest fell out, the four newest still hit.
+  EXPECT_FALSE(cache.verify(artifacts[0].msg, artifacts[0].sig, kp.public_key).cache_hit);
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_TRUE(cache.verify(artifacts[i].msg, artifacts[i].sig, kp.public_key).cache_hit)
+        << "artifact " << i;
+  }
+}
+
+TEST(VerifyCache, ZeroEntriesDisablesMemoization) {
+  DeterministicDrbg rng("vc", 4);
+  const auto kp = ed25519_generate(rng);
+  const auto a = make_signed(kp, rng);
+  VerifyCache cache(0);
+
+  for (int i = 0; i < 2; ++i) {
+    const auto r = cache.verify(a.msg, a.sig, kp.public_key);
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.cache_hit);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.capacity(), 0u);
+}
+
+TEST(VerifyCache, TamperedSiblingFailsWhileOriginalIsCached) {
+  // The negative test the design demands: caching the untampered artifact
+  // must not open a path for a tampered variant (message, signature, or
+  // key changed) to ride the cache.
+  DeterministicDrbg rng("vc", 5);
+  const auto kp = ed25519_generate(rng);
+  const auto other = ed25519_generate(rng);
+  const auto a = make_signed(kp, rng);
+  VerifyCache cache(16);
+
+  ASSERT_TRUE(cache.verify(a.msg, a.sig, kp.public_key).ok);
+  ASSERT_TRUE(cache.verify(a.msg, a.sig, kp.public_key).cache_hit);
+
+  Bytes tampered_msg = a.msg;
+  tampered_msg[0] ^= 1;
+  EXPECT_FALSE(cache.verify(tampered_msg, a.sig, kp.public_key).ok);
+
+  auto tampered_sig = a.sig;
+  tampered_sig[40] ^= 1;
+  EXPECT_FALSE(cache.verify(a.msg, tampered_sig, kp.public_key).ok);
+
+  EXPECT_FALSE(cache.verify(a.msg, a.sig, other.public_key).ok);
+
+  // And the original still hits afterwards.
+  EXPECT_TRUE(cache.verify(a.msg, a.sig, kp.public_key).cache_hit);
+}
+
+TEST(VerifyCache, ClearDropsEntriesKeepsCounters) {
+  DeterministicDrbg rng("vc", 6);
+  const auto kp = ed25519_generate(rng);
+  const auto a = make_signed(kp, rng);
+  VerifyCache cache(8);
+
+  EXPECT_TRUE(cache.verify(a.msg, a.sig, kp.public_key).ok);
+  EXPECT_TRUE(cache.verify(a.msg, a.sig, kp.public_key).cache_hit);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_FALSE(cache.verify(a.msg, a.sig, kp.public_key).cache_hit);
+}
+
+}  // namespace
+}  // namespace dauth::crypto

@@ -7,7 +7,11 @@
 #      sanitizer builds spend minutes.
 #   2. ASan+UBSan build of everything, -Werror, full ctest suite
 #      (re-runs dauth_lint_check / dauth_taint_check plus their self-tests)
-#   3. TSan build, event-loop/simulator-facing tests only
+#   3. Bench smoke: one short deterministically-seeded fig6 sweep on the
+#      parallel harness under ASan (crypto hot path + thread pool + JSON
+#      reporter end to end)
+#   4. TSan build, event-loop/simulator-facing tests only (includes the
+#      bench_determinism_test thread-pool gate)
 #
 # Usage: tools/check.sh [--skip-tsan]
 # Build trees land in build-asan/ and build-tsan/ so the default build/ stays
@@ -26,23 +30,29 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/3] static analysis (dauth-lint + dauth-taint)"
+echo "==> [1/4] static analysis (dauth-lint + dauth-taint)"
 cmake -B build -S . > /dev/null
 cmake --build build -j "$JOBS" --target dauth_lint_cli dauth_taint_cli
 ./build/tools/dauth-lint --allowlist tools/lint_allowlist.txt src tools bench
 ./build/tools/dauth-taint --allowlist tools/taint_allowlist.txt src
 
-echo "==> [2/3] ASan+UBSan build + full test suite"
+echo "==> [2/4] ASan+UBSan build + full test suite"
 cmake -B build-asan -S . \
   -DDAUTH_SANITIZE="address;undefined" \
   -DDAUTH_WERROR=ON > /dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure
 
+echo "==> [3/4] bench smoke (short seeded parallel sweep under ASan)"
+DAUTH_BENCH_SMOKE=1 DAUTH_BENCH_THREADS=4 DAUTH_BENCH_OUT=build-asan \
+  ./build-asan/bench/fig6_threshold_sweep > build-asan/bench_smoke.txt
+grep -q '^quant,thresh' build-asan/bench_smoke.txt \
+  || { echo "bench smoke produced no rows" >&2; exit 1; }
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
-  echo "==> [3/3] TSan pass skipped (--skip-tsan)"
+  echo "==> [4/4] TSan pass skipped (--skip-tsan)"
 else
-  echo "==> [3/3] TSan build + event-loop/simulator tests"
+  echo "==> [4/4] TSan build + event-loop/simulator tests"
   cmake -B build-tsan -S . \
     -DDAUTH_SANITIZE="thread" \
     -DDAUTH_WERROR=ON > /dev/null

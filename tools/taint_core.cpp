@@ -1643,10 +1643,11 @@ std::vector<HandlerContract> default_contracts() {
        "opened to the source; the source enforces the signature check"},
       {"serving.handover_context",
        "ServingNetwork::handle_handover_context",
-       {"ed25519_verify"},
+       {"check_signature"},
        {"derive_handover_key", "guti_table_.erase"},
        "K_ho derivation and session retirement only for a signature-verified "
-       "target network (one handover per GUTI)"},
+       "target network (one handover per GUTI); check_signature wraps "
+       "ed25519_verify behind the verification cache"},
       {"serving.rrc_setup",
        "",
        {},
