@@ -1,5 +1,7 @@
 #include "harness.h"
 
+#include "sim/failure.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdarg>
@@ -82,6 +84,7 @@ struct DauthBench::Impl {
   std::unique_ptr<core::DauthNode> home_net;
   std::unique_ptr<core::DauthNode> serving_net;  // null when home_is_serving
   std::vector<std::unique_ptr<core::DauthNode>> backup_nets;
+  std::unique_ptr<sim::FailureInjector> injector;
   std::vector<std::unique_ptr<ran::Ue>> ues;
   std::unique_ptr<ran::LoadGenerator> generator;
 
@@ -147,6 +150,19 @@ struct DauthBench::Impl {
       // Pre-warm the health cache: steady-state backup-mode measurements
       // shouldn't include the one-time 800ms discovery timeout.
       if (serving_net) serving_net->serving().set_home_health(home_net->id(), false);
+    }
+
+    // Announced backup outages: the injector's liveness feed force-opens the
+    // circuits toward the dead nodes at outage start, so the resilience layer
+    // (when enabled) never burns a timeout discovering them.
+    if (opts.backup_outages > 0) {
+      injector = std::make_unique<sim::FailureInjector>(network, &rpc);
+      const std::size_t down = std::min(opts.backup_outages, backup_nets.size());
+      for (std::size_t i = 0; i < down; ++i) {
+        injector->schedule_outage(backup_nets[i]->node(),
+                                  simulator.now() + opts.outage_start,
+                                  opts.outage_duration);
+      }
     }
 
     // UE pool on the RAN site, attached to the serving core.

@@ -46,6 +46,15 @@ struct DauthOptions {
   bool home_is_serving = false;      // Fig. 3 "dAuth-home-online" (local)
   bool physical_ran = false;         // srsUE profile instead of UERANSIM
   bool connection_reuse = true;      // §5.1 optimization 1 (ablation toggle)
+  // Announced backup outages (resilience benches, docs/RESILIENCE.md): the
+  // first `backup_outages` backup networks go down `outage_start` after
+  // dissemination for `outage_duration`. The FailureInjector's liveness feed
+  // force-opens circuits toward them, so the resilience layer (when enabled)
+  // skips them instantly; with resilience disabled the load pays the
+  // discovery timeouts.
+  std::size_t backup_outages = 0;
+  Time outage_start = 0;
+  Time outage_duration = 0;
   std::uint64_t seed = 42;
 };
 

@@ -17,7 +17,8 @@ BackupNetwork::BackupNetwork(sim::Rpc& rpc, sim::NodeIndex node, NetworkId id,
       id_(std::move(id)),
       directory_(directory),
       config_(std::move(config)),
-      store_(store) {
+      store_(store),
+      report_stub_(rpc_, node_, "home.report") {
   if (store_ != nullptr) restore_from_store();
 }
 
@@ -99,7 +100,7 @@ void BackupNetwork::handle_store(ByteView request, sim::Responder responder) {
     req = StoreMaterialRequest::decode(request);
   } catch (const wire::WireError&) {
     ++metrics_.rejected_requests;
-    responder.fail("malformed store request");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed store request");
     return;
   }
 
@@ -111,7 +112,7 @@ void BackupNetwork::handle_store(ByteView request, sim::Responder responder) {
                                                std::optional<directory::NetworkEntry> home) {
     if (!home) {
       ++metrics_.rejected_requests;
-      responder.fail("unknown home network");
+      responder.fail(sim::AppErrorCode::kNotFound, "unknown home network");
       return;
     }
     const crypto::Ed25519PublicKey home_key = home->signing_key;
@@ -122,14 +123,14 @@ void BackupNetwork::handle_store(ByteView request, sim::Responder responder) {
       for (const AuthVectorBundle& vector : req.vectors) {
         if (!vector.verify(home_key)) {
           ++metrics_.rejected_requests;
-          responder.fail("invalid vector signature");
+          responder.fail(sim::AppErrorCode::kUnauthorized, "invalid vector signature");
           return;
         }
       }
       for (const KeyShareBundle& share : req.shares) {
         if (!share.verify(home_key)) {
           ++metrics_.rejected_requests;
-          responder.fail("invalid share signature");
+          responder.fail(sim::AppErrorCode::kUnauthorized, "invalid share signature");
           return;
         }
         // Verifiable-share extension: check the Feldman commitment so a
@@ -137,7 +138,7 @@ void BackupNetwork::handle_store(ByteView request, sim::Responder responder) {
         if (share.feldman_share && share.feldman_commitments &&
             !crypto::feldman_verify(*share.feldman_share, *share.feldman_commitments)) {
           ++metrics_.rejected_requests;
-          responder.fail("feldman share verification failed");
+          responder.fail(sim::AppErrorCode::kUnauthorized, "feldman share verification failed");
           return;
         }
       }
@@ -192,7 +193,7 @@ void BackupNetwork::handle_get_vector(ByteView request, sim::Responder responder
     req = GetVectorRequest::decode(request);
   } catch (const wire::WireError&) {
     ++metrics_.rejected_requests;
-    responder.fail("malformed request");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed request");
     return;
   }
 
@@ -222,7 +223,7 @@ void BackupNetwork::handle_get_vector(ByteView request, sim::Responder responder
       }
       if (supi.empty()) {
         ++metrics_.rejected_requests;
-        responder.fail("suci deconcealment failed");
+        responder.fail(sim::AppErrorCode::kUnauthorized, "suci deconcealment failed");
         return;
       }
     }
@@ -231,7 +232,7 @@ void BackupNetwork::handle_get_vector(ByteView request, sim::Responder responder
     for (auto& [id, user] : users_) {
       if (id.supi != supi) continue;
       if (user.vectors.empty()) {
-        responder.fail("no vectors remaining");
+        responder.fail(sim::AppErrorCode::kExhausted, "no vectors remaining");
         return;
       }
       const AuthVectorBundle bundle = user.vectors.front();
@@ -245,7 +246,7 @@ void BackupNetwork::handle_get_vector(ByteView request, sim::Responder responder
       return;
     }
     ++metrics_.rejected_requests;
-    responder.fail("user not backed up here");
+    responder.fail(sim::AppErrorCode::kNotFound, "user not backed up here");
   });
 }
 
@@ -255,7 +256,7 @@ void BackupNetwork::handle_get_share(ByteView request, sim::Responder responder)
     proof = UsageProof::decode(request);
   } catch (const wire::WireError&) {
     ++metrics_.rejected_requests;
-    responder.fail("malformed proof");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed proof");
     return;
   }
 
@@ -263,7 +264,7 @@ void BackupNetwork::handle_get_share(ByteView request, sim::Responder responder)
   // reveal RES*, proving the UE actually answered the challenge.
   if (!ct_equal(hxres_index(proof.res_star), proof.hxres_star)) {
     ++metrics_.rejected_requests;
-    responder.fail("res* preimage mismatch");
+    responder.fail(sim::AppErrorCode::kUnauthorized, "res* preimage mismatch");
     return;
   }
 
@@ -272,7 +273,7 @@ void BackupNetwork::handle_get_share(ByteView request, sim::Responder responder)
                                                         serving) {
     if (!serving || !proof.verify(serving->signing_key)) {
       ++metrics_.rejected_requests;
-      responder.fail("invalid serving signature");
+      responder.fail(sim::AppErrorCode::kUnauthorized, "invalid serving signature");
       return;
     }
     rpc_.network().node(node_).execute(config_.costs.share_fetch, [this, proof, responder] {
@@ -299,7 +300,7 @@ void BackupNetwork::handle_get_share(ByteView request, sim::Responder responder)
         return;
       }
       ++metrics_.rejected_requests;
-      responder.fail("no share for this vector");
+      responder.fail(sim::AppErrorCode::kNotFound, "no share for this vector");
     });
   });
 }
@@ -309,7 +310,7 @@ void BackupNetwork::handle_revoke_shares(ByteView request, sim::Responder respon
   try {
     req = RevokeSharesRequest::decode(request);
   } catch (const wire::WireError&) {
-    responder.fail("malformed revoke request");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed revoke request");
     return;
   }
 
@@ -318,12 +319,12 @@ void BackupNetwork::handle_revoke_shares(ByteView request, sim::Responder respon
   // unauthenticated revoke would be a share-deletion denial of service).
   const auto home_it = homes_.find(req.home_network);
   if (home_it == homes_.end()) {
-    responder.fail("unknown home network");
+    responder.fail(sim::AppErrorCode::kNotFound, "unknown home network");
     return;
   }
   if (!home_it->second.home_key_known || !req.verify(home_it->second.home_key)) {
     ++metrics_.rejected_requests;
-    responder.fail("invalid revoke signature");
+    responder.fail(sim::AppErrorCode::kUnauthorized, "invalid revoke signature");
     return;
   }
 
@@ -389,10 +390,20 @@ void BackupNetwork::report_now(const NetworkId& home) {
 
   directory_.get_network(home, [this, home, report](std::optional<directory::NetworkEntry> e) {
     if (!e) return;
+    // Reports already have an application-level retry loop (arm_report), so
+    // a single attempt per firing is enough even with resilience enabled;
+    // the breaker still short-circuits firings at a known-down home.
+    auto options = sim::RpcOptions::oneshot();
+    options.use_breaker = config_.resilience.enabled;
     // DAUTH_DISCLOSE(usage report carries spent RES* preimages back to the home network, §4.2.3)
-    rpc_.call(
-        node_, static_cast<sim::NodeIndex>(e->address), "home.report", report.encode(), {},
-        [this, home, count = report.proofs.size()](Bytes) {
+    report_stub_.call(
+        static_cast<sim::NodeIndex>(e->address), report, options,
+        [this, home, count = report.proofs.size()](CallResult<Ack> result) {
+          if (!result.ok()) {
+            // Home still down; keep the proofs and retry after an interval.
+            arm_report(home);
+            return;
+          }
           // Home acknowledged: clear exactly the proofs we sent.
           auto home_it = homes_.find(home);
           if (home_it == homes_.end()) return;
@@ -406,10 +417,6 @@ void BackupNetwork::report_now(const NetworkId& home) {
               store_->erase(key);
             }
           }
-        },
-        [this, home](sim::RpcError) {
-          // Home still down; keep the proofs and retry after an interval.
-          arm_report(home);
         });
   });
 }

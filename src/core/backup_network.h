@@ -17,6 +17,7 @@
 #include "core/config.h"
 #include "core/messages.h"
 #include "core/metrics.h"
+#include "core/typed_stub.h"
 #include "directory/client.h"
 #include "sim/rpc.h"
 #include "store/kv_store.h"
@@ -91,6 +92,8 @@ class BackupNetwork {
   directory::DirectoryClient& directory_;
   FederationConfig config_;
   store::KvStore* store_;
+
+  TypedStub<ReportRequest, Ack> report_stub_;
 
   std::map<UserKey, UserState> users_;
   std::map<NetworkId, HomeState> homes_;

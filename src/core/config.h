@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/time.h"
+#include "sim/resilience.h"
 
 namespace dauth::core {
 
@@ -58,6 +59,28 @@ struct CostModel {
   Time feldman_verify_per_share = ms(3);
 };
 
+/// Resilient-RPC knobs (docs/RESILIENCE.md). `enabled=false` reproduces the
+/// pre-resilience serving path exactly — single-shot RPCs, simultaneous
+/// `vector_race_width` racing, no breakers, no fast-fail — which is what the
+/// ablation benches compare against.
+struct ResilienceConfig {
+  bool enabled = true;
+  /// Retry schedule for idempotent federation calls (home vector/key/resync
+  /// fetches, GUTI + handover context lookups). Only kTimeout/kUnreachable
+  /// are retried; jitter comes from the sim RNG so runs stay reproducible.
+  sim::RetryPolicy retry;
+  /// Hedged backup fan-out: launch the GetVector to the next-best backup
+  /// after this delay instead of waiting out the full timeout; first success
+  /// wins, the losing legs are cancelled.
+  Time hedge_delay = ms(250);
+  /// Cap on hedged legs per vector fetch (including the primary).
+  std::size_t hedge_width = 4;
+  /// When fewer than `threshold` backups are breaker-reachable, fail the
+  /// attach immediately with a distinct outcome instead of burning the
+  /// full deadline on calls that cannot reach quorum.
+  bool fast_fail = true;
+};
+
 struct FederationConfig {
   // The federation-wide serving-network name. Community networks deploy
   // under a shared PLMN (e.g. the CBRS shared HNI 315-010), which is what
@@ -93,6 +116,9 @@ struct FederationConfig {
   // the per-network cache; 0 disables memoization. See crypto/verify_cache.h
   // and the ablation bench.
   std::size_t verify_cache_entries = 256;
+
+  // Retry/hedging/circuit-breaker policy for all federation RPC flows.
+  ResilienceConfig resilience;
 
   CostModel costs;
 };

@@ -23,7 +23,20 @@ HomeNetwork::HomeNetwork(sim::Rpc& rpc, sim::NodeIndex node, NetworkId id,
       suci_key_(suci_key),
       directory_(directory),
       config_(std::move(config)),
-      rng_(std::move(rng)) {}
+      rng_(std::move(rng)),
+      store_stub_(rpc_, node_, "backup.store"),
+      revoke_stub_(rpc_, node_, "backup.revoke_shares") {}
+
+sim::RpcOptions HomeNetwork::push_options() const {
+  if (!config_.resilience.enabled) {
+    auto options = sim::RpcOptions::oneshot();
+    options.use_breaker = false;
+    return options;
+  }
+  // Background pushes are idempotent (store/revoke are keyed by H(XRES*)),
+  // so retry freely inside a generous budget.
+  return sim::RpcOptions::durable(sec(10), config_.resilience.retry);
+}
 
 void HomeNetwork::provision_subscriber(const Supi& supi, const aka::SubscriberKeys& keys) {
   Subscriber subscriber;
@@ -162,10 +175,9 @@ void HomeNetwork::disseminate(const Supi& supi, std::function<void(std::size_t)>
           return;
         }
         // DAUTH_DISCLOSE(dissemination sends each backup its own share of K_seaf, §4.2.1)
-        rpc_.call(
-            node_, static_cast<sim::NodeIndex>(entry->address), "backup.store",
-            request.encode(), {}, [finish_one](Bytes) { finish_one(true); },
-            [finish_one](sim::RpcError) { finish_one(false); });
+        store_stub_.call(static_cast<sim::NodeIndex>(entry->address), request,
+                         push_options(),
+                         [finish_one](CallResult<Ack> result) { finish_one(result.ok()); });
       });
     }
   });
@@ -252,14 +264,14 @@ void HomeNetwork::handle_resync(ByteView request, sim::Responder responder) {
     r.expect_done();
   } catch (const wire::WireError&) {
     ++metrics_.rejected_requests;
-    responder.fail("malformed resync");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed resync");
     return;
   }
 
   auto it = subscribers_.find(supi);
   if (it == subscribers_.end()) {
     ++metrics_.rejected_requests;
-    responder.fail("unknown subscriber");
+    responder.fail(sim::AppErrorCode::kNotFound, "unknown subscriber");
     return;
   }
   Subscriber& subscriber = it->second;
@@ -274,7 +286,7 @@ void HomeNetwork::handle_resync(ByteView request, sim::Responder responder) {
                                        sqn_ms_bytes, resync_amf);
   if (!ct_equal(verify.mac_s, mac_s)) {
     ++metrics_.rejected_requests;
-    responder.fail("invalid auts mac");
+    responder.fail(sim::AppErrorCode::kUnauthorized, "invalid auts mac");
     return;
   }
 
@@ -285,7 +297,7 @@ void HomeNetwork::handle_resync(ByteView request, sim::Responder responder) {
                                                                        responder] {
     auto sub_it = subscribers_.find(supi);
     if (sub_it == subscribers_.end()) {
-      responder.fail("unknown subscriber");
+      responder.fail(sim::AppErrorCode::kNotFound, "unknown subscriber");
       return;
     }
     Subscriber& sub = sub_it->second;
@@ -313,7 +325,7 @@ void HomeNetwork::handle_get_vector(ByteView request, sim::Responder responder) 
     req = GetVectorRequest::decode(request);
   } catch (const wire::WireError&) {
     ++metrics_.rejected_requests;
-    responder.fail("malformed request");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed request");
     return;
   }
 
@@ -331,13 +343,13 @@ void HomeNetwork::handle_get_vector(ByteView request, sim::Responder responder) 
       const auto recovered = aka::deconceal_suci(suci, suci_key_.secret);
       if (!recovered) {
         ++metrics_.rejected_requests;
-        responder.fail("suci deconcealment failed");
+        responder.fail(sim::AppErrorCode::kUnauthorized, "suci deconcealment failed");
         return;
       }
       supi = *recovered;
     } catch (const wire::WireError&) {
       ++metrics_.rejected_requests;
-      responder.fail("malformed suci");
+      responder.fail(sim::AppErrorCode::kMalformed, "malformed suci");
       return;
     }
   }
@@ -345,7 +357,7 @@ void HomeNetwork::handle_get_vector(ByteView request, sim::Responder responder) 
   auto it = subscribers_.find(supi);
   if (it == subscribers_.end()) {
     ++metrics_.rejected_requests;
-    responder.fail("unknown subscriber");
+    responder.fail(sim::AppErrorCode::kNotFound, "unknown subscriber");
     return;
   }
 
@@ -353,7 +365,7 @@ void HomeNetwork::handle_get_vector(ByteView request, sim::Responder responder) 
   rpc_.network().node(node_).execute(config_.costs.vector_generation, [this, supi, responder] {
     auto sub_it = subscribers_.find(supi);
     if (sub_it == subscribers_.end()) {
-      responder.fail("unknown subscriber");
+      responder.fail(sim::AppErrorCode::kNotFound, "unknown subscriber");
       return;
     }
     Subscriber& subscriber = sub_it->second;
@@ -384,21 +396,21 @@ void HomeNetwork::handle_get_key(ByteView request, sim::Responder responder) {
     proof = UsageProof::decode(request);
   } catch (const wire::WireError&) {
     ++metrics_.rejected_requests;
-    responder.fail("malformed proof");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed proof");
     return;
   }
 
   auto it = subscribers_.find(proof.supi);
   if (it == subscribers_.end()) {
     ++metrics_.rejected_requests;
-    responder.fail("unknown subscriber");
+    responder.fail(sim::AppErrorCode::kNotFound, "unknown subscriber");
     return;
   }
 
   // The preimage check: H(RES*) must equal the index the key is filed under.
   if (!ct_equal(hxres_index(proof.res_star), proof.hxres_star)) {
     ++metrics_.rejected_requests;
-    responder.fail("res* preimage mismatch");
+    responder.fail(sim::AppErrorCode::kUnauthorized, "res* preimage mismatch");
     return;
   }
 
@@ -409,20 +421,20 @@ void HomeNetwork::handle_get_key(ByteView request, sim::Responder responder) {
                                                         serving) {
     if (!serving || !proof.verify(serving->signing_key)) {
       ++metrics_.rejected_requests;
-      responder.fail("invalid serving signature");
+      responder.fail(sim::AppErrorCode::kUnauthorized, "invalid serving signature");
       return;
     }
     rpc_.network().node(node_).execute(config_.costs.key_release, [this, proof, responder] {
       auto sub_it = subscribers_.find(proof.supi);
       if (sub_it == subscribers_.end()) {
-        responder.fail("unknown subscriber");
+        responder.fail(sim::AppErrorCode::kNotFound, "unknown subscriber");
         return;
       }
       const std::string index = to_hex(proof.hxres_star);
       auto pending_it = sub_it->second.pending_keys.find(index);
       if (pending_it == sub_it->second.pending_keys.end()) {
         ++metrics_.rejected_requests;
-        responder.fail("no pending key for proof");
+        responder.fail(sim::AppErrorCode::kNotFound, "no pending key for proof");
         return;
       }
       const crypto::Key256 k_seaf = pending_it->second;
@@ -441,7 +453,7 @@ void HomeNetwork::handle_report(ByteView request, sim::Responder responder) {
   try {
     report = ReportRequest::decode(request);
   } catch (const wire::WireError&) {
-    responder.fail("malformed report");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed report");
     return;
   }
 
@@ -501,8 +513,7 @@ void HomeNetwork::process_proof(const NetworkId& reporter, const UsageProof& pro
   for (const NetworkId& backup : backup_ids_) {
     directory_.get_network(backup, [this, revoke](std::optional<directory::NetworkEntry> e) {
       if (!e) return;
-      rpc_.call(node_, static_cast<sim::NodeIndex>(e->address), "backup.revoke_shares",
-                revoke.encode(), {}, nullptr, nullptr);
+      revoke_stub_.call(static_cast<sim::NodeIndex>(e->address), revoke, push_options(), {});
     });
   }
   subscriber.outstanding.erase(outstanding_it);
@@ -534,8 +545,8 @@ void HomeNetwork::replenish(const Supi& supi, const NetworkId& holder) {
                              [this, request](std::optional<directory::NetworkEntry> e) {
                                if (!e) return;
                                // DAUTH_DISCLOSE(replenishment sends each backup its own share of K_seaf, §4.2.1)
-                               rpc_.call(node_, static_cast<sim::NodeIndex>(e->address),
-                                         "backup.store", request.encode(), {}, nullptr, nullptr);
+                               store_stub_.call(static_cast<sim::NodeIndex>(e->address),
+                                                request, push_options(), {});
                              });
     }
   });
@@ -576,14 +587,12 @@ void HomeNetwork::revoke_backup(const NetworkId& revoked, std::function<void()> 
     // Order every remaining backup to delete the sibling shares.
     if (!revoke.hxres_indices.empty()) {
       for (const NetworkId& backup : backup_ids_) {
-        directory_.get_network(backup,
-                               [this, revoke](std::optional<directory::NetworkEntry> e) {
-                                 if (!e) return;
-                                 // DAUTH_DISCLOSE(replenishment sends each backup its own share of K_seaf, §4.2.1)
-                                 rpc_.call(node_, static_cast<sim::NodeIndex>(e->address),
-                                           "backup.revoke_shares", revoke.encode(), {}, nullptr,
-                                           nullptr);
-                               });
+        directory_.get_network(
+            backup, [this, revoke](std::optional<directory::NetworkEntry> e) {
+              if (!e) return;
+              revoke_stub_.call(static_cast<sim::NodeIndex>(e->address), revoke,
+                                push_options(), {});
+            });
       }
     }
 
@@ -600,14 +609,13 @@ void HomeNetwork::revoke_backup(const NetworkId& revoked, std::function<void()> 
         request.home_network = id_;
         request.vectors.push_back(material.vector);
         request.shares.push_back(material.shares[b]);
-        directory_.get_network(backup_ids_[b],
-                               [this, request](std::optional<directory::NetworkEntry> e) {
-                                 if (!e) return;
-                                 // DAUTH_DISCLOSE(replenishment sends each backup its own share of K_seaf, §4.2.1)
-                                 rpc_.call(node_, static_cast<sim::NodeIndex>(e->address),
-                                           "backup.store", request.encode(), {}, nullptr,
-                                           nullptr);
-                               });
+        directory_.get_network(
+            backup_ids_[b], [this, request](std::optional<directory::NetworkEntry> e) {
+              if (!e) return;
+              // DAUTH_DISCLOSE(flood dissemination sends each backup its own share of K_seaf, §4.3)
+              store_stub_.call(static_cast<sim::NodeIndex>(e->address), request,
+                               push_options(), {});
+            });
       }
     }
   }

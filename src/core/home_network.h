@@ -31,6 +31,7 @@
 #include "core/config.h"
 #include "core/messages.h"
 #include "core/metrics.h"
+#include "core/typed_stub.h"
 #include "directory/client.h"
 #include "sim/rpc.h"
 
@@ -145,6 +146,10 @@ class HomeNetwork {
   void replenish(const Supi& supi, const NetworkId& holder);
   int slice_of(const NetworkId& backup) const;
 
+  /// Options for background pushes to backups (dissemination, replenishment,
+  /// revocation): retrying when resilience is enabled, single-shot when not.
+  sim::RpcOptions push_options() const;
+
   sim::Rpc& rpc_;
   sim::NodeIndex node_;
   NetworkId id_;
@@ -153,6 +158,9 @@ class HomeNetwork {
   directory::DirectoryClient& directory_;
   FederationConfig config_;
   crypto::DeterministicDrbg rng_;
+
+  TypedStub<StoreMaterialRequest, Ack> store_stub_;
+  TypedStub<RevokeSharesRequest, Ack> revoke_stub_;
 
   std::map<Supi, Subscriber> subscribers_;
   std::vector<NetworkId> backup_ids_;

@@ -297,4 +297,104 @@ bool RevokeSharesRequest::verify(const crypto::Ed25519PublicKey& home_key) const
   return crypto::ed25519_verify(signed_payload(), home_signature, home_key);
 }
 
+// ---- Small typed-stub payloads ---------------------------------------------
+
+Bytes GutiResolveRequest::encode() const {
+  wire::Writer w;
+  w.u64(guti);
+  return std::move(w).take();
+}
+
+GutiResolveRequest GutiResolveRequest::decode(ByteView data) {
+  wire::Reader r(data);
+  GutiResolveRequest req;
+  req.guti = r.u64();
+  r.expect_done();
+  return req;
+}
+
+Bytes GutiResolveReply::encode() const {
+  wire::Writer w;
+  w.string(supi.str());
+  w.string(home.str());
+  return std::move(w).take();
+}
+
+GutiResolveReply GutiResolveReply::decode(ByteView data) {
+  wire::Reader r(data);
+  GutiResolveReply reply;
+  reply.supi = Supi(r.string());
+  reply.home = NetworkId(r.string());
+  r.expect_done();
+  return reply;
+}
+
+Bytes HandoverContextRequest::encode() const {
+  wire::Writer w;
+  w.bytes(payload);
+  w.fixed(signature);
+  return std::move(w).take();
+}
+
+HandoverContextRequest HandoverContextRequest::decode(ByteView data) {
+  wire::Reader r(data);
+  HandoverContextRequest req;
+  req.payload = r.bytes();
+  req.signature = r.fixed<64>();
+  r.expect_done();
+  return req;
+}
+
+Bytes HandoverContextReply::encode() const {
+  wire::Writer w;
+  w.string(supi.str());
+  w.string(home.str());
+  w.fixed(k_ho);  // DAUTH_DISCLOSE(K_ho handover key; only sent to a signature-verified target network, §4.4)
+  w.u32(counter);
+  return std::move(w).take();
+}
+
+HandoverContextReply HandoverContextReply::decode(ByteView data) {
+  wire::Reader r(data);
+  HandoverContextReply reply;
+  reply.supi = Supi(r.string());
+  reply.home = NetworkId(r.string());
+  reply.k_ho = r.fixed<32>();
+  reply.counter = r.u32();
+  r.expect_done();
+  return reply;
+}
+
+Bytes ResyncRequest::encode() const {
+  wire::Writer w;
+  w.string(supi.str());
+  w.fixed(rand);
+  w.fixed(sqn_ms_xor_ak_star);
+  w.fixed(mac_s);
+  return std::move(w).take();
+}
+
+ResyncRequest ResyncRequest::decode(ByteView data) {
+  wire::Reader r(data);
+  ResyncRequest req;
+  req.supi = Supi(r.string());
+  req.rand = r.fixed<16>();
+  req.sqn_ms_xor_ak_star = r.fixed<6>();
+  req.mac_s = r.fixed<8>();
+  r.expect_done();
+  return req;
+}
+
+Bytes KeyReply::encode() const {
+  // DAUTH_DISCLOSE(K_seaf release to the serving network that proved vector use, §4.2.2)
+  return to_bytes(ByteView(k_seaf));
+}
+
+KeyReply KeyReply::decode(ByteView data) {
+  if (data.size() != 32) throw wire::WireError("bad key reply size");
+  KeyReply reply;
+  reply.k_seaf = take<32>(data);
+  return reply;
+}
+
 }  // namespace dauth::core

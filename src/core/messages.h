@@ -129,4 +129,66 @@ struct RevokeSharesRequest {
   bool verify(const crypto::Ed25519PublicKey& home_key) const;
 };
 
+// ---- Small typed-stub payloads ---------------------------------------------
+// One (Request, Reply) struct pair per service keeps every call site on the
+// TypedStub path (core/typed_stub.h) instead of hand-rolled wire code.
+
+/// serving -> prior serving (§4.1): map a GUTI back to its subscriber.
+struct GutiResolveRequest {
+  std::uint64_t guti = 0;
+
+  Bytes encode() const;
+  static GutiResolveRequest decode(ByteView data);
+};
+
+struct GutiResolveReply {
+  Supi supi;
+  NetworkId home;
+
+  Bytes encode() const;
+  static GutiResolveReply decode(ByteView data);
+};
+
+/// target -> source serving (§7.4): signed handover-context fetch. The
+/// payload is the signed frame {guti, target id}; the signature proves the
+/// target's identity to the source before it releases K_ho.
+struct HandoverContextRequest {
+  Bytes payload;
+  crypto::Ed25519Signature signature{};
+
+  Bytes encode() const;
+  static HandoverContextRequest decode(ByteView data);
+};
+
+struct HandoverContextReply {
+  Supi supi;
+  NetworkId home;
+  crypto::Key256 k_ho{};
+  std::uint32_t counter = 0;
+
+  Bytes encode() const;
+  static HandoverContextReply decode(ByteView data);
+};
+
+/// serving -> home (TS 33.102 §6.3.5): AUTS-driven SQN resynchronisation.
+/// The home answers with a fresh AuthVectorBundle.
+struct ResyncRequest {
+  Supi supi;
+  crypto::Rand rand{};
+  ByteArray<6> sqn_ms_xor_ak_star{};
+  crypto::MacS mac_s{};
+
+  Bytes encode() const;
+  static ResyncRequest decode(ByteView data);
+};
+
+/// home -> serving: K_seaf released after a verified usage proof. Wire
+/// format is the raw 32 key bytes (unchanged from the pre-stub protocol).
+struct KeyReply {
+  crypto::Key256 k_seaf{};
+
+  Bytes encode() const;
+  static KeyReply decode(ByteView data);
+};
+
 }  // namespace dauth::core

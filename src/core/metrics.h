@@ -38,6 +38,13 @@ struct ServingMetrics {
   std::uint64_t ue_rejected = 0;        // UE response hash mismatch
   std::uint64_t signature_cache_hits = 0;    // verifications answered from cache
   std::uint64_t signature_cache_misses = 0;  // full group-equation checks
+  // Resilience substrate (docs/RESILIENCE.md):
+  std::uint64_t retries = 0;          // policy-layer attempt re-issues
+  std::uint64_t hedges_launched = 0;  // extra backup legs beyond the primary
+  std::uint64_t hedge_wins = 0;       // attaches won by a hedged (non-primary) leg
+  std::uint64_t breaker_opens = 0;    // circuits tripped closed -> open
+  std::uint64_t breaker_skips = 0;    // calls failed fast on an open circuit
+  std::uint64_t fast_failures = 0;    // attaches failed fast: reachable backups < threshold
 };
 
 }  // namespace dauth::core

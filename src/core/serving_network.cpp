@@ -52,7 +52,47 @@ ServingNetwork::ServingNetwork(sim::Rpc& rpc, sim::NodeIndex node, NetworkId id,
       directory_(directory),
       config_(std::move(config)),
       local_home_(local_home),
+      home_vector_stub_(rpc_, node_, "home.get_vector"),
+      home_resync_stub_(rpc_, node_, "home.resync"),
+      home_key_stub_(rpc_, node_, "home.get_key"),
+      backup_vector_stub_(rpc_, node_, "backup.get_vector"),
+      backup_share_stub_(rpc_, node_, "backup.get_share"),
+      guti_stub_(rpc_, node_, "serving.resolve_guti"),
+      handover_stub_(rpc_, node_, "serving.handover_context"),
+      home_ping_stub_(rpc_, node_, "home.ping"),
       verify_cache_(config_.verify_cache_entries) {}
+
+sim::RpcOptions ServingNetwork::policy_options(Time deadline) const {
+  if (!config_.resilience.enabled) {
+    auto options = sim::RpcOptions::oneshot(deadline);
+    options.use_breaker = false;
+    return options;
+  }
+  return sim::RpcOptions::durable(deadline, config_.resilience.retry);
+}
+
+sim::ResilienceObserver ServingNetwork::resilience_observer() {
+  return [this](sim::ResilienceEvent event) {
+    switch (event) {
+      case sim::ResilienceEvent::kRetry: ++metrics_.retries; break;
+      case sim::ResilienceEvent::kBreakerOpen: ++metrics_.breaker_opens; break;
+      case sim::ResilienceEvent::kBreakerSkip: ++metrics_.breaker_skips; break;
+      case sim::ResilienceEvent::kHalfOpenProbe: break;
+    }
+  };
+}
+
+std::size_t ServingNetwork::reachable_backups(
+    const std::vector<directory::NetworkEntry>& backups) const {
+  const Time now = rpc_.network().simulator().now();
+  std::size_t count = 0;
+  for (const directory::NetworkEntry& backup : backups) {
+    if (rpc_.breakers().available(node_, static_cast<sim::NodeIndex>(backup.address), now)) {
+      ++count;
+    }
+  }
+  return count;
+}
 
 ServingNetwork::SigCheck ServingNetwork::check_signature(
     ByteView payload, const crypto::Ed25519Signature& signature,
@@ -124,22 +164,17 @@ void ServingNetwork::probe_home(const NetworkId& home, sim::NodeIndex address) {
   // Only re-probe once the previous verdict has aged past the TTL.
   if (rpc_.network().simulator().now() - entry.observed_at <= health_ttl_) return;
   entry.probe_in_flight = true;
-  sim::RpcOptions options;
-  options.timeout = config_.home_auth_timeout;
-  rpc_.call(
-      node_, address, "home.ping", {}, options,
-      [this, home](Bytes) {
-        auto& e = home_health_[home];
-        e.probe_in_flight = false;
-        e.reachable = true;
-        e.observed_at = rpc_.network().simulator().now();
-      },
-      [this, home](sim::RpcError) {
-        auto& e = home_health_[home];
-        e.probe_in_flight = false;
-        e.reachable = false;
-        e.observed_at = rpc_.network().simulator().now();
-      });
+  // The health probe bypasses the breaker on purpose: it IS the recovery
+  // detector for the home-health cache, so it must reach the wire even while
+  // the circuit toward the home is open.
+  auto options = sim::RpcOptions::oneshot(config_.home_auth_timeout);
+  options.use_breaker = false;
+  home_ping_stub_.call(address, Ack{}, options, [this, home](CallResult<Ack> result) {
+    auto& e = home_health_[home];
+    e.probe_in_flight = false;
+    e.reachable = result.ok();
+    e.observed_at = rpc_.network().simulator().now();
+  });
 }
 
 void ServingNetwork::handle_attach_request(ByteView request, sim::Responder responder) {
@@ -159,13 +194,14 @@ void ServingNetwork::handle_attach_request(ByteView request, sim::Responder resp
     lte = r.u8() == 1;
     r.expect_done();
   } catch (const wire::WireError&) {
-    responder.fail("malformed attach request");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed attach request");
     return;
   }
   if (lte) {
     // This implementation's dAuth federation pre-generates 5G-AKA material
     // (see DESIGN.md); 4G devices are served by the baseline MME model.
-    responder.fail("lte not supported by this dauth deployment");
+    responder.fail(sim::AppErrorCode::kUnsupported,
+                   "lte not supported by this dauth deployment");
     return;
   }
 
@@ -316,21 +352,31 @@ void ServingNetwork::try_home_auth(const std::shared_ptr<Attach>& attach) {
   request.supi = attach->supi;
   request.suci = attach->suci;
 
-  sim::RpcOptions options;
-  options.timeout = config_.home_auth_timeout;
-  rpc_.call(
-      node_, static_cast<sim::NodeIndex>(attach->home_entry->address), "home.get_vector",
-      request.encode(), options,
-      [this, attach](Bytes reply) {
+  home_vector_stub_.call(
+      static_cast<sim::NodeIndex>(attach->home_entry->address), request,
+      policy_options(config_.home_auth_timeout),
+      [this, attach](CallResult<AuthVectorBundle> result) {
         if (attach->done) return;
-        set_home_health(attach->home, true);
-        AuthVectorBundle bundle;
-        try {
-          bundle = AuthVectorBundle::decode(reply);
-        } catch (const wire::WireError&) {
-          finish(attach, {false, AuthPath::kHomeOnline, {}, "malformed vector from home"});
+        if (!result.ok()) {
+          if (result.error().code == sim::RpcErrorCode::kBadReply) {
+            set_home_health(attach->home, true);  // it answered, just badly
+            finish(attach, {false, AuthPath::kHomeOnline, {}, "malformed vector from home"});
+            return;
+          }
+          // Transport failures mark the home down; an application rejection
+          // (kRejected) means the home is up — it just cannot serve this
+          // user. Either way the backup scheme is the remaining option.
+          if (result.error().retryable() ||
+              result.error().code == sim::RpcErrorCode::kCircuitOpen) {
+            set_home_health(attach->home, false);
+          }
+          ++metrics_.home_fallbacks;
+          attach->fell_back = true;
+          start_backup_auth(attach);
           return;
         }
+        set_home_health(attach->home, true);
+        const AuthVectorBundle& bundle = result.value();
         const SigCheck sig = check_signature(bundle.signed_payload(), bundle.home_signature,
                                              attach->home_entry->signing_key);
         rpc_.network().node(node_).execute(sig.cost, [this, attach, bundle, sig] {
@@ -342,14 +388,7 @@ void ServingNetwork::try_home_auth(const std::shared_ptr<Attach>& attach) {
           send_challenge(attach, bundle);
         });
       },
-      [this, attach](sim::RpcError) {
-        if (attach->done) return;
-        // Home unreachable: remember and fall back to the backup scheme.
-        set_home_health(attach->home, false);
-        ++metrics_.home_fallbacks;
-        attach->fell_back = true;
-        start_backup_auth(attach);
-      });
+      resilience_observer());
 }
 
 void ServingNetwork::start_backup_auth(const std::shared_ptr<Attach>& attach) {
@@ -369,9 +408,19 @@ void ServingNetwork::start_backup_auth(const std::shared_ptr<Attach>& attach) {
         if (--*remaining == 0) {
           if (attach->backups.empty()) {
             finish(attach, {false, AuthPath::kBackup, {}, "backups unresolvable"});
-          } else {
-            request_backup_vector(attach);
+            return;
           }
+          // Graceful degradation: key reconstruction needs `threshold` valid
+          // shares, so when the breakers say fewer than that many backups are
+          // even reachable the attach cannot succeed — fail in microseconds
+          // instead of burning the full RPC deadline discovering it.
+          if (config_.resilience.enabled && config_.resilience.fast_fail &&
+              reachable_backups(attach->backups) < config_.threshold) {
+            ++metrics_.fast_failures;
+            finish(attach, {false, AuthPath::kBackup, {}, "insufficient reachable backups"});
+            return;
+          }
+          request_backup_vector(attach);
         }
       });
     }
@@ -383,22 +432,42 @@ void ServingNetwork::request_backup_vector(const std::shared_ptr<Attach>& attach
   request.serving_network = id_;
   request.supi = attach->supi;
   request.suci = attach->suci;
-  const Bytes encoded = request.encode();
 
-  // §5.1 optimization 3: race the request against several random backups.
+  // §5.1 optimization 3 ordering: deterministic shuffle (sim RNG) spreads
+  // vector consumption across slices; with resilience on, breaker-available
+  // backups are then moved to the front so a known-down peer is never the
+  // primary leg.
   std::vector<std::size_t> order(attach->backups.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   auto& rng = rpc_.network().simulator().rng();
   for (std::size_t i = order.size(); i > 1; --i) {
     std::swap(order[i - 1], order[rng.next_below(i)]);
   }
+
+  if (!config_.resilience.enabled) {
+    race_backup_vector(attach, request, order);
+    return;
+  }
+  const Time now = rpc_.network().simulator().now();
+  std::stable_partition(order.begin(), order.end(), [&](std::size_t i) {
+    return rpc_.breakers().available(
+        node_, static_cast<sim::NodeIndex>(attach->backups[i].address), now);
+  });
+  hedge_backup_vector(attach, request, order);
+}
+
+/// Pre-resilience fan-out: `vector_race_width` simultaneous single-shot
+/// calls; first verified bundle wins, all-failed fails the attach.
+void ServingNetwork::race_backup_vector(const std::shared_ptr<Attach>& attach,
+                                        const GetVectorRequest& request,
+                                        const std::vector<std::size_t>& order) {
   const std::size_t race_width =
       std::max<std::size_t>(1, std::min(config_.vector_race_width, order.size()));
 
   auto got_vector = std::make_shared<bool>(false);
   auto failures = std::make_shared<std::size_t>(0);
-  sim::RpcOptions options;
-  options.timeout = config_.backup_auth_timeout;
+  auto options = sim::RpcOptions::oneshot(config_.backup_auth_timeout);
+  options.use_breaker = false;
 
   // A racer that errors, returns garbage, or fails signature verification
   // counts as a failure; when every racer has failed, the attach fails fast
@@ -413,18 +482,15 @@ void ServingNetwork::request_backup_vector(const std::shared_ptr<Attach>& attach
 
   for (std::size_t i = 0; i < race_width; ++i) {
     const directory::NetworkEntry& backup = attach->backups[order[i]];
-    rpc_.call(
-        node_, static_cast<sim::NodeIndex>(backup.address), "backup.get_vector", encoded,
-        options,
-        [this, attach, got_vector, racer_failed](Bytes reply) {
+    backup_vector_stub_.call(
+        static_cast<sim::NodeIndex>(backup.address), request, options,
+        [this, attach, got_vector, racer_failed](CallResult<AuthVectorBundle> result) {
           if (attach->done || *got_vector) return;  // a racer already won
-          AuthVectorBundle bundle;
-          try {
-            bundle = AuthVectorBundle::decode(reply);
-          } catch (const wire::WireError&) {
-            racer_failed("malformed bundle");
+          if (!result.ok()) {
+            racer_failed(result.error().message);
             return;
           }
+          const AuthVectorBundle& bundle = result.value();
           // Raced backups serve byte-identical flood bundles, so the losing
           // racers' checks are usually answered by the verification cache.
           const SigCheck sig = check_signature(bundle.signed_payload(), bundle.home_signature,
@@ -440,9 +506,92 @@ void ServingNetwork::request_backup_vector(const std::shared_ptr<Attach>& attach
                 attach->supi = bundle.supi;
                 send_challenge(attach, bundle);
               });
-        },
-        [racer_failed](sim::RpcError error) { racer_failed(error.message); });
+        });
   }
+}
+
+/// Hedged fan-out (resilience on): launch to the best backup, arm a hedge
+/// timer; if the leg is still pending after `hedge_delay` — or fails outright
+/// — promote the next-best backup. First verified bundle wins and cancels
+/// every losing leg, so a slow or silently-dead backup costs one hedge delay
+/// instead of a full timeout.
+void ServingNetwork::hedge_backup_vector(const std::shared_ptr<Attach>& attach,
+                                         const GetVectorRequest& request,
+                                         const std::vector<std::size_t>& order) {
+  const std::size_t width = std::max<std::size_t>(
+      1, std::min(config_.resilience.hedge_width, order.size()));
+
+  struct Hedge {
+    bool won = false;
+    std::size_t next = 0;         // next candidate (index into `order`)
+    std::size_t outstanding = 0;  // legs in flight
+    std::vector<sim::CallHandle> legs;
+    std::string last_error = "no candidates";
+    std::function<void()> launch;  // holds only a weak self-reference
+  };
+  auto state = std::make_shared<Hedge>();
+
+  // Per leg: single breaker-gated attempt. The ladder itself is the retry —
+  // a breaker skip resolves in the same tick, promoting the next backup for
+  // free (the "known-down backup skipped instantly" path).
+  const auto leg_options = sim::RpcOptions::oneshot(config_.backup_auth_timeout);
+
+  state->launch = [this, attach, weak = std::weak_ptr<Hedge>(state), request, leg_options,
+                   width, order] {
+    const auto hedge = weak.lock();
+    if (!hedge || attach->done || hedge->won) return;
+    if (hedge->next >= width) {
+      if (hedge->outstanding == 0) {
+        finish(attach,
+               {false, AuthPath::kBackup, {}, "no backup vector: " + hedge->last_error});
+      }
+      return;
+    }
+    const std::size_t leg = hedge->next++;
+    const directory::NetworkEntry& backup = attach->backups[order[leg]];
+    if (leg > 0) ++metrics_.hedges_launched;
+    ++hedge->outstanding;
+    hedge->legs.push_back(backup_vector_stub_.call(
+        static_cast<sim::NodeIndex>(backup.address), request, leg_options,
+        [this, attach, hedge, leg](CallResult<AuthVectorBundle> result) {
+          --hedge->outstanding;
+          if (attach->done || hedge->won) return;
+          if (!result.ok()) {
+            hedge->last_error = result.error().message;
+            hedge->launch();  // promote the next backup immediately
+            return;
+          }
+          const AuthVectorBundle& bundle = result.value();
+          const SigCheck sig = check_signature(bundle.signed_payload(), bundle.home_signature,
+                                               attach->home_entry->signing_key);
+          rpc_.network().node(node_).execute(
+              sig.cost, [this, attach, hedge, leg, bundle, sig] {
+                if (attach->done || hedge->won) return;
+                if (!sig.ok) {
+                  hedge->last_error = "bad home signature";
+                  hedge->launch();
+                  return;
+                }
+                hedge->won = true;
+                if (leg > 0) ++metrics_.hedge_wins;
+                for (const sim::CallHandle& loser : hedge->legs) loser.cancel();
+                attach->supi = bundle.supi;
+                send_challenge(attach, bundle);
+              });
+        },
+        resilience_observer()));
+    // Arm the hedge timer: if nothing else has advanced the ladder by then
+    // (a failure promotes instantly), launch the next-best backup anyway.
+    if (hedge->next < width) {
+      const std::size_t expected_next = hedge->next;
+      rpc_.network().simulator().after(
+          config_.resilience.hedge_delay, [attach, hedge, expected_next] {
+            if (attach->done || hedge->won || hedge->next != expected_next) return;
+            hedge->launch();
+          });
+    }
+  };
+  state->launch();
 }
 
 void ServingNetwork::resolve_foreign_guti(const std::shared_ptr<Attach>& attach,
@@ -454,24 +603,22 @@ void ServingNetwork::resolve_foreign_guti(const std::shared_ptr<Attach>& attach,
       request_identity(attach);
       return;
     }
-    wire::Writer w;
-    w.u64(value);
-    sim::RpcOptions options;
-    options.timeout = config_.home_auth_timeout;
-    rpc_.call(
-        node_, static_cast<sim::NodeIndex>(prior->address), "serving.resolve_guti",
-        std::move(w).take(), options,
-        [this, attach](Bytes reply) {
+    GutiResolveRequest lookup;
+    lookup.guti = value;
+    guti_stub_.call(
+        static_cast<sim::NodeIndex>(prior->address), lookup,
+        policy_options(config_.home_auth_timeout),
+        [this, attach](CallResult<GutiResolveReply> result) {
           if (attach->done) return;
-          try {
-            wire::Reader r(reply);
-            attach->supi = Supi(r.string());
-            attach->home = NetworkId(r.string());
-            r.expect_done();
-          } catch (const wire::WireError&) {
+          if (!result.ok()) {
+            // Prior serving network unreachable (or the GUTI is unknown
+            // there): §4.1 — "the serving network can request that the UE
+            // provide a long-lived identifier".
             request_identity(attach);
             return;
           }
+          attach->supi = result->supi;
+          attach->home = result->home;
           if (attach->home == id_ && local_home_ != nullptr) {
             start_local_auth(attach);
             return;
@@ -487,12 +634,7 @@ void ServingNetwork::resolve_foreign_guti(const std::shared_ptr<Attach>& attach,
                 try_home_auth(attach);
               });
         },
-        [this, attach](sim::RpcError) {
-          if (attach->done) return;
-          // Prior serving network unreachable: §4.1 — "the serving network
-          // can request that the UE provide a long-lived identifier".
-          request_identity(attach);
-        });
+        resilience_observer());
   });
 }
 
@@ -508,24 +650,22 @@ void ServingNetwork::request_identity(const std::shared_ptr<Attach>& attach) {
 }
 
 void ServingNetwork::handle_resolve_guti(ByteView request, sim::Responder responder) {
-  std::uint64_t value = 0;
+  GutiResolveRequest lookup;
   try {
-    wire::Reader r(request);
-    value = r.u64();
-    r.expect_done();
+    lookup = GutiResolveRequest::decode(request);
   } catch (const wire::WireError&) {
-    responder.fail("malformed guti lookup");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed guti lookup");
     return;
   }
-  const auto it = guti_table_.find(value);
+  const auto it = guti_table_.find(lookup.guti);
   if (it == guti_table_.end()) {
-    responder.fail("unknown guti");
+    responder.fail(sim::AppErrorCode::kNotFound, "unknown guti");
     return;
   }
-  wire::Writer w;
-  w.string(it->second.supi.str());
-  w.string(it->second.home.str());
-  responder.reply(std::move(w).take());
+  GutiResolveReply reply;
+  reply.supi = it->second.supi;
+  reply.home = it->second.home;
+  responder.reply(reply.encode());
 }
 
 void ServingNetwork::handle_handover_request(ByteView request, sim::Responder responder) {
@@ -539,7 +679,7 @@ void ServingNetwork::handle_handover_request(ByteView request, sim::Responder re
     guti_value = r.u64();
     r.expect_done();
   } catch (const wire::WireError&) {
-    responder.fail("malformed handover request");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed handover request");
     return;
   }
 
@@ -547,54 +687,39 @@ void ServingNetwork::handle_handover_request(ByteView request, sim::Responder re
                                                    std::optional<directory::NetworkEntry>
                                                        source) {
     if (!source) {
-      responder.fail("unknown source network");
+      responder.fail(sim::AppErrorCode::kNotFound, "unknown source network");
       return;
     }
     // Signed context request proves the target's identity to the source.
     wire::Writer w;
     w.u64(guti_value);
     w.string(id_.str());
-    const auto payload = std::move(w).take();
-    const auto signature = crypto::ed25519_sign(payload, signing_key_);
-    wire::Writer framed;
-    framed.bytes(payload);
-    framed.fixed(signature);
+    HandoverContextRequest context_request;
+    context_request.payload = std::move(w).take();
+    context_request.signature = crypto::ed25519_sign(context_request.payload, signing_key_);
 
-    sim::RpcOptions options;
-    options.timeout = config_.home_auth_timeout;
-    rpc_.call(
-        node_, static_cast<sim::NodeIndex>(source->address), "serving.handover_context",
-        std::move(framed).take(), options,
-        [this, responder](Bytes reply) {
-          Supi supi;
-          NetworkId home;
-          crypto::Key256 k_ho{};
-          std::uint32_t counter = 0;
-          try {
-            wire::Reader r(reply);
-            supi = Supi(r.string());
-            home = NetworkId(r.string());
-            k_ho = r.fixed<32>();
-            counter = r.u32();
-            r.expect_done();
-          } catch (const wire::WireError&) {
-            responder.fail("malformed handover context");
+    handover_stub_.call(
+        static_cast<sim::NodeIndex>(source->address), context_request,
+        policy_options(config_.home_auth_timeout),
+        [this, responder](CallResult<HandoverContextReply> result) {
+          if (!result.ok()) {
+            responder.fail(sim::AppErrorCode::kUpstream,
+                           "handover context fetch failed: " + result.error().message);
             return;
           }
           // Admit the session under a fresh GUTI anchored to K_ho.
           const std::uint64_t new_guti = next_guti_++;
-          guti_table_[new_guti] = GutiRecord{supi, home, k_ho, 0};
+          guti_table_[new_guti] =
+              GutiRecord{result->supi, result->home, result->k_ho, 0};
 
           wire::Writer out;
           out.string(id_.str());
           out.u64(new_guti);
-          out.u32(counter);
-          out.fixed(crypto::hmac_sha256(k_ho, as_bytes("dauth-ho")));
+          out.u32(result->counter);
+          out.fixed(crypto::hmac_sha256(result->k_ho, as_bytes("dauth-ho")));
           responder.reply(std::move(out).take());
         },
-        [responder](sim::RpcError error) {
-          responder.fail("handover context fetch failed: " + error.message);
-        });
+        resilience_observer());
   });
 }
 
@@ -615,13 +740,13 @@ void ServingNetwork::handle_handover_context(ByteView request, sim::Responder re
     target_id = pr.string();
     pr.expect_done();
   } catch (const wire::WireError&) {
-    responder.fail("malformed context request");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed context request");
     return;
   }
 
   const auto session_it = guti_table_.find(guti_value);
   if (session_it == guti_table_.end()) {
-    responder.fail("unknown session");
+    responder.fail(sim::AppErrorCode::kNotFound, "unknown session");
     return;
   }
 
@@ -630,25 +755,22 @@ void ServingNetwork::handle_handover_context(ByteView request, sim::Responder re
                                                    std::optional<directory::NetworkEntry>
                                                        target) {
     if (!target || !check_signature(payload, signature, target->signing_key).ok) {
-      responder.fail("invalid target signature");
+      responder.fail(sim::AppErrorCode::kUnauthorized, "invalid target signature");
       return;
     }
     auto live_session = guti_table_.find(guti_value);
     if (live_session == guti_table_.end()) {
-      responder.fail("unknown session");
+      responder.fail(sim::AppErrorCode::kNotFound, "unknown session");
       return;
     }
     GutiRecord& session = live_session->second;
-    const std::uint32_t counter = ++session.handover_counter;
-    const crypto::Key256 k_ho =
-        derive_handover_key(session.k_session, NetworkId(target_id), counter);
-
-    wire::Writer w;
-    w.string(session.supi.str());
-    w.string(session.home.str());
-    w.fixed(k_ho);  // DAUTH_DISCLOSE(K_ho handover key to the signature-verified target network, §4.4)
-    w.u32(counter);
-    responder.reply(std::move(w).take());
+    HandoverContextReply reply;
+    reply.supi = session.supi;
+    reply.home = session.home;
+    reply.counter = ++session.handover_counter;
+    reply.k_ho = derive_handover_key(session.k_session, NetworkId(target_id), reply.counter);
+    // DAUTH_DISCLOSE(K_ho handover key released to the signature-verified target network, §4.4)
+    responder.reply(reply.encode());
     // The session has moved; retire the local anchor (one handover per GUTI).
     guti_table_.erase(guti_value);
   });
@@ -689,13 +811,13 @@ void ServingNetwork::handle_auth_response(ByteView request, sim::Responder respo
     }
     r.expect_done();
   } catch (const wire::WireError&) {
-    responder.fail("malformed auth response");
+    responder.fail(sim::AppErrorCode::kMalformed, "malformed auth response");
     return;
   }
 
   const auto it = attaches_.find(attach_id);
   if (it == attaches_.end()) {
-    responder.fail("unknown attach id");
+    responder.fail(sim::AppErrorCode::kNotFound, "unknown attach id");
     return;
   }
   const std::shared_ptr<Attach> attach = it->second;
@@ -734,25 +856,25 @@ void ServingNetwork::handle_auth_response(ByteView request, sim::Responder respo
       return;
     }
     if (attach->path == AuthPath::kHomeOnline) {
-      wire::Writer w;
-      w.string(attach->supi.str());
-      w.fixed(attach->bundle.rand);
-      w.fixed(auts_sqn);
-      w.fixed(auts_mac);
-      sim::RpcOptions options;
-      options.timeout = config_.home_auth_timeout;
-      rpc_.call(
-          node_, static_cast<sim::NodeIndex>(attach->home_entry->address), "home.resync",
-          std::move(w).take(), options,
-          [this, attach, retry_with](Bytes reply) {
+      ResyncRequest resync;
+      resync.supi = attach->supi;
+      resync.rand = attach->bundle.rand;
+      resync.sqn_ms_xor_ak_star = auts_sqn;
+      resync.mac_s = auts_mac;
+      home_resync_stub_.call(
+          static_cast<sim::NodeIndex>(attach->home_entry->address), resync,
+          policy_options(config_.home_auth_timeout),
+          [this, attach, retry_with](CallResult<AuthVectorBundle> result) {
             if (attach->done) return;
-            AuthVectorBundle fresh;
-            try {
-              fresh = AuthVectorBundle::decode(reply);
-            } catch (const wire::WireError&) {
-              finish(attach, {false, AuthPath::kHomeOnline, {}, "bad resync vector"});
+            if (!result.ok()) {
+              const std::string reason =
+                  result.error().code == sim::RpcErrorCode::kBadReply
+                      ? "bad resync vector"
+                      : "resync failed: " + result.error().message;
+              finish(attach, {false, AuthPath::kHomeOnline, {}, reason});
               return;
             }
+            const AuthVectorBundle& fresh = result.value();
             if (!check_signature(fresh.signed_payload(), fresh.home_signature,
                                  attach->home_entry->signing_key)
                      .ok) {
@@ -761,11 +883,7 @@ void ServingNetwork::handle_auth_response(ByteView request, sim::Responder respo
             }
             retry_with(fresh);
           },
-          [this, attach](sim::RpcError error) {
-            if (attach->done) return;
-            finish(attach, {false, AuthPath::kHomeOnline, {},
-                            std::string("resync failed: ") + error.message});
-          });
+          resilience_observer());
       return;
     }
     // Backup path: the stale vector came from one backup's (possibly
@@ -827,30 +945,32 @@ void ServingNetwork::complete_with_home_key(const std::shared_ptr<Attach>& attac
   const UsageProof proof =
       make_proof(id_, nullptr, attach->supi, attach->bundle.hxres_star, res_star,
                  rpc_.network().simulator().now(), signing_key_);
-  sim::RpcOptions options;
-  options.timeout = config_.key_share_timeout;
   // DAUTH_DISCLOSE(usage proof releases the RES* preimage to redeem K_seaf, §4.2.2)
-  rpc_.call(
-      node_, static_cast<sim::NodeIndex>(attach->home_entry->address), "home.get_key",
-      proof.encode(), options,
-      [this, attach](Bytes reply) {
+  home_key_stub_.call(
+      static_cast<sim::NodeIndex>(attach->home_entry->address), proof,
+      policy_options(config_.key_share_timeout),
+      [this, attach](CallResult<KeyReply> result) {
         if (attach->done) return;
-        if (reply.size() != 32) {
-          finish(attach, {false, AuthPath::kHomeOnline, {}, "bad key from home"});
+        if (!result.ok()) {
+          if (result.error().code == sim::RpcErrorCode::kBadReply) {
+            finish(attach, {false, AuthPath::kHomeOnline, {}, "bad key from home"});
+            return;
+          }
+          if (result.error().retryable() ||
+              result.error().code == sim::RpcErrorCode::kCircuitOpen) {
+            set_home_health(attach->home, false);
+          }
+          finish(attach, {false, AuthPath::kHomeOnline, {},
+                          "home key fetch failed: " + result.error().message});
           return;
         }
         AttachOutcome outcome;
         outcome.success = true;
         outcome.path = AuthPath::kHomeOnline;
-        outcome.k_seaf = take<32>(reply);
+        outcome.k_seaf = result->k_seaf;
         finish(attach, outcome);
       },
-      [this, attach](sim::RpcError error) {
-        if (attach->done) return;
-        set_home_health(attach->home, false);
-        finish(attach, {false, AuthPath::kHomeOnline, {},
-                        std::string("home key fetch failed: ") + error.message});
-      });
+      resilience_observer());
 }
 
 void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
@@ -858,7 +978,32 @@ void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
   const UsageProof proof =
       make_proof(id_, nullptr, attach->supi, attach->bundle.hxres_star, res_star,
                  rpc_.network().simulator().now(), signing_key_);
-  const Bytes encoded = proof.encode();
+
+  // Resilience on: don't waste a broadcast leg (and a timeout) on a backup
+  // whose circuit is open — and if the reachable set cannot reach the share
+  // threshold at all, fail fast instead of discovering it the slow way.
+  std::vector<const directory::NetworkEntry*> targets;
+  targets.reserve(attach->backups.size());
+  if (config_.resilience.enabled) {
+    const Time now = rpc_.network().simulator().now();
+    for (const directory::NetworkEntry& backup : attach->backups) {
+      if (rpc_.breakers().available(node_, static_cast<sim::NodeIndex>(backup.address),
+                                    now)) {
+        targets.push_back(&backup);
+      } else {
+        ++metrics_.breaker_skips;
+      }
+    }
+    if (config_.resilience.fast_fail && targets.size() < config_.threshold) {
+      ++metrics_.fast_failures;
+      finish(attach, {false, AuthPath::kBackup, {}, "insufficient reachable backups"});
+      return;
+    }
+  } else {
+    for (const directory::NetworkEntry& backup : attach->backups) {
+      targets.push_back(&backup);
+    }
+  }
 
   struct CollectState {
     std::vector<KeyShareBundle> bundles;
@@ -866,10 +1011,13 @@ void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
     bool combined = false;
   };
   auto state = std::make_shared<CollectState>();
-  state->outstanding = attach->backups.size();
+  state->outstanding = targets.size();
 
-  sim::RpcOptions options;
-  options.timeout = config_.key_share_timeout;
+  // Single attempt per backup: the broadcast is already redundant (N legs
+  // for `threshold` shares), and a share fetch is not blindly retryable —
+  // the proof consumes server-side state.
+  auto options = sim::RpcOptions::oneshot(config_.key_share_timeout);
+  options.use_breaker = config_.resilience.enabled;
 
   // Fires whenever a backup leg concludes without contributing a share; if
   // every leg has concluded and we never reached the threshold, fail.
@@ -914,26 +1062,24 @@ void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
     });
   };
 
-  // §6.4: the proof is broadcast to ALL backups concurrently; the first
-  // `threshold` distinct valid shares reconstruct K_seaf.
-  for (const directory::NetworkEntry& backup : attach->backups) {
+  // §6.4: the proof is broadcast to ALL (reachable) backups concurrently;
+  // the first `threshold` distinct valid shares reconstruct K_seaf.
+  for (const directory::NetworkEntry* backup : targets) {
     // DAUTH_DISCLOSE(usage proof releases the RES* preimage to redeem key shares, §4.2.2)
-    rpc_.call(
-        node_, static_cast<sim::NodeIndex>(backup.address), "backup.get_share", encoded,
-        options,
-        [this, attach, state, share_rejected, combine_shares](Bytes reply) {
+    backup_share_stub_.call(
+        static_cast<sim::NodeIndex>(backup->address), proof, options,
+        [this, attach, state, share_rejected, combine_shares](
+            CallResult<KeyShareBundle> result) {
           if (state->combined || attach->done) {
             --state->outstanding;
             return;
           }
-          KeyShareBundle bundle;
-          try {
-            bundle = KeyShareBundle::decode(reply);
-          } catch (const wire::WireError&) {
+          if (!result.ok()) {
             --state->outstanding;
             share_rejected();
             return;
           }
+          const KeyShareBundle& bundle = result.value();
           const SigCheck sig = check_signature(bundle.signed_payload(), bundle.home_signature,
                                                attach->home_entry->signing_key);
           const Time verify_cost =
@@ -971,10 +1117,7 @@ void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
                 if (state->bundles.size() >= config_.threshold) combine_shares();
               });
         },
-        [state, share_rejected](sim::RpcError) {
-          --state->outstanding;
-          share_rejected();
-        });
+        resilience_observer());
   }
 }
 
@@ -1027,8 +1170,9 @@ void ServingNetwork::finish(const std::shared_ptr<Attach>& attach,
     attach->outcome_responder->reply(reply);
   } else if (attach->challenge_responder) {
     // Failed before the challenge was ever sent: fail the attach_request.
-    attach->challenge_responder->fail(outcome.failure.empty() ? "attach failed"
-                                                              : outcome.failure);
+    attach->challenge_responder->fail(
+        sim::AppErrorCode::kUpstream,
+        outcome.failure.empty() ? "attach failed" : outcome.failure);
   }
   attaches_.erase(attach->id);
 }

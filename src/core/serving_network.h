@@ -42,6 +42,7 @@
 #include "core/home_network.h"
 #include "core/messages.h"
 #include "core/metrics.h"
+#include "core/typed_stub.h"
 #include "crypto/verify_cache.h"
 #include "directory/client.h"
 #include "sim/rpc.h"
@@ -102,6 +103,12 @@ class ServingNetwork {
   void try_home_auth(const std::shared_ptr<Attach>& attach);
   void start_backup_auth(const std::shared_ptr<Attach>& attach);
   void request_backup_vector(const std::shared_ptr<Attach>& attach);
+  void race_backup_vector(const std::shared_ptr<Attach>& attach,
+                          const GetVectorRequest& request,
+                          const std::vector<std::size_t>& order);
+  void hedge_backup_vector(const std::shared_ptr<Attach>& attach,
+                           const GetVectorRequest& request,
+                           const std::vector<std::size_t>& order);
   void send_challenge(const std::shared_ptr<Attach>& attach, const AuthVectorBundle& bundle);
   void complete_with_home_key(const std::shared_ptr<Attach>& attach,
                               const crypto::ResStar& res_star);
@@ -127,6 +134,15 @@ class ServingNetwork {
   /// the discovery timeout.
   void probe_home(const NetworkId& home, sim::NodeIndex address);
 
+  /// Options for a federation call with overall budget `deadline`: retrying
+  /// + breaker-gated when resilience is enabled, the pre-resilience single
+  /// shot when it is not.
+  sim::RpcOptions policy_options(Time deadline) const;
+  /// Observer translating policy-layer events into ServingMetrics counters.
+  sim::ResilienceObserver resilience_observer();
+  /// How many of `backups` the circuit breakers would let us call right now.
+  std::size_t reachable_backups(const std::vector<directory::NetworkEntry>& backups) const;
+
   sim::Rpc& rpc_;
   sim::NodeIndex node_;
   NetworkId id_;
@@ -134,6 +150,17 @@ class ServingNetwork {
   directory::DirectoryClient& directory_;
   FederationConfig config_;
   HomeNetwork* local_home_;
+
+  // Typed stubs: one per federation service this role calls (the request /
+  // reply pairs live in core/messages.h).
+  TypedStub<GetVectorRequest, AuthVectorBundle> home_vector_stub_;
+  TypedStub<ResyncRequest, AuthVectorBundle> home_resync_stub_;
+  TypedStub<UsageProof, KeyReply> home_key_stub_;
+  TypedStub<GetVectorRequest, AuthVectorBundle> backup_vector_stub_;
+  TypedStub<UsageProof, KeyShareBundle> backup_share_stub_;
+  TypedStub<GutiResolveRequest, GutiResolveReply> guti_stub_;
+  TypedStub<HandoverContextRequest, HandoverContextReply> handover_stub_;
+  TypedStub<Ack, Ack> home_ping_stub_;
 
   std::uint64_t next_attach_id_ = 1;
   std::map<std::uint64_t, std::shared_ptr<Attach>> attaches_;

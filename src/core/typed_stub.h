@@ -1,0 +1,113 @@
+// Typed RPC stubs: the end of hand-rolled encode/decode at every call site.
+//
+// Each federation service speaks one (Request, Reply) pair of wire structs
+// (core/messages.h). TypedStub<Req, Rsp> binds a service name to that pair
+// once: callers pass a Req struct and receive a CallResult<Rsp> — either a
+// decoded reply or a structured sim::RpcError (with the handler's AppError
+// taxonomy when the peer rejected the request). Every call is routed
+// through Rpc::call_with_policy, so retry/backoff, deadline budgets and
+// per-peer circuit breakers (docs/RESILIENCE.md) apply uniformly instead of
+// being re-implemented five times.
+//
+// Req must provide `Bytes encode() const`; Rsp must provide
+// `static Rsp decode(ByteView)` throwing wire::WireError on malformed input
+// (which surfaces as RpcErrorCode::kBadReply — a transport-success,
+// protocol-failure outcome that is never retried blindly).
+//
+// Header-only on purpose: dauth_directory uses it without linking dauth_core.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "sim/rpc.h"
+#include "wire/reader.h"
+
+namespace dauth::core {
+
+/// Empty request/acknowledgement payload for services with no body.
+struct Ack {
+  Bytes encode() const { return {}; }
+  static Ack decode(ByteView) { return {}; }
+};
+
+/// Result of a typed call: a decoded reply or a structured error.
+template <typename Rsp>
+class CallResult {
+ public:
+  static CallResult success(Rsp value) {
+    CallResult result;
+    result.value_ = std::move(value);
+    return result;
+  }
+  static CallResult failure(sim::RpcError error) {
+    CallResult result;
+    result.error_ = std::move(error);
+    return result;
+  }
+
+  bool ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  Rsp& value() { return *value_; }
+  const Rsp& value() const { return *value_; }
+  Rsp* operator->() { return &*value_; }
+  const Rsp* operator->() const { return &*value_; }
+
+  const sim::RpcError& error() const { return *error_; }
+  /// The handler's structured rejection, when it sent one.
+  const std::optional<sim::AppError>& app_error() const { return error_->app; }
+
+ private:
+  CallResult() = default;
+  std::optional<Rsp> value_;
+  std::optional<sim::RpcError> error_;
+};
+
+template <typename Req, typename Rsp>
+class TypedStub {
+ public:
+  using Callback = std::function<void(CallResult<Rsp>)>;
+
+  TypedStub(sim::Rpc& rpc, sim::NodeIndex from, std::string service)
+      : rpc_(&rpc), from_(from), service_(std::move(service)) {}
+
+  const std::string& service() const noexcept { return service_; }
+
+  /// Encode, call via policy, decode. `callback` fires exactly once (unless
+  /// the returned handle is cancelled first).
+  sim::CallHandle call(sim::NodeIndex to, const Req& request,
+                       const sim::RpcOptions& options, Callback callback,
+                       sim::ResilienceObserver observer = {}) const {
+    return rpc_->call_with_policy(
+        from_, to, service_, request.encode(), options,
+        [callback, service = service_](Bytes reply) {
+          std::optional<Rsp> decoded;
+          try {
+            decoded = Rsp::decode(reply);
+          } catch (const wire::WireError& e) {
+            if (callback) {
+              callback(CallResult<Rsp>::failure(
+                  {sim::RpcErrorCode::kBadReply,
+                   "bad " + service + " reply: " + e.what(),
+                   {}}));
+            }
+            return;
+          }
+          if (callback) callback(CallResult<Rsp>::success(std::move(*decoded)));
+        },
+        [callback](sim::RpcError error) {
+          if (callback) callback(CallResult<Rsp>::failure(std::move(error)));
+        },
+        std::move(observer));
+  }
+
+ private:
+  sim::Rpc* rpc_;
+  sim::NodeIndex from_;
+  std::string service_;
+};
+
+}  // namespace dauth::core

@@ -1,7 +1,6 @@
 #include "directory/client.h"
 
-#include "wire/reader.h"
-#include "wire/writer.h"
+#include <utility>
 
 namespace dauth::directory {
 
@@ -11,7 +10,21 @@ DirectoryClient::DirectoryClient(sim::Rpc& rpc, sim::NodeIndex self,
       self_(self),
       directory_node_(directory_node),
       config_(config),
+      network_stub_(rpc_, self_, "dir.get_network"),
+      user_stub_(rpc_, self_, "dir.get_home"),
+      backups_stub_(rpc_, self_, "dir.get_backups"),
+      publish_stub_(rpc_, self_, "dir.set_backups"),
       verify_cache_(config.verify_cache_entries) {}
+
+sim::RpcOptions DirectoryClient::lookup_options() const {
+  if (config_.retry.max_attempts <= 1) {
+    // Pre-resilience single shot: no retry, no breaker gating.
+    auto options = sim::RpcOptions::oneshot(config_.lookup_timeout);
+    options.use_breaker = false;
+    return options;
+  }
+  return sim::RpcOptions::durable(config_.lookup_timeout, config_.retry);
+}
 
 template <typename Entry>
 std::optional<Entry> DirectoryClient::cache_lookup(std::map<std::string, Cached<Entry>>& cache,
@@ -40,20 +53,14 @@ void DirectoryClient::get_network(const NetworkId& id, NetworkCallback callback)
   }
   ++cache_misses_;
 
-  wire::Writer w;
-  w.string(id.str());
-  sim::RpcOptions options;
-  options.timeout = config_.lookup_timeout;
-  rpc_.call(
-      self_, directory_node_, "dir.get_network", std::move(w).take(), options,
-      [this, callback](Bytes reply) {
-        NetworkEntry entry;
-        try {
-          entry = NetworkEntry::decode(reply);
-        } catch (const wire::WireError&) {
+  network_stub_.call(
+      directory_node_, NameLookup{id.str()}, lookup_options(),
+      [this, callback](core::CallResult<NetworkEntry> result) {
+        if (!result.ok()) {
           callback(std::nullopt);
           return;
         }
+        NetworkEntry& entry = result.value();
         // Memoized: a TTL refresh normally returns the byte-identical entry.
         if (!verify_cache_.verify(entry.signed_payload(), entry.signature, entry.signing_key)
                  .ok) {
@@ -61,9 +68,8 @@ void DirectoryClient::get_network(const NetworkId& id, NetworkCallback callback)
           return;
         }
         cache_store(network_cache_, entry.id.str(), entry);
-        callback(entry);
-      },
-      [callback](sim::RpcError) { callback(std::nullopt); });
+        callback(std::move(entry));
+      });
 }
 
 void DirectoryClient::get_home(const Supi& supi, UserCallback callback) {
@@ -74,20 +80,14 @@ void DirectoryClient::get_home(const Supi& supi, UserCallback callback) {
   }
   ++cache_misses_;
 
-  wire::Writer w;
-  w.string(supi.str());
-  sim::RpcOptions options;
-  options.timeout = config_.lookup_timeout;
-  rpc_.call(
-      self_, directory_node_, "dir.get_home", std::move(w).take(), options,
-      [this, supi, callback](Bytes reply) {
-        UserEntry entry;
-        try {
-          entry = UserEntry::decode(reply);
-        } catch (const wire::WireError&) {
+  user_stub_.call(
+      directory_node_, NameLookup{supi.str()}, lookup_options(),
+      [this, callback](core::CallResult<UserEntry> result) {
+        if (!result.ok()) {
           callback(std::nullopt);
           return;
         }
+        const UserEntry entry = std::move(result.value());
         // Verify against the home network's key (cached or fetched).
         get_network(entry.home_network, [this, entry, callback](
                                             std::optional<NetworkEntry> home) {
@@ -100,8 +100,7 @@ void DirectoryClient::get_home(const Supi& supi, UserCallback callback) {
           cache_store(user_cache_, entry.supi.str(), entry);
           callback(entry);
         });
-      },
-      [callback](sim::RpcError) { callback(std::nullopt); });
+      });
 }
 
 void DirectoryClient::get_backups(const NetworkId& home, BackupsCallback callback) {
@@ -112,20 +111,14 @@ void DirectoryClient::get_backups(const NetworkId& home, BackupsCallback callbac
   }
   ++cache_misses_;
 
-  wire::Writer w;
-  w.string(home.str());
-  sim::RpcOptions options;
-  options.timeout = config_.lookup_timeout;
-  rpc_.call(
-      self_, directory_node_, "dir.get_backups", std::move(w).take(), options,
-      [this, callback](Bytes reply) {
-        BackupsEntry entry;
-        try {
-          entry = BackupsEntry::decode(reply);
-        } catch (const wire::WireError&) {
+  backups_stub_.call(
+      directory_node_, NameLookup{home.str()}, lookup_options(),
+      [this, callback](core::CallResult<BackupsEntry> result) {
+        if (!result.ok()) {
           callback(std::nullopt);
           return;
         }
+        const BackupsEntry entry = std::move(result.value());
         get_network(entry.home_network, [this, entry, callback](
                                             std::optional<NetworkEntry> home_net) {
           if (!home_net ||
@@ -138,23 +131,20 @@ void DirectoryClient::get_backups(const NetworkId& home, BackupsCallback callbac
           cache_store(backups_cache_, entry.home_network.str(), entry);
           callback(entry);
         });
-      },
-      [callback](sim::RpcError) { callback(std::nullopt); });
+      });
 }
 
 void DirectoryClient::publish_backups(const BackupsEntry& entry,
                                       std::function<void(bool)> done) {
-  sim::RpcOptions options;
-  options.timeout = config_.lookup_timeout;
-  rpc_.call(
-      self_, directory_node_, "dir.set_backups", entry.encode(), options,
-      [this, entry, done](Bytes) {
-        cache_store(backups_cache_, entry.home_network.str(), entry);
-        if (done) done(true);
-      },
-      [done](sim::RpcError) {
-        if (done) done(false);
-      });
+  publish_stub_.call(directory_node_, entry, lookup_options(),
+                     [this, entry, done](core::CallResult<core::Ack> result) {
+                       if (!result.ok()) {
+                         if (done) done(false);
+                         return;
+                       }
+                       cache_store(backups_cache_, entry.home_network.str(), entry);
+                       if (done) done(true);
+                     });
 }
 
 void DirectoryClient::invalidate() {

@@ -12,6 +12,7 @@
 #include <map>
 #include <optional>
 
+#include "core/typed_stub.h"
 #include "crypto/verify_cache.h"
 #include "directory/directory.h"
 
@@ -24,6 +25,11 @@ struct ClientConfig {
   // the directory usually serves the byte-identical entry again, so the
   // refresh skips the Ed25519 group equation. 0 disables.
   std::size_t verify_cache_entries = 64;
+  // Retry schedule for directory lookups. The default (single attempt)
+  // preserves the pre-resilience behavior; deployments that treat the
+  // directory as critical-path set e.g. RetryPolicy{} and lookup_timeout
+  // becomes the overall budget across attempts (docs/RESILIENCE.md).
+  sim::RetryPolicy retry = sim::RetryPolicy::none();
 };
 
 class DirectoryClient {
@@ -72,10 +78,18 @@ class DirectoryClient {
   void cache_store(std::map<std::string, Cached<Entry>>& cache, const std::string& key,
                    const Entry& entry);
 
+  /// Options for one directory round trip, honouring ClientConfig::retry.
+  sim::RpcOptions lookup_options() const;
+
   sim::Rpc& rpc_;
   sim::NodeIndex self_;
   sim::NodeIndex directory_node_;
   ClientConfig config_;
+
+  core::TypedStub<NameLookup, NetworkEntry> network_stub_;
+  core::TypedStub<NameLookup, UserEntry> user_stub_;
+  core::TypedStub<NameLookup, BackupsEntry> backups_stub_;
+  core::TypedStub<BackupsEntry, core::Ack> publish_stub_;
 
   std::map<std::string, Cached<NetworkEntry>> network_cache_;
   std::map<std::string, Cached<UserEntry>> user_cache_;

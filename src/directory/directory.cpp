@@ -12,6 +12,22 @@ constexpr std::string_view kBackupsPrefix = "dir/backups/";
 
 }  // namespace
 
+// ---- NameLookup -------------------------------------------------------------
+
+Bytes NameLookup::encode() const {
+  wire::Writer w;
+  w.string(name);
+  return std::move(w).take();
+}
+
+NameLookup NameLookup::decode(ByteView data) {
+  wire::Reader r(data);
+  NameLookup lookup;
+  lookup.name = r.string();
+  r.expect_done();
+  return lookup;
+}
+
 // ---- NetworkEntry -----------------------------------------------------------
 
 Bytes NetworkEntry::signed_payload() const {
@@ -219,59 +235,97 @@ std::optional<BackupsEntry> DirectoryServer::backups(const NetworkId& home) cons
 
 void DirectoryServer::bind(sim::Rpc& rpc, sim::NodeIndex node) {
   rpc.register_service(node, "dir.get_network", [this](ByteView req, sim::Responder r) {
-    wire::Reader reader(req);
-    const NetworkId id(reader.string());
+    NameLookup lookup;
+    try {
+      lookup = NameLookup::decode(req);
+    } catch (const wire::WireError&) {
+      r.fail(sim::AppErrorCode::kMalformed, "malformed lookup");
+      return;
+    }
+    const NetworkId id(lookup.name);
     const auto entry = network(id);
     if (!entry) {
-      r.fail("unknown network " + id.str());
+      r.fail(sim::AppErrorCode::kNotFound, "unknown network " + id.str());
       return;
     }
     r.reply(entry->encode());
   });
 
   rpc.register_service(node, "dir.get_home", [this](ByteView req, sim::Responder r) {
-    wire::Reader reader(req);
-    const Supi supi(reader.string());
-    const auto entry = user(supi);
+    NameLookup lookup;
+    try {
+      lookup = NameLookup::decode(req);
+    } catch (const wire::WireError&) {
+      r.fail(sim::AppErrorCode::kMalformed, "malformed lookup");
+      return;
+    }
+    const auto entry = user(Supi(lookup.name));
     if (!entry) {
-      r.fail("unknown user");
+      r.fail(sim::AppErrorCode::kNotFound, "unknown user");
       return;
     }
     r.reply(entry->encode());
   });
 
   rpc.register_service(node, "dir.get_backups", [this](ByteView req, sim::Responder r) {
-    wire::Reader reader(req);
-    const NetworkId home(reader.string());
+    NameLookup lookup;
+    try {
+      lookup = NameLookup::decode(req);
+    } catch (const wire::WireError&) {
+      r.fail(sim::AppErrorCode::kMalformed, "malformed lookup");
+      return;
+    }
+    const NetworkId home(lookup.name);
     const auto entry = backups(home);
     if (!entry) {
-      r.fail("no backups registered for " + home.str());
+      r.fail(sim::AppErrorCode::kNotFound, "no backups registered for " + home.str());
       return;
     }
     r.reply(entry->encode());
   });
 
   rpc.register_service(node, "dir.register_network", [this](ByteView req, sim::Responder r) {
-    if (register_network(NetworkEntry::decode(req))) {
+    NetworkEntry entry;
+    try {
+      entry = NetworkEntry::decode(req);
+    } catch (const wire::WireError&) {
+      r.fail(sim::AppErrorCode::kMalformed, "malformed network entry");
+      return;
+    }
+    if (register_network(entry)) {
       r.reply({});
     } else {
-      r.fail("invalid network entry signature");
+      r.fail(sim::AppErrorCode::kUnauthorized, "invalid network entry signature");
     }
   });
 
   rpc.register_service(node, "dir.register_user", [this](ByteView req, sim::Responder r) {
-    if (register_user(UserEntry::decode(req))) {
+    UserEntry entry;
+    try {
+      entry = UserEntry::decode(req);
+    } catch (const wire::WireError&) {
+      r.fail(sim::AppErrorCode::kMalformed, "malformed user entry");
+      return;
+    }
+    if (register_user(entry)) {
       r.reply({});
     } else {
-      r.fail("invalid user entry");
+      r.fail(sim::AppErrorCode::kUnauthorized, "invalid user entry");
     }
   });
 
   rpc.register_service(node, "dir.set_backups", [this](ByteView req, sim::Responder r) {
-    if (set_backups(BackupsEntry::decode(req))) {
+    BackupsEntry entry;
+    try {
+      entry = BackupsEntry::decode(req);
+    } catch (const wire::WireError&) {
+      r.fail(sim::AppErrorCode::kMalformed, "malformed backups entry");
+      return;
+    }
+    if (set_backups(entry)) {
       r.reply({});
     } else {
-      r.fail("invalid backups entry");
+      r.fail(sim::AppErrorCode::kUnauthorized, "invalid backups entry");
     }
   });
 }

@@ -28,6 +28,16 @@
 
 namespace dauth::directory {
 
+/// Request payload for the "dir.get_*" lookups: a bare name — a network id
+/// for get_network/get_backups, a SUPI for get_home. (Wire-compatible with
+/// the original raw length-prefixed string request.)
+struct NameLookup {
+  std::string name;
+
+  Bytes encode() const;
+  static NameLookup decode(ByteView data);
+};
+
 /// Self-signed descriptor of one federation member.
 struct NetworkEntry {
   NetworkId id;

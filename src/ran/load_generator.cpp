@@ -47,6 +47,7 @@ LoadResult LoadGenerator::run(double per_minute, Time duration, bool poisson) {
       }
       ++result->attempted;
       ue->attach([result](const AttachRecord& record) {
+        result->attempt_latencies.add_time(record.latency());
         if (record.success) {
           ++result->succeeded;
           result->latencies.add_time(record.latency());

@@ -18,6 +18,9 @@ namespace dauth::ran {
 
 struct LoadResult {
   SampleSet latencies;                // milliseconds, successful attaches
+  SampleSet attempt_latencies;        // milliseconds, ALL attempts — failures
+                                      // included, so timeout tails are visible
+                                      // (resilience benches, docs/RESILIENCE.md)
   std::size_t attempted = 0;
   std::size_t succeeded = 0;
   std::size_t failed = 0;

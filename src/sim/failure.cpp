@@ -11,7 +11,13 @@ void FailureInjector::schedule_outage(NodeIndex node, Time start, Time duration)
   auto& simulator = network_.simulator();
   simulator.at(start, [this, node] {
     network_.node(node).set_online(false);
-    if (rpc_ != nullptr) rpc_->reset_connections(node);
+    if (rpc_ != nullptr) {
+      rpc_->reset_connections(node);
+      // Liveness feed: open every circuit toward the failed node so policy
+      // callers skip it instantly instead of burning a timeout. Recovery is
+      // discovered by a half-open probe, not announced.
+      rpc_->breakers().force_open_peer(node, network_.simulator().now());
+    }
   });
   simulator.at(start + duration, [this, node] { network_.node(node).set_online(true); });
 }

@@ -1,5 +1,7 @@
 #include "sim/rpc.h"
 
+#include <algorithm>
+
 namespace dauth::sim {
 
 const char* to_string(RpcErrorCode code) noexcept {
@@ -8,8 +10,34 @@ const char* to_string(RpcErrorCode code) noexcept {
     case RpcErrorCode::kUnreachable: return "unreachable";
     case RpcErrorCode::kNoService: return "no-service";
     case RpcErrorCode::kRejected: return "rejected";
+    case RpcErrorCode::kCircuitOpen: return "circuit-open";
+    case RpcErrorCode::kBadReply: return "bad-reply";
   }
   return "unknown";
+}
+
+const char* to_string(AppErrorCode code) noexcept {
+  switch (code) {
+    case AppErrorCode::kUnspecified: return "unspecified";
+    case AppErrorCode::kMalformed: return "malformed";
+    case AppErrorCode::kUnauthorized: return "unauthorized";
+    case AppErrorCode::kNotFound: return "not-found";
+    case AppErrorCode::kExhausted: return "exhausted";
+    case AppErrorCode::kUnsupported: return "unsupported";
+    case AppErrorCode::kUpstream: return "upstream";
+  }
+  return "unknown";
+}
+
+void CallHandle::cancel() const {
+  if (!state_ || state_->cancelled || state_->settled) return;
+  state_->cancelled = true;
+  if (state_->abort) state_->abort();
+  state_->abort = nullptr;
+}
+
+bool CallHandle::active() const {
+  return state_ != nullptr && !state_->cancelled && !state_->settled;
 }
 
 struct Rpc::CallState {
@@ -18,14 +46,54 @@ struct Rpc::CallState {
   ReplyCallback on_reply;
   ErrorCallback on_error;
   bool done = false;
+  /// Set for plain call() handles only; policy runs track settlement in
+  /// their own control block. Weak: the control must not keep the state
+  /// (and thus the callbacks) alive past completion.
+  std::weak_ptr<CallHandle::Cancellable> control;
+};
+
+/// One policy-driven call: the surviving context across retry attempts.
+struct Rpc::PolicyState {
+  NodeIndex from;
+  NodeIndex to;
+  std::string service;
+  Bytes request;
+  RpcOptions options;
+  ReplyCallback on_reply;
+  ErrorCallback on_error;
+  ResilienceObserver observer;
+  std::shared_ptr<CallHandle::Cancellable> control;
+  Time start = 0;
+  int attempts_issued = 0;
+  bool probe = false;  // the in-flight attempt is a half-open breaker probe
+  /// Weak: the in-flight attempt is owned by its pending simulator events,
+  /// and its callbacks own this PolicyState — an owning pointer here would
+  /// close a shared_ptr cycle and leak both on cancel/teardown.
+  std::weak_ptr<CallState> current;
 };
 
 void Rpc::register_service(NodeIndex node, std::string service, ServiceHandler handler) {
   services_[{node, std::move(service)}] = std::move(handler);
 }
 
-void Rpc::call(NodeIndex from, NodeIndex to, const std::string& service, Bytes request,
-               const RpcOptions& options, ReplyCallback on_reply, ErrorCallback on_error) {
+CallHandle Rpc::call(NodeIndex from, NodeIndex to, const std::string& service, Bytes request,
+                     const RpcOptions& options, ReplyCallback on_reply,
+                     ErrorCallback on_error) {
+  auto state = start_call(from, to, service, std::move(request), options,
+                          std::move(on_reply), std::move(on_error));
+  auto control = std::make_shared<CallHandle::Cancellable>();
+  state->control = control;
+  control->abort = [weak = std::weak_ptr<CallState>(state)] {
+    if (auto s = weak.lock()) s->done = true;
+  };
+  return CallHandle(std::move(control));
+}
+
+std::shared_ptr<Rpc::CallState> Rpc::start_call(NodeIndex from, NodeIndex to,
+                                                const std::string& service, Bytes request,
+                                                const RpcOptions& options,
+                                                ReplyCallback on_reply,
+                                                ErrorCallback on_error) {
   ++calls_started_;
   auto state = std::make_shared<CallState>();
   state->from = from;
@@ -38,24 +106,24 @@ void Rpc::call(NodeIndex from, NodeIndex to, const std::string& service, Bytes r
   if (!network_.node(from).online()) {
     // Deliver the error asynchronously to keep callback ordering uniform.
     simulator.after(0, [this, state] {
-      finish_error(state, {RpcErrorCode::kUnreachable, "caller offline"});
+      finish_error(state, {RpcErrorCode::kUnreachable, "caller offline", {}});
     });
-    return;
+    return state;
   }
 
   // Client-side timeout covers handshake + request + service + response.
   simulator.after(options.timeout, [this, state] {
     if (!state->done) {
       ++calls_timed_out_;
-      finish_error(state, {RpcErrorCode::kTimeout, "rpc deadline exceeded"});
+      finish_error(state, {RpcErrorCode::kTimeout, "rpc deadline exceeded", {}});
     }
   });
 
   const bool reuse_allowed = config_.connection_reuse && !options.force_new_connection;
   const bool have_connection = reuse_allowed && connections_.contains({from, to});
   if (have_connection) {
-    send_request(from, to, service, std::move(request), std::move(state));
-    return;
+    send_request(from, to, service, std::move(request), state);
+    return state;
   }
 
   // Cold connection: pay handshake round trips, then remember the connection.
@@ -73,6 +141,128 @@ void Rpc::call(NodeIndex from, NodeIndex to, const std::string& service, Bytes r
                     if (reuse_allowed) connections_.insert({from, to});
                     send_request(from, to, service, std::move(request), std::move(state));
                   });
+  return state;
+}
+
+CallHandle Rpc::call_with_policy(NodeIndex from, NodeIndex to, const std::string& service,
+                                 Bytes request, const RpcOptions& options,
+                                 ReplyCallback on_reply, ErrorCallback on_error,
+                                 ResilienceObserver observer) {
+  auto state = std::make_shared<PolicyState>();
+  state->from = from;
+  state->to = to;
+  state->service = service;
+  state->request = std::move(request);
+  state->options = options;
+  state->on_reply = std::move(on_reply);
+  state->on_error = std::move(on_error);
+  state->observer = std::move(observer);
+  state->start = network_.simulator().now();
+  state->control = std::make_shared<CallHandle::Cancellable>();
+  // Weak: the control block must not keep the policy state (and its pending
+  // retries) alive — a run abandoned at end-of-simulation must still free.
+  state->control->abort = [this, weak = std::weak_ptr<PolicyState>(state)] {
+    auto s = weak.lock();
+    if (!s) return;
+    if (auto current = s->current.lock()) {
+      current->done = true;
+      // Release the attempt's callbacks now: they hold the only owning
+      // references to this PolicyState (and the caller's captures).
+      current->on_reply = nullptr;
+      current->on_error = nullptr;
+    }
+    if (s->probe && s->options.use_breaker) breakers_.abandon_probe(s->from, s->to);
+  };
+  attempt(state);
+  return CallHandle(state->control);
+}
+
+void Rpc::attempt(std::shared_ptr<PolicyState> state) {
+  if (state->control->cancelled || state->control->settled) return;
+  auto& simulator = network_.simulator();
+  const Time now = simulator.now();
+
+  state->probe = false;
+  if (state->options.use_breaker) {
+    const auto verdict = breakers_.admit(state->from, state->to, now);
+    if (!verdict.allowed) {
+      if (state->observer) state->observer(ResilienceEvent::kBreakerSkip);
+      // Fail fast, but deliver asynchronously like every other error path.
+      simulator.after(0, [this, state] {
+        settle_error(state, {RpcErrorCode::kCircuitOpen,
+                             "circuit open toward " + network_.node(state->to).name(),
+                             {}});
+      });
+      return;
+    }
+    if (verdict.probe) {
+      state->probe = true;
+      if (state->observer) state->observer(ResilienceEvent::kHalfOpenProbe);
+    }
+  }
+
+  // Carve this attempt's timeout from whatever deadline budget remains.
+  Time attempt_timeout = state->options.timeout;
+  if (state->options.deadline > 0) {
+    const Time remaining = state->options.deadline - (now - state->start);
+    if (remaining <= 0) {
+      simulator.after(0, [this, state] {
+        settle_error(state, {RpcErrorCode::kTimeout, "deadline budget exhausted", {}});
+      });
+      return;
+    }
+    attempt_timeout = std::min(attempt_timeout, remaining);
+  }
+
+  RpcOptions attempt_options = state->options;
+  attempt_options.timeout = attempt_timeout;
+  ++state->attempts_issued;
+
+  state->current = start_call(
+      state->from, state->to, state->service, state->request, attempt_options,
+      [this, state](Bytes reply) {
+        if (state->control->cancelled || state->control->settled) return;
+        if (state->options.use_breaker) breakers_.on_success(state->from, state->to);
+        state->control->settled = true;
+        state->control->abort = nullptr;
+        if (state->on_reply) state->on_reply(std::move(reply));
+      },
+      [this, state](RpcError error) {
+        if (state->control->cancelled || state->control->settled) return;
+        const Time at = network_.simulator().now();
+        if (state->options.use_breaker) {
+          if (error.retryable()) {
+            if (breakers_.on_failure(state->from, state->to, at) && state->observer) {
+              state->observer(ResilienceEvent::kBreakerOpen);
+            }
+          } else {
+            // The peer answered (rejection / NACK): transport is healthy.
+            breakers_.on_success(state->from, state->to);
+          }
+        }
+        if (error.retryable() &&
+            state->attempts_issued < state->options.retry.max_attempts) {
+          const Time delay = backoff_delay(state->options.retry, state->attempts_issued,
+                                           network_.simulator().rng());
+          const bool budget_left =
+              state->options.deadline <= 0 ||
+              state->options.deadline - (at - state->start) > delay;
+          if (budget_left) {
+            ++retries_;
+            if (state->observer) state->observer(ResilienceEvent::kRetry);
+            network_.simulator().after(delay, [this, state] { attempt(state); });
+            return;
+          }
+        }
+        settle_error(state, std::move(error));
+      });
+}
+
+void Rpc::settle_error(const std::shared_ptr<PolicyState>& state, RpcError error) {
+  if (state->control->cancelled || state->control->settled) return;
+  state->control->settled = true;
+  state->control->abort = nullptr;
+  if (state->on_error) state->on_error(std::move(error));
 }
 
 void Rpc::send_request(NodeIndex from, NodeIndex to, const std::string& service, Bytes request,
@@ -86,7 +276,7 @@ void Rpc::send_request(NodeIndex from, NodeIndex to, const std::string& service,
     if (handler_it == services_.end()) {
       // A NACK still crosses the network back to the caller.
       network_.send(to, from, 64, [this, state, service] {
-        finish_error(state, {RpcErrorCode::kNoService, "no handler for " + service});
+        finish_error(state, {RpcErrorCode::kNoService, "no handler for " + service, {}});
       });
       return;
     }
@@ -96,14 +286,15 @@ void Rpc::send_request(NodeIndex from, NodeIndex to, const std::string& service,
         config_.server_base_cost,
         [this, from, to, handler = &handler_it->second, request = std::move(request), state] {
           auto reply_fn = std::make_shared<Responder::ReplyFn>(
-              [this, from, to, state](Bytes reply, bool is_error, std::string reason) {
+              [this, from, to, state](Bytes reply, bool is_error, AppError app) {
                 const std::size_t reply_size = reply.size() + 64;
                 network_.send(to, from, reply_size,
                               [this, state, reply = std::move(reply), is_error,
-                               reason = std::move(reason)]() mutable {
+                               app = std::move(app)]() mutable {
                                 if (is_error) {
-                                  finish_error(state,
-                                               {RpcErrorCode::kRejected, std::move(reason)});
+                                  std::string message = app.detail;
+                                  finish_error(state, {RpcErrorCode::kRejected,
+                                                       std::move(message), std::move(app)});
                                 } else {
                                   finish_ok(state, std::move(reply));
                                 }
@@ -118,13 +309,29 @@ void Rpc::finish_ok(const std::shared_ptr<CallState>& state, Bytes reply) {
   if (state->done) return;
   state->done = true;
   ++calls_succeeded_;
-  if (state->on_reply) state->on_reply(std::move(reply));
+  if (auto control = state->control.lock()) {
+    control->settled = true;
+    control->abort = nullptr;
+  }
+  // Move the callback out and drop both before invoking: a policy attempt's
+  // callbacks own their PolicyState, which must not outlive settlement.
+  auto on_reply = std::move(state->on_reply);
+  state->on_reply = nullptr;
+  state->on_error = nullptr;
+  if (on_reply) on_reply(std::move(reply));
 }
 
 void Rpc::finish_error(const std::shared_ptr<CallState>& state, RpcError error) {
   if (state->done) return;
   state->done = true;
-  if (state->on_error) state->on_error(std::move(error));
+  if (auto control = state->control.lock()) {
+    control->settled = true;
+    control->abort = nullptr;
+  }
+  auto on_error = std::move(state->on_error);
+  state->on_reply = nullptr;
+  state->on_error = nullptr;
+  if (on_error) on_error(std::move(error));
 }
 
 void Rpc::reset_connections(NodeIndex node) {

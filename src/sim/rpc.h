@@ -7,53 +7,125 @@
 // server-side queueing (via Node::execute) and client-side timeouts.
 // Handlers are asynchronous: a server may issue further RPCs (e.g. a
 // serving network fanning out to backup networks) before responding.
+//
+// On top of the single-shot `call` path sits the resilience substrate
+// (docs/RESILIENCE.md): `call_with_policy` drives retries with
+// deterministic jittered backoff inside an overall deadline budget, and
+// consults per-peer circuit breakers (sim/resilience.h) so known-down
+// peers fail fast instead of burning a timeout.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 
 #include "common/bytes.h"
 #include "sim/network.h"
+#include "sim/resilience.h"
 
 namespace dauth::sim {
 
+/// Transport-level outcome of a call. Only kTimeout / kUnreachable are
+/// idempotent-safe to retry; kRejected is an authoritative application
+/// answer and is never retried.
 enum class RpcErrorCode {
   kTimeout,      // no response within the deadline
   kUnreachable,  // caller offline / link refused
   kNoService,    // no handler registered at the destination
-  kRejected,     // application-level failure sent by the handler
+  kRejected,     // application-level failure sent by the handler (see AppError)
+  kCircuitOpen,  // failed fast: the peer's circuit breaker is open
+  kBadReply,     // reply arrived but could not be decoded (typed stubs)
+};
+
+/// Application-level failure taxonomy, carried inside kRejected replies so
+/// callers branch on a code instead of string-matching error messages.
+enum class AppErrorCode {
+  kUnspecified,   // legacy free-text rejection
+  kMalformed,     // request failed to decode
+  kUnauthorized,  // signature / proof / constant-time check failed
+  kNotFound,      // unknown user, network, GUTI, or context
+  kExhausted,     // resource depleted (e.g. no vectors left for the user)
+  kUnsupported,   // recognized but unserviceable request (e.g. revoked epoch)
+  kUpstream,      // the handler's own dependency failed
+};
+
+struct AppError {
+  AppErrorCode code = AppErrorCode::kUnspecified;
+  std::string detail;
 };
 
 struct RpcError {
   RpcErrorCode code;
   std::string message;
+  /// Present iff code == kRejected: the handler's structured failure.
+  std::optional<AppError> app;
+
+  /// Safe to retry? Only transient transport failures qualify.
+  bool retryable() const noexcept {
+    return code == RpcErrorCode::kTimeout || code == RpcErrorCode::kUnreachable;
+  }
 };
 
 const char* to_string(RpcErrorCode code) noexcept;
+const char* to_string(AppErrorCode code) noexcept;
 
+/// One documented options struct for every call path. Presets:
+///   RpcOptions::oneshot(t)    — single attempt with timeout t (the default).
+///   RpcOptions::durable(d)    — retry inside an overall deadline budget d,
+///                               per-attempt timeouts carved from what's left.
 struct RpcOptions {
+  /// Per-attempt timeout (handshake + request + service + response).
   Time timeout = sec(5);
+  /// Overall budget across attempts and backoffs; 0 = per-attempt only.
+  Time deadline = 0;
+  /// Retry schedule for call_with_policy (plain call() ignores it).
+  RetryPolicy retry = RetryPolicy::none();
+  /// Consult the per-peer circuit breaker on call_with_policy paths.
+  bool use_breaker = true;
   /// Pay the connection handshake on THIS call and do not cache the
   /// connection — models stacks that open a fresh transport per request
   /// (the paper contrasts dAuth's persistent connections with Open5GS's
   /// on-demand S6a/N12 connections, §6.3.2).
   bool force_new_connection = false;
+
+  static RpcOptions oneshot(Time timeout = sec(5)) {
+    RpcOptions options;
+    options.timeout = timeout;
+    return options;
+  }
+
+  /// Retry until `deadline` is spent. Each attempt's timeout is the smaller
+  /// of deadline/max_attempts and the remaining budget.
+  static RpcOptions durable(Time deadline, RetryPolicy retry = {}) {
+    RpcOptions options;
+    options.deadline = deadline;
+    options.retry = retry;
+    options.timeout = deadline / (retry.max_attempts > 0 ? retry.max_attempts : 1);
+    return options;
+  }
 };
 
 /// Handed to a service handler; exactly one of reply()/fail() must be called
 /// (eventually — the handler may hold onto it across further async work).
 class Responder {
  public:
-  using ReplyFn = std::function<void(Bytes, bool is_error, std::string)>;
+  using ReplyFn = std::function<void(Bytes, bool is_error, AppError)>;
 
   explicit Responder(std::shared_ptr<ReplyFn> fn) : fn_(std::move(fn)) {}
 
   void reply(Bytes data) const { (*fn_)(std::move(data), false, {}); }
-  void fail(std::string reason) const { (*fn_)({}, true, std::move(reason)); }
+  void fail(AppError error) const { (*fn_)({}, true, std::move(error)); }
+  void fail(AppErrorCode code, std::string detail) const {
+    fail(AppError{code, std::move(detail)});
+  }
+  /// Legacy free-text rejection; prefer the coded overloads.
+  void fail(std::string reason) const {
+    fail(AppError{AppErrorCode::kUnspecified, std::move(reason)});
+  }
 
  private:
   std::shared_ptr<ReplyFn> fn_;
@@ -63,6 +135,38 @@ using ServiceHandler = std::function<void(ByteView request, Responder responder)
 using ReplyCallback = std::function<void(Bytes reply)>;
 using ErrorCallback = std::function<void(RpcError error)>;
 
+/// Events the policy layer surfaces to interested callers (the serving
+/// network turns these into ServingMetrics counters).
+enum class ResilienceEvent {
+  kRetry,          // an attempt failed transiently and will be re-issued
+  kBreakerOpen,    // a failure tripped a circuit closed -> open
+  kBreakerSkip,    // a call failed fast because the circuit was open
+  kHalfOpenProbe,  // an open circuit admitted its recovery probe
+};
+
+using ResilienceObserver = std::function<void(ResilienceEvent event)>;
+
+/// Cancellable reference to an in-flight call (plain or policy-driven).
+/// cancel() suppresses both callbacks, pending retries and the timeout
+/// accounting — the mechanism behind hedged-request loser cancellation.
+class CallHandle {
+ public:
+  CallHandle() = default;
+
+  void cancel() const;
+  bool active() const;
+
+ private:
+  friend class Rpc;
+  struct Cancellable {
+    bool cancelled = false;
+    bool settled = false;
+    std::function<void()> abort;
+  };
+  explicit CallHandle(std::shared_ptr<Cancellable> state) : state_(std::move(state)) {}
+  std::shared_ptr<Cancellable> state_;
+};
+
 struct RpcConfig {
   /// Round trips needed to establish a connection (TCP + TLS 1.3 ≈ 2).
   int handshake_rtts = 2;
@@ -70,18 +174,32 @@ struct RpcConfig {
   Time server_base_cost = us(120);
   /// Re-use established connections between node pairs (paper §5.1 opt. 1).
   bool connection_reuse = true;
+  /// Per-peer circuit breaker tuning (call_with_policy paths only).
+  CircuitBreakerConfig breaker;
 };
 
 class Rpc {
  public:
-  Rpc(Network& network, RpcConfig config = {}) : network_(network), config_(config) {}
+  Rpc(Network& network, RpcConfig config = {})
+      : network_(network), config_(config), breakers_(config.breaker) {}
 
   /// Registers a named service on a node. Overwrites any existing handler.
   void register_service(NodeIndex node, std::string service, ServiceHandler handler);
 
-  /// Issues an asynchronous call. Exactly one of on_reply / on_error fires.
-  void call(NodeIndex from, NodeIndex to, const std::string& service, Bytes request,
-            const RpcOptions& options, ReplyCallback on_reply, ErrorCallback on_error);
+  /// Issues one asynchronous call attempt. Exactly one of on_reply /
+  /// on_error fires (unless the handle is cancelled first). Ignores the
+  /// retry/deadline/breaker fields of `options`.
+  CallHandle call(NodeIndex from, NodeIndex to, const std::string& service, Bytes request,
+                  const RpcOptions& options, ReplyCallback on_reply, ErrorCallback on_error);
+
+  /// Policy-driven call: retries transient failures (kTimeout/kUnreachable)
+  /// per options.retry with jittered backoff drawn from the sim RNG, carves
+  /// per-attempt timeouts from options.deadline, and consults the per-peer
+  /// circuit breaker (fails fast with kCircuitOpen while it is open).
+  CallHandle call_with_policy(NodeIndex from, NodeIndex to, const std::string& service,
+                              Bytes request, const RpcOptions& options,
+                              ReplyCallback on_reply, ErrorCallback on_error,
+                              ResilienceObserver observer = {});
 
   /// Drops all cached connections involving `node` (e.g. after it fails).
   void reset_connections(NodeIndex node);
@@ -92,16 +210,27 @@ class Rpc {
   const RpcConfig& config() const noexcept { return config_; }
   void set_connection_reuse(bool enabled) { config_.connection_reuse = enabled; }
 
+  CircuitBreakerSet& breakers() noexcept { return breakers_; }
+  const CircuitBreakerSet& breakers() const noexcept { return breakers_; }
+
   std::uint64_t calls_started() const noexcept { return calls_started_; }
   std::uint64_t calls_succeeded() const noexcept { return calls_succeeded_; }
   std::uint64_t calls_timed_out() const noexcept { return calls_timed_out_; }
   std::uint64_t handshakes() const noexcept { return handshakes_; }
+  std::uint64_t retries() const noexcept { return retries_; }
 
   Network& network() noexcept { return network_; }
 
  private:
   struct CallState;
+  struct PolicyState;
 
+  std::shared_ptr<CallState> start_call(NodeIndex from, NodeIndex to,
+                                        const std::string& service, Bytes request,
+                                        const RpcOptions& options, ReplyCallback on_reply,
+                                        ErrorCallback on_error);
+  void attempt(std::shared_ptr<PolicyState> state);
+  void settle_error(const std::shared_ptr<PolicyState>& state, RpcError error);
   void send_request(NodeIndex from, NodeIndex to, const std::string& service, Bytes request,
                     std::shared_ptr<CallState> state);
   void finish_ok(const std::shared_ptr<CallState>& state, Bytes reply);
@@ -109,12 +238,14 @@ class Rpc {
 
   Network& network_;
   RpcConfig config_;
+  CircuitBreakerSet breakers_;
   std::map<std::pair<NodeIndex, std::string>, ServiceHandler> services_;
   std::set<std::pair<NodeIndex, NodeIndex>> connections_;
   std::uint64_t calls_started_ = 0;
   std::uint64_t calls_succeeded_ = 0;
   std::uint64_t calls_timed_out_ = 0;
   std::uint64_t handshakes_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace dauth::sim

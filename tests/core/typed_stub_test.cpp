@@ -1,0 +1,139 @@
+// TypedStub tests: encode/decode routing, structured AppError propagation,
+// and the kBadReply contract for undecodable replies.
+#include "core/typed_stub.h"
+
+#include <gtest/gtest.h>
+
+#include "wire/writer.h"
+
+namespace dauth::core {
+namespace {
+
+struct Ping {
+  std::uint64_t value = 0;
+  Bytes encode() const {
+    wire::Writer w;
+    w.u64(value);
+    return std::move(w).take();
+  }
+  static Ping decode(ByteView data) {
+    wire::Reader r(data);
+    Ping p;
+    p.value = r.u64();
+    r.expect_done();
+    return p;
+  }
+};
+
+struct Fixture {
+  sim::Simulator s{1};
+  sim::Network net{s};
+  sim::NodeIndex client;
+  sim::NodeIndex server;
+  sim::Rpc rpc{net};
+
+  Fixture() {
+    sim::NodeConfig c;
+    c.name = "client";
+    c.access.base = ms(5);
+    client = net.add_node(c);
+    c.name = "server";
+    server = net.add_node(c);
+  }
+};
+
+TEST(TypedStub, RoundTripsTypedPayloads) {
+  Fixture f;
+  f.rpc.register_service(f.server, "double", [](ByteView req, sim::Responder r) {
+    Ping ping = Ping::decode(req);
+    ping.value *= 2;
+    r.reply(ping.encode());
+  });
+
+  const TypedStub<Ping, Ping> stub(f.rpc, f.client, "double");
+  std::optional<std::uint64_t> doubled;
+  stub.call(f.server, Ping{21}, sim::RpcOptions::oneshot(),
+            [&](CallResult<Ping> result) {
+              ASSERT_TRUE(result.ok());
+              doubled = result->value;
+            });
+  f.s.run();
+  EXPECT_EQ(doubled, 42u);
+}
+
+TEST(TypedStub, AckServicesNeedNoPayload) {
+  Fixture f;
+  bool served = false;
+  f.rpc.register_service(f.server, "ping", [&](ByteView req, sim::Responder r) {
+    served = true;
+    EXPECT_TRUE(req.empty());
+    r.reply({});
+  });
+
+  const TypedStub<Ack, Ack> stub(f.rpc, f.client, "ping");
+  bool ok = false;
+  stub.call(f.server, Ack{}, sim::RpcOptions::oneshot(),
+            [&](CallResult<Ack> result) { ok = result.ok(); });
+  f.s.run();
+  EXPECT_TRUE(served);
+  EXPECT_TRUE(ok);
+}
+
+TEST(TypedStub, UndecodableReplyIsBadReplyNotSuccess) {
+  Fixture f;
+  f.rpc.register_service(f.server, "garbage", [](ByteView, sim::Responder r) {
+    r.reply(to_bytes(as_bytes("not a Ping")));
+  });
+
+  const TypedStub<Ack, Ping> stub(f.rpc, f.client, "garbage");
+  std::optional<sim::RpcError> error;
+  stub.call(f.server, Ack{}, sim::RpcOptions::oneshot(),
+            [&](CallResult<Ping> result) {
+              ASSERT_FALSE(result.ok());
+              error = result.error();
+            });
+  f.s.run();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, sim::RpcErrorCode::kBadReply);
+  // A protocol-level failure names the service so logs are actionable.
+  EXPECT_NE(error->message.find("garbage"), std::string::npos);
+}
+
+TEST(TypedStub, StructuredRejectionsSurviveTheRoundTrip) {
+  Fixture f;
+  f.rpc.register_service(f.server, "deny", [](ByteView, sim::Responder r) {
+    r.fail(sim::AppErrorCode::kNotFound, "unknown user");
+  });
+
+  const TypedStub<Ack, Ping> stub(f.rpc, f.client, "deny");
+  std::optional<CallResult<Ping>> result;
+  stub.call(f.server, Ack{}, sim::RpcOptions::oneshot(),
+            [&](CallResult<Ping> r) { result = std::move(r); });
+  f.s.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->ok());
+  EXPECT_EQ(result->error().code, sim::RpcErrorCode::kRejected);
+  ASSERT_TRUE(result->app_error().has_value());
+  EXPECT_EQ(result->app_error()->code, sim::AppErrorCode::kNotFound);
+  EXPECT_EQ(result->app_error()->detail, "unknown user");
+}
+
+TEST(TypedStub, TransportErrorsPassThrough) {
+  Fixture f;
+  f.net.node(f.server).set_online(false);
+
+  const TypedStub<Ack, Ping> stub(f.rpc, f.client, "anything");
+  std::optional<sim::RpcError> error;
+  stub.call(f.server, Ack{}, sim::RpcOptions::oneshot(ms(500)),
+            [&](CallResult<Ping> result) {
+              ASSERT_FALSE(result.ok());
+              error = result.error();
+            });
+  f.s.run();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, sim::RpcErrorCode::kTimeout);
+  EXPECT_FALSE(error->app.has_value());
+}
+
+}  // namespace
+}  // namespace dauth::core

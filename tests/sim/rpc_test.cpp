@@ -85,7 +85,7 @@ TEST(Rpc, ConnectionReuseDisabledPaysEveryTime) {
 
 TEST(Rpc, UnknownServiceFails) {
   Fixture f;
-  RpcError error{RpcErrorCode::kTimeout, ""};
+  RpcError error{RpcErrorCode::kTimeout, "", {}};
   bool got_error = false;
   f.rpc.call(f.client, f.server, "nope", {}, {}, nullptr, [&](RpcError e) {
     got_error = true;
@@ -101,7 +101,7 @@ TEST(Rpc, ServerOfflineTimesOut) {
   f.register_echo();
   f.net.node(f.server).set_online(false);
 
-  RpcError error{RpcErrorCode::kNoService, ""};
+  RpcError error{RpcErrorCode::kNoService, "", {}};
   Time error_at = -1;
   RpcOptions options;
   options.timeout = sec(2);
@@ -120,7 +120,7 @@ TEST(Rpc, CallerOfflineFailsImmediately) {
   f.register_echo();
   f.net.node(f.client).set_online(false);
 
-  RpcError error{RpcErrorCode::kTimeout, ""};
+  RpcError error{RpcErrorCode::kTimeout, "", {}};
   f.rpc.call(f.client, f.server, "echo", {}, {}, nullptr, [&](RpcError e) { error = e; });
   f.s.run();
   EXPECT_EQ(error.code, RpcErrorCode::kUnreachable);
@@ -131,7 +131,7 @@ TEST(Rpc, HandlerCanFail) {
   f.rpc.register_service(f.server, "deny", [](ByteView, Responder r) {
     r.fail("not authorized");
   });
-  RpcError error{RpcErrorCode::kTimeout, ""};
+  RpcError error{RpcErrorCode::kTimeout, "", {}};
   f.rpc.call(f.client, f.server, "deny", {}, {}, nullptr, [&](RpcError e) { error = e; });
   f.s.run();
   EXPECT_EQ(error.code, RpcErrorCode::kRejected);

@@ -1659,6 +1659,41 @@ std::vector<HandlerContract> default_contracts() {
        {},
        "post-auth bookkeeping on an attach context that finish() already "
        "authenticated"},
+      {"dir.get_network",
+       "",
+       {},
+       {},
+       "read of public, self-signed directory data (§3.4); clients verify the "
+       "entry signature, so the directory needs no trust"},
+      {"dir.get_home",
+       "",
+       {},
+       {},
+       "read of a public home-signed mapping (§3.4); verified client-side "
+       "against the home network's key"},
+      {"dir.get_backups",
+       "",
+       {},
+       {},
+       "read of a public home-signed backup list (§3.4); verified client-side"},
+      {"dir.register_network",
+       "DirectoryServer::register_network",
+       {"verify"},
+       {"networks_[", "persist"},
+       "a network entry is only accepted self-signed: otherwise an attacker "
+       "could redirect a federation member's address or keys"},
+      {"dir.register_user",
+       "DirectoryServer::register_user",
+       {"verify"},
+       {"users_[", "persist"},
+       "a subscriber mapping must carry the home network's signature, or an "
+       "attacker could re-home users to a network it controls"},
+      {"dir.set_backups",
+       "DirectoryServer::set_backups",
+       {"verify"},
+       {"backups_[", "persist"},
+       "the backup list gates where vectors and key shares are disseminated "
+       "(§4.2.1); only the home network may change it"},
   };
 }
 

@@ -102,7 +102,7 @@ struct Options {
   bool taint = true;
   bool contracts = true;
   std::vector<HandlerContract> contract_table;     // empty -> default_contracts()
-  std::vector<std::string> contract_scope = {"src/core/", "src/sim/"};
+  std::vector<std::string> contract_scope = {"src/core/", "src/sim/", "src/directory/"};
 };
 
 struct Analysis {
