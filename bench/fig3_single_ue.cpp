@@ -16,9 +16,21 @@
 // The five conditions run concurrently on the sweep thread pool; each owns
 // an independent simulation, and the grouped boxplot/CDF/summary sections
 // are printed after all conditions finish, so output stays deterministic.
+// `--trace` runs a different mode: ONE backup-mode attach (threshold 2) with
+// the full observability stack on, exports the span tree as a Perfetto-
+// loadable Chrome trace (TRACE_fig3_backup_attach.json), checks the
+// TraceAssert invariants over it, and writes a BENCH record carrying the
+// metrics-registry JSON. The representative artifacts live in results/.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "harness.h"
+#include "obs/export.h"
+#include "obs/journal.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_assert.h"
+#include "obs/tracer.h"
 
 using namespace dauth;
 
@@ -45,9 +57,83 @@ ConditionResult run_dauth(const bench::DauthOptions& options) {
   return r;
 }
 
+/// One traced dAuth-backup[2] attach: the Fig. 3 condition whose span tree
+/// actually exercises the whole federation (serving → directory → hedged
+/// backup legs → share reconstruction).
+int run_trace_mode() {
+  bench::print_title("Figure 3 (--trace): one traced backup-mode attach, threshold 2");
+
+  bench::DauthOptions options;
+  options.scenario = sim::Scenario::kEdgeFiber;
+  options.physical_ran = true;
+  options.pool_size = 1;
+  options.home_offline = true;
+  options.backup_count = 6;
+  options.backup_pool = bench::BackupPool::kNonCloud;
+  options.config.threshold = 2;
+  options.config.vectors_per_backup = 8;
+  options.config.report_interval = 0;
+  options.trace = true;
+
+  bench::DauthBench harness(options);
+  const auto record = harness.single_attach();
+  if (!record.success) {
+    std::fprintf(stderr, "traced attach failed: %s\n", record.failure.c_str());
+    return 1;
+  }
+
+  obs::Tracer& tracer = *harness.tracer();
+  obs::TraceId id = 0;
+  for (const auto& span : tracer.spans()) {
+    if (span.name == "attach") id = span.trace_id;
+  }
+  if (id == 0) {
+    std::fprintf(stderr, "no attach span recorded\n");
+    return 1;
+  }
+
+  const obs::TraceAssert check(tracer);
+  for (const auto& result :
+       {check.connected(id), check.share_threshold(id, options.config.threshold)}) {
+    if (!result.ok) {
+      std::fprintf(stderr, "trace invariant failed:\n%s\n", result.to_string().c_str());
+      return 1;
+    }
+  }
+
+  const std::string json = obs::chrome_trace_json(tracer);
+  std::string error;
+  if (!obs::validate_chrome_trace(json, &error)) {
+    std::fprintf(stderr, "exported trace does not validate: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::string dir = ".";
+  if (const char* env = std::getenv("DAUTH_BENCH_OUT"); env && *env) dir = env;
+  const std::string path = dir + "/TRACE_fig3_backup_attach.json";
+  if (!obs::write_file(path, json)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("trace,ok,%s\n", path.c_str());
+  std::printf("\n%s", obs::text_tree(tracer, id).c_str());
+
+  bench::BenchReport report("fig3_single_ue_trace");
+  report.set_threads(1);
+  report.add_scalar("traced-attach-ms",
+                    static_cast<double>(record.latency()) / static_cast<double>(ms(1)));
+  report.add_scalar("trace-spans", static_cast<double>(tracer.trace(id).size()));
+  report.add_scalar("journal-events",
+                    static_cast<double>(harness.journal()->events().size()));
+  report.set_registry_json(harness.metrics_registry()->to_json());
+  report.write();
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--trace") == 0) return run_trace_mode();
   bench::print_title("Figure 3: single-UE attach time, physical RAN profile");
 
   std::vector<std::string> labels;

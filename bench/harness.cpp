@@ -1,5 +1,8 @@
 #include "harness.h"
 
+#include "obs/journal.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "sim/failure.h"
 
 #include <algorithm>
@@ -87,6 +90,9 @@ struct DauthBench::Impl {
   std::unique_ptr<sim::FailureInjector> injector;
   std::vector<std::unique_ptr<ran::Ue>> ues;
   std::unique_ptr<ran::LoadGenerator> generator;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::EventJournal> journal;
 
   explicit Impl(const DauthOptions& opts) : options(opts), simulator(opts.seed) {
     rpc.set_connection_reuse(opts.connection_reuse);
@@ -143,6 +149,19 @@ struct DauthBench::Impl {
       home_net->home().disseminate(pool_supi(i));
     }
     simulator.run();  // complete all dissemination
+
+    // Observability goes live only now, so spans/events/counters describe
+    // measured attaches rather than the provisioning storm.
+    if (opts.trace) {
+      tracer = std::make_unique<obs::Tracer>([this] { return simulator.now(); },
+                                             &simulator.rng());
+      registry = std::make_unique<obs::MetricsRegistry>();
+      journal = std::make_unique<obs::EventJournal>([this] { return simulator.now(); });
+      rpc.set_tracer(tracer.get());
+      home_net->set_observability(registry.get(), journal.get());
+      if (serving_net) serving_net->set_observability(registry.get(), journal.get());
+      for (auto& b : backup_nets) b->set_observability(registry.get(), journal.get());
+    }
 
     if (opts.home_offline) {
       network.node(home_node).set_online(false);
@@ -206,6 +225,10 @@ const core::ServingMetrics& DauthBench::serving_metrics() const {
 }
 
 sim::Simulator& DauthBench::simulator() { return impl_->simulator; }
+
+obs::Tracer* DauthBench::tracer() { return impl_->tracer.get(); }
+obs::MetricsRegistry* DauthBench::metrics_registry() { return impl_->registry.get(); }
+obs::EventJournal* DauthBench::journal() { return impl_->journal.get(); }
 
 // ---- BaselineBench ----------------------------------------------------------
 

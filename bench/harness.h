@@ -28,6 +28,12 @@
 #include "report.h"
 #include "sim/topology.h"
 
+namespace dauth::obs {
+class EventJournal;
+class MetricsRegistry;
+class Tracer;
+}  // namespace dauth::obs
+
 namespace dauth::bench {
 
 /// Which nodes may serve as backup networks.
@@ -55,6 +61,12 @@ struct DauthOptions {
   std::size_t backup_outages = 0;
   Time outage_start = 0;
   Time outage_duration = 0;
+  // Full observability stack (src/obs/): tracer on the RPC layer plus a
+  // metrics registry and event journal on every node, installed after
+  // dissemination so the record covers only measured traffic. Off by
+  // default — the disabled path is a single null-pointer test per call
+  // site, so benches without --trace measure the same code they always did.
+  bool trace = false;
   std::uint64_t seed = 42;
 };
 
@@ -72,6 +84,11 @@ class DauthBench {
 
   const core::ServingMetrics& serving_metrics() const;
   sim::Simulator& simulator();
+
+  /// Observability handles; null unless DauthOptions::trace was set.
+  obs::Tracer* tracer();
+  obs::MetricsRegistry* metrics_registry();
+  obs::EventJournal* journal();
 
  private:
   struct Impl;

@@ -101,7 +101,12 @@ std::string BenchReport::write() const {
     }
     out << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ]";
+  if (!registry_json_.empty()) {
+    // Pre-serialized by MetricsRegistry::to_json(); emitted as-is.
+    out << ",\n  \"registry\": " << registry_json_;
+  }
+  out << "\n}\n";
   out.close();
   std::fprintf(stderr, "wrote %s\n", path.c_str());
   return path;

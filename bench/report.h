@@ -42,12 +42,18 @@ class BenchReport {
   void add_scalar(const std::string& series, double value);
   void set_threads(int threads) { threads_ = threads; }
 
+  /// Attaches a MetricsRegistry::to_json() object; emitted verbatim as the
+  /// record's "registry" member so counter/histogram summaries ride along
+  /// with the quantile rows. Empty (the default) omits the member.
+  void set_registry_json(std::string json) { registry_json_ = std::move(json); }
+
   /// Writes BENCH_<name>.json into $DAUTH_BENCH_OUT (or the current
   /// directory) and returns the path; returns "" on I/O failure.
   std::string write() const;
 
  private:
   std::string name_;
+  std::string registry_json_;
   int threads_ = 1;
   double start_monotonic_;  // seconds, steady clock
   std::vector<ReportRow> rows_;

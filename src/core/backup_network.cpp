@@ -4,6 +4,7 @@
 
 #include "aka/suci.h"
 #include "core/home_network.h"  // hxres_index
+#include "obs/journal.h"
 #include "wire/reader.h"
 #include "wire/writer.h"
 
@@ -182,6 +183,12 @@ void BackupNetwork::handle_store(ByteView request, sim::Responder responder) {
                       share.encode());
         }
       }
+      if (journal_ != nullptr && (!req.vectors.empty() || !req.shares.empty())) {
+        journal_->append(obs::EventKind::kBundleStored, id_.str(),
+                         req.home_network.str(),
+                         std::to_string(req.vectors.size()) + " vectors, " +
+                             std::to_string(req.shares.size()) + " shares");
+      }
       responder.reply({});
     });
   });
@@ -242,6 +249,9 @@ void BackupNetwork::handle_get_vector(ByteView request, sim::Responder responder
                       to_hex(bundle.hxres_star));
       }
       ++metrics_.vectors_served;
+      if (journal_ != nullptr) {
+        journal_->append(obs::EventKind::kVectorServed, id_.str(), supi.str());
+      }
       responder.reply(bundle.encode());
       return;
     }
@@ -295,6 +305,10 @@ void BackupNetwork::handle_get_share(ByteView request, sim::Responder responder)
           }
         }
         ++metrics_.shares_served;
+        if (journal_ != nullptr) {
+          journal_->append(obs::EventKind::kShareReleased, id_.str(), proof.supi.str(),
+                           "to " + proof.serving_network.str());
+        }
         // DAUTH_DISCLOSE(key-share release after RES* preimage and signature checks, §4.2.2)
         responder.reply(bundle_it->second.encode());
         return;
@@ -346,6 +360,11 @@ void BackupNetwork::handle_revoke_shares(ByteView request, sim::Responder respon
         store_->erase("vec/" + req.home_network.str() + "/" + req.supi.str() + "/" + index);
       }
     }
+  }
+  if (journal_ != nullptr && !req.hxres_indices.empty()) {
+    journal_->append(obs::EventKind::kRevocation, id_.str(), req.supi.str(),
+                     std::to_string(req.hxres_indices.size()) + " shares revoked by " +
+                         req.home_network.str());
   }
   responder.reply({});
 }
@@ -412,6 +431,10 @@ void BackupNetwork::report_now(const NetworkId& home) {
                         pending.begin() + std::min(count, pending.size()));
           metrics_.proofs_pending -= std::min<std::uint64_t>(count, metrics_.proofs_pending);
           ++metrics_.reports_sent;
+          if (journal_ != nullptr) {
+            journal_->append(obs::EventKind::kReportSent, id_.str(), home.str(),
+                             std::to_string(count) + " proofs");
+          }
           if (store_ != nullptr) {
             for (const auto& key : store_->keys_with_prefix("proof/" + home.str() + "/")) {
               store_->erase(key);

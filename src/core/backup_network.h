@@ -22,6 +22,10 @@
 #include "sim/rpc.h"
 #include "store/kv_store.h"
 
+namespace dauth::obs {
+class EventJournal;
+}  // namespace dauth::obs
+
 namespace dauth::core {
 
 class BackupNetwork {
@@ -48,6 +52,10 @@ class BackupNetwork {
   std::size_t pending_reports(const NetworkId& home) const;
 
   const BackupMetrics& metrics() const noexcept { return metrics_; }
+
+  /// Records lifecycle events (bundles stored, shares released, revocations,
+  /// reports) in the shared journal. Null (default) disables.
+  void set_journal(obs::EventJournal* journal) noexcept { journal_ = journal; }
 
   /// Immediately attempts to report pending proofs to one home network
   /// (the periodic timer calls this; tests may force it).
@@ -98,6 +106,7 @@ class BackupNetwork {
   std::map<UserKey, UserState> users_;
   std::map<NetworkId, HomeState> homes_;
   BackupMetrics metrics_;
+  obs::EventJournal* journal_ = nullptr;
 };
 
 }  // namespace dauth::core

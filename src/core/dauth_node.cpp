@@ -48,4 +48,15 @@ void DauthNode::set_backups(const std::vector<NetworkId>& backups) {
   directory_server_.set_backups(directory::make_backups_entry(id_, backups, signing_key_));
 }
 
+void DauthNode::set_observability(obs::MetricsRegistry* registry,
+                                  obs::EventJournal* journal) {
+  if (registry != nullptr) {
+    register_metrics(*registry, "home." + id_.str(), home_->metrics());
+    register_metrics(*registry, "backup." + id_.str(), backup_->metrics());
+  }
+  home_->set_journal(journal);
+  backup_->set_journal(journal);
+  serving_->set_observability(registry, journal);
+}
+
 }  // namespace dauth::core

@@ -50,6 +50,12 @@ class DauthNode {
   /// publishes the signed BackupsEntry.
   void set_backups(const std::vector<NetworkId>& backups);
 
+  /// Wires all three roles into the observability layer: counters register
+  /// as `{home,backup,serving}.<id>.*` views, the serving role opens its
+  /// attach-latency histogram, and lifecycle events flow into `journal`.
+  /// Either pointer may be null; both must outlive this node while set.
+  void set_observability(obs::MetricsRegistry* registry, obs::EventJournal* journal);
+
  private:
   sim::Rpc& rpc_;
   sim::NodeIndex node_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/sha256.h"
+#include "obs/journal.h"
 #include "wire/reader.h"
 #include "wire/writer.h"
 
@@ -10,6 +11,13 @@ namespace dauth::core {
 
 ByteArray<16> hxres_index(const crypto::ResStar& res_star) {
   return take<16>(crypto::sha256(res_star));
+}
+
+void HomeNetwork::note_anomaly(std::string what) {
+  if (journal_ != nullptr) {
+    journal_->append(obs::EventKind::kAnomaly, id_.str(), {}, what);
+  }
+  anomalies_.push_back(std::move(what));
 }
 
 HomeNetwork::HomeNetwork(sim::Rpc& rpc, sim::NodeIndex node, NetworkId id,
@@ -386,6 +394,9 @@ void HomeNetwork::handle_get_vector(ByteView request, sim::Responder responder) 
 
     subscriber.pending_keys[to_hex(bundle.hxres_star)] = av.k_seaf;
     ++metrics_.vectors_served;
+    if (journal_ != nullptr) {
+      journal_->append(obs::EventKind::kVectorServed, id_.str(), supi.str());
+    }
     responder.reply(bundle.encode());
   });
 }
@@ -442,6 +453,10 @@ void HomeNetwork::handle_get_key(ByteView request, sim::Responder responder) {
       sub_it->second.seen_proofs[index] = proof.serving_network;
       ++usage_ledger_[proof.serving_network];
       ++metrics_.keys_released;
+      if (journal_ != nullptr) {
+        journal_->append(obs::EventKind::kKeyReleased, id_.str(), proof.supi.str(),
+                         "to " + proof.serving_network.str());
+      }
       // DAUTH_DISCLOSE(K_seaf release to the serving network that proved vector use, §4.2.2)
       responder.reply(to_bytes(ByteView(k_seaf)));
     });
@@ -470,14 +485,18 @@ void HomeNetwork::handle_report(ByteView request, sim::Responder responder) {
 void HomeNetwork::process_proof(const NetworkId& reporter, const UsageProof& proof) {
   auto it = subscribers_.find(proof.supi);
   if (it == subscribers_.end()) {
-    anomalies_.push_back("report for unknown subscriber from " + reporter.str());
+    note_anomaly("report for unknown subscriber from " + reporter.str());
     return;
   }
   Subscriber& subscriber = it->second;
   ++metrics_.reports_processed;
+  if (journal_ != nullptr) {
+    journal_->append(obs::EventKind::kReportProcessed, id_.str(), proof.supi.str(),
+                     "from " + reporter.str());
+  }
 
   if (!ct_equal(hxres_index(proof.res_star), proof.hxres_star)) {
-    anomalies_.push_back("bad preimage in report from " + reporter.str());
+    note_anomaly("bad preimage in report from " + reporter.str());
     return;
   }
 
@@ -487,8 +506,8 @@ void HomeNetwork::process_proof(const NetworkId& reporter, const UsageProof& pro
   if (const auto seen = subscriber.seen_proofs.find(index);
       seen != subscriber.seen_proofs.end()) {
     if (seen->second != proof.serving_network) {
-      anomalies_.push_back("conflicting serving networks for vector " + index + ": " +
-                           seen->second.str() + " vs " + proof.serving_network.str());
+      note_anomaly("conflicting serving networks for vector " + index + ": " +
+                   seen->second.str() + " vs " + proof.serving_network.str());
     }
     return;  // already handled (replenished on first report)
   }
@@ -496,7 +515,7 @@ void HomeNetwork::process_proof(const NetworkId& reporter, const UsageProof& pro
 
   auto outstanding_it = subscriber.outstanding.find(index);
   if (outstanding_it == subscriber.outstanding.end()) {
-    anomalies_.push_back("report for unknown vector " + index + " from " + reporter.str());
+    note_anomaly("report for unknown vector " + index + " from " + reporter.str());
     return;
   }
   outstanding_it->second.consumed = true;
@@ -529,6 +548,10 @@ void HomeNetwork::replenish(const Supi& supi, const NetworkId& holder) {
   GeneratedMaterial material = generate_material(supi, it->second, slice, /*flood=*/false);
   it->second.outstanding[to_hex(material.vector.hxres_star)].holder = holder;
   ++metrics_.replenishments;
+  if (journal_ != nullptr) {
+    journal_->append(obs::EventKind::kReplenishment, id_.str(), supi.str(),
+                     "holder " + holder.str());
+  }
   ++metrics_.vectors_disseminated;
   metrics_.shares_disseminated += backup_ids_.size();
 
@@ -559,6 +582,9 @@ void HomeNetwork::revoke_backup(const NetworkId& revoked, std::function<void()> 
     return;
   }
   ++metrics_.revocations;
+  if (journal_ != nullptr) {
+    journal_->append(obs::EventKind::kRevocation, id_.str(), revoked.str());
+  }
   backup_ids_.erase(std::find(backup_ids_.begin(), backup_ids_.end(), revoked));
   slice_map_.erase(revoked);  // slice retired; never handed to a new backup
 

@@ -35,6 +35,10 @@
 #include "directory/client.h"
 #include "sim/rpc.h"
 
+namespace dauth::obs {
+class EventJournal;
+}  // namespace dauth::obs
+
 namespace dauth::core {
 
 /// Computes dAuth's share/vector index: H(XRES*) truncated to 16 bytes.
@@ -95,6 +99,10 @@ class HomeNetwork {
 
   const HomeMetrics& metrics() const noexcept { return metrics_; }
 
+  /// Records lifecycle events (vectors served, keys released, anomalies,
+  /// revocations...) in the shared journal. Null (default) disables.
+  void set_journal(obs::EventJournal* journal) noexcept { journal_ = journal; }
+
   /// Inconsistencies observed in reports (distinct serving networks claiming
   /// the same vector, bad signatures...) — §4.2.3 accountability.
   const std::vector<std::string>& anomalies() const noexcept { return anomalies_; }
@@ -144,6 +152,9 @@ class HomeNetwork {
   void handle_resync(ByteView request, sim::Responder responder);
   void process_proof(const NetworkId& reporter, const UsageProof& proof);
   void replenish(const Supi& supi, const NetworkId& holder);
+  /// Records an accountability anomaly (§4.2.3) in-memory and, when a
+  /// journal is attached, as a durable kAnomaly event.
+  void note_anomaly(std::string what);
   int slice_of(const NetworkId& backup) const;
 
   /// Options for background pushes to backups (dissemination, replenishment,
@@ -172,6 +183,7 @@ class HomeNetwork {
   HomeMetrics metrics_;
   std::vector<std::string> anomalies_;
   std::map<NetworkId, std::uint64_t> usage_ledger_;
+  obs::EventJournal* journal_ = nullptr;
 };
 
 }  // namespace dauth::core

@@ -1,7 +1,18 @@
 // Per-role operation counters, surfaced by benches and integration tests.
+//
+// The structs below stay plain uint64 fields (source compatibility: every
+// role increments them directly and tests read them), but each can register
+// its fields as named counter *views* into an obs::MetricsRegistry, so
+// benches and tests read one registry — and diff snapshots — instead of
+// three ad-hoc structs. See docs/OBSERVABILITY.md.
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+namespace dauth::obs {
+class MetricsRegistry;
+}  // namespace dauth::obs
 
 namespace dauth::core {
 
@@ -46,5 +57,15 @@ struct ServingMetrics {
   std::uint64_t breaker_skips = 0;    // calls failed fast on an open circuit
   std::uint64_t fast_failures = 0;    // attaches failed fast: reachable backups < threshold
 };
+
+/// Register every field of a metrics struct as a counter view named
+/// "<prefix>.<field>" (e.g. "home.net-1.vectors_served"). The struct must
+/// outlive the registry's readers; re-registering a prefix replaces views.
+void register_metrics(obs::MetricsRegistry& registry, const std::string& prefix,
+                      const HomeMetrics& metrics);
+void register_metrics(obs::MetricsRegistry& registry, const std::string& prefix,
+                      const BackupMetrics& metrics);
+void register_metrics(obs::MetricsRegistry& registry, const std::string& prefix,
+                      const ServingMetrics& metrics);
 
 }  // namespace dauth::core

@@ -4,6 +4,8 @@
 
 #include "aka/suci.h"
 #include "crypto/hmac.h"
+#include "obs/journal.h"
+#include "obs/metrics_registry.h"
 #include "wire/reader.h"
 #include "wire/writer.h"
 
@@ -39,6 +41,12 @@ struct ServingNetwork::Attach {
   std::vector<directory::NetworkEntry> backups;  // resolved backup entries
   bool resynced = false;  // one AUTS-triggered retry allowed per attach
   bool done = false;
+
+  // Observability: the per-attach span every downstream call parents under
+  // (invalid while tracing is off) and the virtual start time for the
+  // attach-latency histogram.
+  obs::TraceContext span{};
+  Time started = 0;
 };
 
 ServingNetwork::ServingNetwork(sim::Rpc& rpc, sim::NodeIndex node, NetworkId id,
@@ -92,6 +100,17 @@ std::size_t ServingNetwork::reachable_backups(
     }
   }
   return count;
+}
+
+void ServingNetwork::set_observability(obs::MetricsRegistry* registry,
+                                       obs::EventJournal* journal) {
+  journal_ = journal;
+  if (registry != nullptr) {
+    register_metrics(*registry, "serving." + id_.str(), metrics_);
+    attach_hist_ = &registry->histogram("serving." + id_.str() + ".attach_latency_us");
+  } else {
+    attach_hist_ = nullptr;
+  }
 }
 
 ServingNetwork::SigCheck ServingNetwork::check_signature(
@@ -215,6 +234,19 @@ void ServingNetwork::handle_attach_request(ByteView request, sim::Responder resp
   attach->challenge_responder = responder;
   attaches_[attach->id] = attach;
   ++metrics_.attaches_started;
+  attach->started = rpc_.network().simulator().now();
+  if (obs::Tracer* tracer = rpc_.tracer(); tracer != nullptr) {
+    // Starts under the ambient "handle:serving.attach_request" span, so the
+    // whole attach (and everything parented to attach->span below) joins the
+    // UE's trace. Later steps MUST pass attach->span explicitly: they run
+    // from other handlers whose ambient belongs to a different trace.
+    attach->span = tracer->start_span("attach");
+    tracer->set_attr(attach->span, "attach_id", attach->id);
+  }
+  if (journal_ != nullptr) {
+    journal_->append(obs::EventKind::kAttachStarted, id_.str(), attach->supi.str(),
+                     {}, attach->span.trace_id);
+  }
 
   // AMF-side NAS processing, then identify the subscriber's home.
   rpc_.network().node(node_).execute(config_.costs.nas_processing,
@@ -238,15 +270,17 @@ void ServingNetwork::resolve_home(const std::shared_ptr<Attach>& attach) {
         start_local_auth(attach);
         return;
       }
-      directory_.get_network(attach->home, [this, attach](
-                                               std::optional<directory::NetworkEntry> entry) {
-        if (!entry) {
-          finish(attach, {false, AuthPath::kHomeOnline, {}, "unknown home network"});
-          return;
-        }
-        attach->home_entry = entry;
-        try_home_auth(attach);
-      });
+      directory_.get_network(
+          attach->home,
+          [this, attach](std::optional<directory::NetworkEntry> entry) {
+            if (!entry) {
+              finish(attach, {false, AuthPath::kHomeOnline, {}, "unknown home network"});
+              return;
+            }
+            attach->home_entry = entry;
+            try_home_auth(attach);
+          },
+          attach->span);
       return;
     }
     // Foreign GUTI: ask the prior serving network for the identity; if it
@@ -261,15 +295,17 @@ void ServingNetwork::resolve_home(const std::shared_ptr<Attach>& attach) {
       start_local_auth(attach);
       return;
     }
-    directory_.get_network(attach->home, [this, attach](
-                                             std::optional<directory::NetworkEntry> entry) {
-      if (!entry) {
-        finish(attach, {false, AuthPath::kHomeOnline, {}, "unknown home network"});
-        return;
-      }
-      attach->home_entry = entry;
-      try_home_auth(attach);
-    });
+    directory_.get_network(
+        attach->home,
+        [this, attach](std::optional<directory::NetworkEntry> entry) {
+          if (!entry) {
+            finish(attach, {false, AuthPath::kHomeOnline, {}, "unknown home network"});
+            return;
+          }
+          attach->home_entry = entry;
+          try_home_auth(attach);
+        },
+        attach->span);
     return;
   }
 
@@ -281,22 +317,27 @@ void ServingNetwork::resolve_home(const std::shared_ptr<Attach>& attach) {
   }
 
   // SUPI attach of a roamer: the public directory maps user -> home (§4.1).
-  directory_.get_home(attach->supi, [this, attach](std::optional<directory::UserEntry> user) {
-    if (!user) {
-      finish(attach, {false, AuthPath::kHomeOnline, {}, "user not in directory"});
-      return;
-    }
-    attach->home = user->home_network;
-    directory_.get_network(attach->home, [this, attach](
-                                             std::optional<directory::NetworkEntry> entry) {
-      if (!entry) {
-        finish(attach, {false, AuthPath::kHomeOnline, {}, "unknown home network"});
-        return;
-      }
-      attach->home_entry = entry;
-      try_home_auth(attach);
-    });
-  });
+  directory_.get_home(
+      attach->supi,
+      [this, attach](std::optional<directory::UserEntry> user) {
+        if (!user) {
+          finish(attach, {false, AuthPath::kHomeOnline, {}, "user not in directory"});
+          return;
+        }
+        attach->home = user->home_network;
+        directory_.get_network(
+            attach->home,
+            [this, attach](std::optional<directory::NetworkEntry> entry) {
+              if (!entry) {
+                finish(attach, {false, AuthPath::kHomeOnline, {}, "unknown home network"});
+                return;
+              }
+              attach->home_entry = entry;
+              try_home_auth(attach);
+            },
+            attach->span);
+      },
+      attach->span);
 }
 
 void ServingNetwork::start_local_auth(const std::shared_ptr<Attach>& attach) {
@@ -352,9 +393,10 @@ void ServingNetwork::try_home_auth(const std::shared_ptr<Attach>& attach) {
   request.supi = attach->supi;
   request.suci = attach->suci;
 
+  auto options = policy_options(config_.home_auth_timeout);
+  options.trace_parent = attach->span;
   home_vector_stub_.call(
-      static_cast<sim::NodeIndex>(attach->home_entry->address), request,
-      policy_options(config_.home_auth_timeout),
+      static_cast<sim::NodeIndex>(attach->home_entry->address), request, options,
       [this, attach](CallResult<AuthVectorBundle> result) {
         if (attach->done) return;
         if (!result.ok()) {
@@ -393,38 +435,44 @@ void ServingNetwork::try_home_auth(const std::shared_ptr<Attach>& attach) {
 
 void ServingNetwork::start_backup_auth(const std::shared_ptr<Attach>& attach) {
   attach->path = AuthPath::kBackup;
-  directory_.get_backups(attach->home, [this, attach](
-                                           std::optional<directory::BackupsEntry> entry) {
-    if (!entry || entry->backups.empty()) {
-      finish(attach, {false, AuthPath::kBackup, {}, "no backup networks"});
-      return;
-    }
-    // Resolve every backup's address+key (cached after the first attach).
-    auto remaining = std::make_shared<std::size_t>(entry->backups.size());
-    for (const NetworkId& backup : entry->backups) {
-      directory_.get_network(backup, [this, attach, remaining](
-                                         std::optional<directory::NetworkEntry> net) {
-        if (net) attach->backups.push_back(*net);
-        if (--*remaining == 0) {
-          if (attach->backups.empty()) {
-            finish(attach, {false, AuthPath::kBackup, {}, "backups unresolvable"});
-            return;
-          }
-          // Graceful degradation: key reconstruction needs `threshold` valid
-          // shares, so when the breakers say fewer than that many backups are
-          // even reachable the attach cannot succeed — fail in microseconds
-          // instead of burning the full RPC deadline discovering it.
-          if (config_.resilience.enabled && config_.resilience.fast_fail &&
-              reachable_backups(attach->backups) < config_.threshold) {
-            ++metrics_.fast_failures;
-            finish(attach, {false, AuthPath::kBackup, {}, "insufficient reachable backups"});
-            return;
-          }
-          request_backup_vector(attach);
+  directory_.get_backups(
+      attach->home,
+      [this, attach](std::optional<directory::BackupsEntry> entry) {
+        if (!entry || entry->backups.empty()) {
+          finish(attach, {false, AuthPath::kBackup, {}, "no backup networks"});
+          return;
         }
-      });
-    }
-  });
+        // Resolve every backup's address+key (cached after the first attach).
+        auto remaining = std::make_shared<std::size_t>(entry->backups.size());
+        for (const NetworkId& backup : entry->backups) {
+          directory_.get_network(
+              backup,
+              [this, attach, remaining](std::optional<directory::NetworkEntry> net) {
+                if (net) attach->backups.push_back(*net);
+                if (--*remaining == 0) {
+                  if (attach->backups.empty()) {
+                    finish(attach, {false, AuthPath::kBackup, {}, "backups unresolvable"});
+                    return;
+                  }
+                  // Graceful degradation: key reconstruction needs `threshold`
+                  // valid shares, so when the breakers say fewer than that many
+                  // backups are even reachable the attach cannot succeed — fail
+                  // in microseconds instead of burning the full RPC deadline
+                  // discovering it.
+                  if (config_.resilience.enabled && config_.resilience.fast_fail &&
+                      reachable_backups(attach->backups) < config_.threshold) {
+                    ++metrics_.fast_failures;
+                    finish(attach,
+                           {false, AuthPath::kBackup, {}, "insufficient reachable backups"});
+                    return;
+                  }
+                  request_backup_vector(attach);
+                }
+              },
+              attach->span);
+        }
+      },
+      attach->span);
 }
 
 void ServingNetwork::request_backup_vector(const std::shared_ptr<Attach>& attach) {
@@ -468,6 +516,7 @@ void ServingNetwork::race_backup_vector(const std::shared_ptr<Attach>& attach,
   auto failures = std::make_shared<std::size_t>(0);
   auto options = sim::RpcOptions::oneshot(config_.backup_auth_timeout);
   options.use_breaker = false;
+  options.trace_parent = attach->span;
 
   // A racer that errors, returns garbage, or fails signature verification
   // counts as a failure; when every racer has failed, the attach fails fast
@@ -534,7 +583,8 @@ void ServingNetwork::hedge_backup_vector(const std::shared_ptr<Attach>& attach,
   // Per leg: single breaker-gated attempt. The ladder itself is the retry —
   // a breaker skip resolves in the same tick, promoting the next backup for
   // free (the "known-down backup skipped instantly" path).
-  const auto leg_options = sim::RpcOptions::oneshot(config_.backup_auth_timeout);
+  auto leg_options = sim::RpcOptions::oneshot(config_.backup_auth_timeout);
+  leg_options.trace_parent = attach->span;
 
   state->launch = [this, attach, weak = std::weak_ptr<Hedge>(state), request, leg_options,
                    width, order] {
@@ -597,17 +647,19 @@ void ServingNetwork::hedge_backup_vector(const std::shared_ptr<Attach>& attach,
 void ServingNetwork::resolve_foreign_guti(const std::shared_ptr<Attach>& attach,
                                           const NetworkId& prior_serving,
                                           std::uint64_t value) {
-  directory_.get_network(prior_serving, [this, attach, value](
-                                            std::optional<directory::NetworkEntry> prior) {
+  directory_.get_network(
+      prior_serving,
+      [this, attach, value](std::optional<directory::NetworkEntry> prior) {
     if (!prior) {
       request_identity(attach);
       return;
     }
     GutiResolveRequest lookup;
     lookup.guti = value;
+    auto options = policy_options(config_.home_auth_timeout);
+    options.trace_parent = attach->span;
     guti_stub_.call(
-        static_cast<sim::NodeIndex>(prior->address), lookup,
-        policy_options(config_.home_auth_timeout),
+        static_cast<sim::NodeIndex>(prior->address), lookup, options,
         [this, attach](CallResult<GutiResolveReply> result) {
           if (attach->done) return;
           if (!result.ok()) {
@@ -624,7 +676,8 @@ void ServingNetwork::resolve_foreign_guti(const std::shared_ptr<Attach>& attach,
             return;
           }
           directory_.get_network(
-              attach->home, [this, attach](std::optional<directory::NetworkEntry> entry) {
+              attach->home,
+              [this, attach](std::optional<directory::NetworkEntry> entry) {
                 if (!entry) {
                   finish(attach,
                          {false, AuthPath::kHomeOnline, {}, "unknown home network"});
@@ -632,10 +685,12 @@ void ServingNetwork::resolve_foreign_guti(const std::shared_ptr<Attach>& attach,
                 }
                 attach->home_entry = entry;
                 try_home_auth(attach);
-              });
+              },
+              attach->span);
         },
         resilience_observer());
-  });
+      },
+      attach->span);
 }
 
 void ServingNetwork::request_identity(const std::shared_ptr<Attach>& attach) {
@@ -861,9 +916,11 @@ void ServingNetwork::handle_auth_response(ByteView request, sim::Responder respo
       resync.rand = attach->bundle.rand;
       resync.sqn_ms_xor_ak_star = auts_sqn;
       resync.mac_s = auts_mac;
+      auto resync_options = policy_options(config_.home_auth_timeout);
+      resync_options.trace_parent = attach->span;
       home_resync_stub_.call(
           static_cast<sim::NodeIndex>(attach->home_entry->address), resync,
-          policy_options(config_.home_auth_timeout),
+          resync_options,
           [this, attach, retry_with](CallResult<AuthVectorBundle> result) {
             if (attach->done) return;
             if (!result.ok()) {
@@ -945,10 +1002,11 @@ void ServingNetwork::complete_with_home_key(const std::shared_ptr<Attach>& attac
   const UsageProof proof =
       make_proof(id_, nullptr, attach->supi, attach->bundle.hxres_star, res_star,
                  rpc_.network().simulator().now(), signing_key_);
+  auto options = policy_options(config_.key_share_timeout);
+  options.trace_parent = attach->span;
   // DAUTH_DISCLOSE(usage proof releases the RES* preimage to redeem K_seaf, §4.2.2)
   home_key_stub_.call(
-      static_cast<sim::NodeIndex>(attach->home_entry->address), proof,
-      policy_options(config_.key_share_timeout),
+      static_cast<sim::NodeIndex>(attach->home_entry->address), proof, options,
       [this, attach](CallResult<KeyReply> result) {
         if (attach->done) return;
         if (!result.ok()) {
@@ -979,6 +1037,21 @@ void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
       make_proof(id_, nullptr, attach->supi, attach->bundle.hxres_star, res_star,
                  rpc_.network().simulator().now(), signing_key_);
 
+  // The proof span marks the point where the UE's RES* preimage has matched
+  // HXRES* (checked by handle_auth_response before this runs); every share
+  // fetch parents under it so obs::TraceAssert can tie each released share
+  // back to a verified usage proof.
+  obs::TraceContext proof_span{};
+  if (obs::Tracer* tracer = rpc_.tracer(); tracer != nullptr) {
+    proof_span = tracer->start_span("serving.proof", attach->span);
+    tracer->set_attr(proof_span, "proof_verified", true);
+  }
+  auto end_proof_span = [this, proof_span](bool ok) {
+    if (obs::Tracer* tracer = rpc_.tracer(); tracer != nullptr && proof_span.valid()) {
+      tracer->end_span(proof_span, ok);
+    }
+  };
+
   // Resilience on: don't waste a broadcast leg (and a timeout) on a backup
   // whose circuit is open — and if the reachable set cannot reach the share
   // threshold at all, fail fast instead of discovering it the slow way.
@@ -992,10 +1065,19 @@ void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
         targets.push_back(&backup);
       } else {
         ++metrics_.breaker_skips;
+        if (obs::Tracer* tracer = rpc_.tracer(); tracer != nullptr) {
+          const auto skip = tracer->instant_span("breaker-skip:backup.get_share",
+                                                 proof_span);
+          tracer->set_attr(skip, "peer",
+                           rpc_.network()
+                               .node(static_cast<sim::NodeIndex>(backup.address))
+                               .name());
+        }
       }
     }
     if (config_.resilience.fast_fail && targets.size() < config_.threshold) {
       ++metrics_.fast_failures;
+      end_proof_span(false);
       finish(attach, {false, AuthPath::kBackup, {}, "insufficient reachable backups"});
       return;
     }
@@ -1018,22 +1100,25 @@ void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
   // the proof consumes server-side state.
   auto options = sim::RpcOptions::oneshot(config_.key_share_timeout);
   options.use_breaker = config_.resilience.enabled;
+  options.trace_parent = proof_span;
 
   // Fires whenever a backup leg concludes without contributing a share; if
   // every leg has concluded and we never reached the threshold, fail.
-  auto share_rejected = [this, attach, state] {
+  auto share_rejected = [this, attach, state, end_proof_span] {
     if (state->combined || attach->done) return;
     if (state->outstanding == 0 && state->bundles.size() < config_.threshold) {
+      end_proof_span(false);
       finish(attach, {false, AuthPath::kBackup, {}, "insufficient key shares"});
     }
   };
 
-  auto combine_shares = [this, attach, state] {
+  auto combine_shares = [this, attach, state, end_proof_span] {
     state->combined = true;
     const Time combine_cost =
         config_.costs.share_combine_base +
         config_.costs.share_combine_per_share * static_cast<Time>(state->bundles.size());
-    rpc_.network().node(node_).execute(combine_cost, [this, attach, state] {
+    rpc_.network().node(node_).execute(combine_cost, [this, attach, state,
+                                                      end_proof_span] {
       crypto::Key256 k_seaf{};
       try {
         if (config_.use_verifiable_shares) {
@@ -1050,10 +1135,12 @@ void ServingNetwork::collect_key_shares(const std::shared_ptr<Attach>& attach,
           k_seaf = take<32>(secret);
         }
       } catch (const std::exception& e) {
+        end_proof_span(false);
         finish(attach, {false, AuthPath::kBackup, {},
                         std::string("share combination failed: ") + e.what()});
         return;
       }
+      end_proof_span(true);
       AttachOutcome outcome;
       outcome.success = true;
       outcome.path = AuthPath::kBackup;
@@ -1135,6 +1222,27 @@ void ServingNetwork::finish(const std::shared_ptr<Attach>& attach,
     }
   } else {
     ++metrics_.attaches_failed;
+  }
+
+  const Time now = rpc_.network().simulator().now();
+  if (obs::Tracer* tracer = rpc_.tracer();
+      tracer != nullptr && attach->span.valid()) {
+    tracer->set_attr(attach->span, "path", to_string(outcome.path));
+    tracer->set_attr(attach->span, "supi", attach->supi.str());
+    if (attach->fell_back) tracer->set_attr(attach->span, "fell_back", true);
+    if (!outcome.failure.empty()) {
+      tracer->set_attr(attach->span, "reason", outcome.failure);
+    }
+    tracer->end_span(attach->span, outcome.success);
+  }
+  if (attach_hist_ != nullptr) {
+    attach_hist_->record_duration(now - attach->started);
+  }
+  if (journal_ != nullptr) {
+    journal_->append(outcome.success ? obs::EventKind::kAttachSucceeded
+                                     : obs::EventKind::kAttachFailed,
+                     id_.str(), attach->supi.str(), outcome.failure,
+                     attach->span.trace_id);
   }
 
   // Successful registration: allocate a fresh GUTI so the UE's next attach

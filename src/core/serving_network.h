@@ -47,6 +47,12 @@
 #include "directory/client.h"
 #include "sim/rpc.h"
 
+namespace dauth::obs {
+class EventJournal;
+class Histogram;
+class MetricsRegistry;
+}  // namespace dauth::obs
+
 namespace dauth::core {
 
 enum class AuthPath { kLocal, kHomeOnline, kBackup };
@@ -85,6 +91,12 @@ class ServingNetwork {
   void set_home_health(const NetworkId& home, bool reachable);
 
   const ServingMetrics& metrics() const noexcept { return metrics_; }
+
+  /// Wires this role into the observability layer (docs/OBSERVABILITY.md):
+  /// registers the counters as registry views, opens the attach-latency
+  /// histogram, and records attach lifecycle events in the journal. Either
+  /// pointer may be null; both must outlive this object while set.
+  void set_observability(obs::MetricsRegistry* registry, obs::EventJournal* journal);
 
  private:
   struct Attach;  // in-flight attach state
@@ -191,6 +203,11 @@ class ServingNetwork {
   crypto::VerifyCache verify_cache_;
 
   ServingMetrics metrics_;
+
+  // Observability (null = off): end-to-end attach latency histogram and the
+  // auditable event journal. The tracer itself rides on the Rpc layer.
+  obs::Histogram* attach_hist_ = nullptr;
+  obs::EventJournal* journal_ = nullptr;
 };
 
 }  // namespace dauth::core

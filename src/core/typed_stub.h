@@ -78,16 +78,33 @@ class TypedStub {
 
   /// Encode, call via policy, decode. `callback` fires exactly once (unless
   /// the returned handle is cancelled first).
+  ///
+  /// With a tracer installed this wraps the whole policy run (all attempts,
+  /// backoffs, breaker waits) in one logical "call:<service>" span; the
+  /// per-attempt "rpc:<service>" spans land underneath it.
   sim::CallHandle call(sim::NodeIndex to, const Req& request,
                        const sim::RpcOptions& options, Callback callback,
                        sim::ResilienceObserver observer = {}) const {
+    obs::TraceContext call_span{};
+    sim::RpcOptions traced_options = options;
+    if (obs::Tracer* tracer = rpc_->tracer(); tracer != nullptr) {
+      call_span = tracer->start_span("call:" + service_, options.trace_parent);
+      traced_options.trace_parent = call_span;
+    }
+    const auto end_call_span = [rpc = rpc_, call_span](bool ok) {
+      if (obs::Tracer* tracer = rpc->tracer();
+          tracer != nullptr && call_span.valid()) {
+        tracer->end_span(call_span, ok);
+      }
+    };
     return rpc_->call_with_policy(
-        from_, to, service_, request.encode(), options,
-        [callback, service = service_](Bytes reply) {
+        from_, to, service_, request.encode(), traced_options,
+        [callback, end_call_span, service = service_](Bytes reply) {
           std::optional<Rsp> decoded;
           try {
             decoded = Rsp::decode(reply);
           } catch (const wire::WireError& e) {
+            end_call_span(false);
             if (callback) {
               callback(CallResult<Rsp>::failure(
                   {sim::RpcErrorCode::kBadReply,
@@ -96,9 +113,11 @@ class TypedStub {
             }
             return;
           }
+          end_call_span(true);
           if (callback) callback(CallResult<Rsp>::success(std::move(*decoded)));
         },
-        [callback](sim::RpcError error) {
+        [callback, end_call_span](sim::RpcError error) {
+          end_call_span(false);
           if (callback) callback(CallResult<Rsp>::failure(std::move(error)));
         },
         std::move(observer));

@@ -45,7 +45,8 @@ void DirectoryClient::cache_store(std::map<std::string, Cached<Entry>>& cache,
   cache[key] = Cached<Entry>{entry, rpc_.network().simulator().now()};
 }
 
-void DirectoryClient::get_network(const NetworkId& id, NetworkCallback callback) {
+void DirectoryClient::get_network(const NetworkId& id, NetworkCallback callback,
+                                  obs::TraceContext parent) {
   if (auto cached = cache_lookup(network_cache_, id.str())) {
     ++cache_hits_;
     callback(std::move(cached));
@@ -53,8 +54,10 @@ void DirectoryClient::get_network(const NetworkId& id, NetworkCallback callback)
   }
   ++cache_misses_;
 
+  auto options = lookup_options();
+  options.trace_parent = parent;
   network_stub_.call(
-      directory_node_, NameLookup{id.str()}, lookup_options(),
+      directory_node_, NameLookup{id.str()}, options,
       [this, callback](core::CallResult<NetworkEntry> result) {
         if (!result.ok()) {
           callback(std::nullopt);
@@ -72,7 +75,8 @@ void DirectoryClient::get_network(const NetworkId& id, NetworkCallback callback)
       });
 }
 
-void DirectoryClient::get_home(const Supi& supi, UserCallback callback) {
+void DirectoryClient::get_home(const Supi& supi, UserCallback callback,
+                               obs::TraceContext parent) {
   if (auto cached = cache_lookup(user_cache_, supi.str())) {
     ++cache_hits_;
     callback(std::move(cached));
@@ -80,30 +84,36 @@ void DirectoryClient::get_home(const Supi& supi, UserCallback callback) {
   }
   ++cache_misses_;
 
+  auto options = lookup_options();
+  options.trace_parent = parent;
   user_stub_.call(
-      directory_node_, NameLookup{supi.str()}, lookup_options(),
-      [this, callback](core::CallResult<UserEntry> result) {
+      directory_node_, NameLookup{supi.str()}, options,
+      [this, callback, parent](core::CallResult<UserEntry> result) {
         if (!result.ok()) {
           callback(std::nullopt);
           return;
         }
         const UserEntry entry = std::move(result.value());
         // Verify against the home network's key (cached or fetched).
-        get_network(entry.home_network, [this, entry, callback](
-                                            std::optional<NetworkEntry> home) {
-          if (!home || !verify_cache_
-                            .verify(entry.signed_payload(), entry.signature, home->signing_key)
-                            .ok) {
-            callback(std::nullopt);
-            return;
-          }
-          cache_store(user_cache_, entry.supi.str(), entry);
-          callback(entry);
-        });
+        get_network(
+            entry.home_network,
+            [this, entry, callback](std::optional<NetworkEntry> home) {
+              if (!home ||
+                  !verify_cache_
+                       .verify(entry.signed_payload(), entry.signature, home->signing_key)
+                       .ok) {
+                callback(std::nullopt);
+                return;
+              }
+              cache_store(user_cache_, entry.supi.str(), entry);
+              callback(entry);
+            },
+            parent);
       });
 }
 
-void DirectoryClient::get_backups(const NetworkId& home, BackupsCallback callback) {
+void DirectoryClient::get_backups(const NetworkId& home, BackupsCallback callback,
+                                  obs::TraceContext parent) {
   if (auto cached = cache_lookup(backups_cache_, home.str())) {
     ++cache_hits_;
     callback(std::move(cached));
@@ -111,26 +121,30 @@ void DirectoryClient::get_backups(const NetworkId& home, BackupsCallback callbac
   }
   ++cache_misses_;
 
+  auto options = lookup_options();
+  options.trace_parent = parent;
   backups_stub_.call(
-      directory_node_, NameLookup{home.str()}, lookup_options(),
-      [this, callback](core::CallResult<BackupsEntry> result) {
+      directory_node_, NameLookup{home.str()}, options,
+      [this, callback, parent](core::CallResult<BackupsEntry> result) {
         if (!result.ok()) {
           callback(std::nullopt);
           return;
         }
         const BackupsEntry entry = std::move(result.value());
-        get_network(entry.home_network, [this, entry, callback](
-                                            std::optional<NetworkEntry> home_net) {
-          if (!home_net ||
-              !verify_cache_
-                   .verify(entry.signed_payload(), entry.signature, home_net->signing_key)
-                   .ok) {
-            callback(std::nullopt);
-            return;
-          }
-          cache_store(backups_cache_, entry.home_network.str(), entry);
-          callback(entry);
-        });
+        get_network(
+            entry.home_network,
+            [this, entry, callback](std::optional<NetworkEntry> home_net) {
+              if (!home_net ||
+                  !verify_cache_
+                       .verify(entry.signed_payload(), entry.signature, home_net->signing_key)
+                       .ok) {
+                callback(std::nullopt);
+                return;
+              }
+              cache_store(backups_cache_, entry.home_network.str(), entry);
+              callback(entry);
+            },
+            parent);
       });
 }
 

@@ -42,14 +42,20 @@ class DirectoryClient {
   using BackupsCallback = std::function<void(std::optional<BackupsEntry>)>;
 
   /// Looks up (and verifies) a network entry, from cache when fresh.
-  void get_network(const NetworkId& id, NetworkCallback callback);
+  /// `parent` is the trace context the lookup RPC (if any) parents under; a
+  /// cache hit never emits a span, so cached lookups stay invisible — and
+  /// free — in traces.
+  void get_network(const NetworkId& id, NetworkCallback callback,
+                   obs::TraceContext parent = {});
 
   /// Looks up a user's home mapping; verification requires the home
   /// network's entry, which is fetched (or cached) transparently.
-  void get_home(const Supi& supi, UserCallback callback);
+  void get_home(const Supi& supi, UserCallback callback,
+                obs::TraceContext parent = {});
 
   /// Looks up a home network's elected backups (verified the same way).
-  void get_backups(const NetworkId& home, BackupsCallback callback);
+  void get_backups(const NetworkId& home, BackupsCallback callback,
+                   obs::TraceContext parent = {});
 
   /// Publishes a new (signed) backups entry, e.g. after a revocation.
   /// Also refreshes the local cache immediately.

@@ -1,0 +1,38 @@
+// Trace exporters and a dependency-free JSON well-formedness checker.
+//
+// Two renderings of the same span data:
+//   * chrome_trace_json — the Chrome `trace_event` format ("X" complete
+//     events, microsecond timestamps), loadable in Perfetto or
+//     chrome://tracing. Each trace gets its own tid lane so concurrent
+//     attaches stack instead of overlapping.
+//   * text_tree — a compact indented causal tree of one trace, for test
+//     failure messages and terminal inspection.
+//
+// validate_chrome_trace is a minimal recursive-descent JSON validator (plus
+// trace_event shape checks) so check.sh can gate on "the artifact parses"
+// without assuming python or jq exists in the environment.
+#pragma once
+
+#include <string>
+
+#include "obs/tracer.h"
+
+namespace dauth::obs {
+
+/// Whole-tracer export in Chrome trace_event JSON. Deterministic byte-exact
+/// output for a given tracer state.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Indented rendering of one trace's span tree (recording order, roots
+/// first). Includes timing, status, and attributes.
+std::string text_tree(const Tracer& tracer, TraceId id);
+
+/// Checks `json` is well-formed JSON whose top level is an object with a
+/// "traceEvents" array of event objects each carrying name/ph/ts/pid/tid.
+/// On failure returns false and, when `error` is non-null, why.
+bool validate_chrome_trace(const std::string& json, std::string* error = nullptr);
+
+/// Writes `content` to `path` (truncating). Returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace dauth::obs

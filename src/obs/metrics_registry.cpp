@@ -1,0 +1,132 @@
+#include "obs/metrics_registry.h"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace dauth::obs {
+
+std::size_t Histogram::bucket_of(std::uint64_t value) {
+  const int msb = 63 - std::countl_zero(value | 1);
+  if (msb <= kSubBits) return static_cast<std::size_t>(value);
+  const std::uint64_t shift = static_cast<std::uint64_t>(msb - kSubBits);
+  return static_cast<std::size_t>(((shift + 1) << kSubBits) +
+                                  ((value >> shift) & (kSub - 1)));
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t index) {
+  if (index < kSub * 2) return index;  // exact region: bucket == value
+  const std::uint64_t shift = (static_cast<std::uint64_t>(index) >> kSubBits) - 1;
+  const std::uint64_t sub = static_cast<std::uint64_t>(index) & (kSub - 1);
+  return ((kSub + sub + 1) << shift) - 1;
+}
+
+void Histogram::record(std::int64_t value) {
+  const std::uint64_t v = value < 0 ? 0 : static_cast<std::uint64_t>(value);
+  if (buckets_.empty()) buckets_.assign(kBuckets, 0);
+  ++buckets_[bucket_of(v)];
+  if (count_ == 0 || value < min_) min_ = value < 0 ? 0 : value;
+  if (count_ == 0 || value > max_) max_ = value < 0 ? 0 : value;
+  ++count_;
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  if (p >= 1.0) return max();
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      const std::uint64_t bound = bucket_upper_bound(i);
+      const auto capped = static_cast<std::int64_t>(bound);
+      return capped > max_ ? max_ : capped;
+    }
+  }
+  return max_;
+}
+
+void MetricsRegistry::register_counter(const std::string& name,
+                                       const std::uint64_t* view) {
+  counters_[name] = view;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t MetricsRegistry::value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : *it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  for (const auto& [name, view] : counters_) snap.counters[name] = *view;
+  return snap;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::diff(const Snapshot& before,
+                                                const Snapshot& after) {
+  Snapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    delta.counters[name] = value - before.value(name);
+  }
+  return delta;
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';  // control chars never appear in metric names
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, view] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, name);
+    out << ':' << *view;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, name);
+    out << ":{\"count\":" << hist->count() << ",\"min\":" << hist->min()
+        << ",\"p50\":" << hist->percentile(0.50)
+        << ",\"p90\":" << hist->percentile(0.90)
+        << ",\"p99\":" << hist->percentile(0.99)
+        << ",\"p999\":" << hist->percentile(0.999)
+        << ",\"max\":" << hist->max() << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace dauth::obs

@@ -1,0 +1,106 @@
+// Named counters and log-linear latency histograms behind one registry.
+//
+// Counters are registered as *views*: the registry holds a pointer to the
+// live `std::uint64_t` a role struct already increments (HomeMetrics etc.),
+// so existing call sites keep their field access and the registry reads the
+// same storage — no double bookkeeping, no hot-path indirection.
+//
+// Histograms use HdrHistogram-style log-linear bucketing: 2^kSubBits linear
+// sub-buckets per power of two, giving ~3% relative error at any magnitude
+// with a fixed ~2k-slot table and no retained samples. That is what lets
+// p50/p90/p99/p999 appear in BENCH_*.json without the bench keeping raw
+// latency vectors for registry-side series.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace dauth::obs {
+
+class Histogram {
+ public:
+  static constexpr int kSubBits = 5;  // 32 sub-buckets per octave (~3% error)
+  static constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+
+  /// Records one non-negative sample (negative values clamp to zero).
+  void record(std::int64_t value);
+
+  /// Convenience for virtual-time intervals: records microseconds.
+  void record_duration(Time t) { record(t / kMicrosecond); }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::int64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const noexcept { return max_; }
+
+  /// Value at quantile `p` in [0,1] — the upper bound of the bucket holding
+  /// the target sample, so the estimate errs high by at most one sub-bucket.
+  std::int64_t percentile(double p) const;
+
+ private:
+  static std::size_t bucket_of(std::uint64_t value);
+  static std::uint64_t bucket_upper_bound(std::size_t index);
+
+  // Largest index: msb 63 → shift 58 → ((58+1)<<5) + 31 = 1919.
+  static constexpr std::size_t kBuckets = 1920;
+
+  std::vector<std::uint64_t> buckets_;  // lazily sized on first record
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers a live counter view. `view` must outlive the registry user;
+  /// re-registering a name replaces the view (e.g. a rebuilt node).
+  void register_counter(const std::string& name, const std::uint64_t* view);
+
+  /// Named histogram, created on first use. References stay valid for the
+  /// registry's lifetime.
+  Histogram& histogram(const std::string& name);
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Current value of a registered counter (0 when unknown).
+  std::uint64_t value(const std::string& name) const;
+
+  /// Point-in-time copy of every counter, for delta assertions in tests.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+
+    std::uint64_t value(const std::string& name) const {
+      const auto it = counters.find(name);
+      return it == counters.end() ? 0 : it->second;
+    }
+  };
+
+  Snapshot snapshot() const;
+
+  /// Per-counter `after - before` (counters are monotone; a counter missing
+  /// from `before` contributes its full `after` value).
+  static Snapshot diff(const Snapshot& before, const Snapshot& after);
+
+  const std::map<std::string, const std::uint64_t*>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Whole-registry JSON object: counters plus histogram summaries.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, const std::uint64_t*> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dauth::obs

@@ -1,0 +1,84 @@
+// Observability primitives: trace identity and the closed span-attribute set.
+//
+// A trace follows one logical operation (an attach, a dissemination round, a
+// report) across every network role it touches; spans are the nodes of its
+// causal tree. Identifiers are plain 64-bit values drawn from the simulator's
+// RNG so traces are deterministic per seed and cheap to copy through RPC
+// metadata and async callback state.
+//
+// Attribute values are a *closed* typed set — bool, integers, and short
+// labels only. There is deliberately no constructor from Bytes/ByteView or
+// from Secret<N>/SecretBytes (those overloads are deleted), so key material
+// cannot become a span attribute by accident; dauth-taint additionally treats
+// tracer attribute calls as a sink (rule T6). See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/secret.h"
+
+namespace dauth::obs {
+
+using TraceId = std::uint64_t;
+using SpanId = std::uint64_t;
+
+/// Position inside a trace: enough to parent a child span. Zero-initialised
+/// means "no trace" — everything downstream stays untraced at zero cost.
+struct TraceContext {
+  TraceId trace_id = 0;
+  SpanId span_id = 0;
+
+  bool valid() const noexcept { return trace_id != 0 && span_id != 0; }
+};
+
+/// One attribute value. The kind set is closed on purpose (see file comment):
+/// anything that could smuggle raw key bytes into an exporter is a deleted
+/// overload, so misuse fails to compile before dauth-taint even runs.
+class AttrValue {
+ public:
+  enum class Kind { kBool, kInt, kUint, kLabel };
+
+  AttrValue() = default;
+  AttrValue(bool v) : kind_(Kind::kBool), bool_(v) {}
+  AttrValue(int v) : kind_(Kind::kInt), int_(v) {}
+  AttrValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  AttrValue(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}
+  AttrValue(const char* v) : kind_(Kind::kLabel), label_(v) {}
+  AttrValue(std::string v) : kind_(Kind::kLabel), label_(std::move(v)) {}
+
+  // Closed set: byte buffers and secret types can never become attributes.
+  AttrValue(const Bytes&) = delete;
+  AttrValue(ByteView) = delete;
+  AttrValue(const SecretBytes&) = delete;
+  template <std::size_t N>
+  AttrValue(const Secret<N>&) = delete;
+
+  Kind kind() const noexcept { return kind_; }
+  bool as_bool() const noexcept { return bool_; }
+  std::int64_t as_int() const noexcept { return int_; }
+  std::uint64_t as_uint() const noexcept { return uint_; }
+  const std::string& as_label() const noexcept { return label_; }
+
+  /// Rendering used by both exporters (JSON-compatible token; labels are
+  /// returned raw and escaped by the JSON writer).
+  std::string to_string() const;
+
+ private:
+  Kind kind_ = Kind::kInt;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  std::string label_;
+};
+
+/// One recorded attribute. Names are string literals at every call site (a
+/// fixed vocabulary, not data), so `const char*` is safe and allocation-free.
+struct Attr {
+  const char* name = "";
+  AttrValue value;
+};
+
+}  // namespace dauth::obs

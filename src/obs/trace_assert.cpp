@@ -1,0 +1,102 @@
+#include "obs/trace_assert.h"
+
+#include <cstring>
+#include <set>
+#include <sstream>
+
+namespace dauth::obs {
+
+std::string TraceCheck::to_string() const {
+  if (ok) return "ok";
+  std::ostringstream out;
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    if (i > 0) out << "; ";
+    out << failures[i];
+  }
+  return out.str();
+}
+
+const AttrValue* TraceAssert::find_attr(const Span& span, const char* name) {
+  for (const Attr& attr : span.attrs) {
+    if (std::strcmp(attr.name, name) == 0) return &attr.value;
+  }
+  return nullptr;
+}
+
+TraceCheck TraceAssert::connected(TraceId id) const {
+  TraceCheck check;
+  const auto spans = tracer_.trace(id);
+  if (spans.empty()) {
+    check.fail("trace has no spans");
+    return check;
+  }
+  std::set<SpanId> present;
+  for (const Span* span : spans) present.insert(span->span_id);
+
+  std::size_t roots = 0;
+  for (const Span* span : spans) {
+    if (span->parent_id == 0) {
+      ++roots;
+    } else if (present.count(span->parent_id) == 0) {
+      check.fail("span '" + span->name + "' has a parent outside the trace");
+    }
+  }
+  if (roots != 1) {
+    check.fail("expected exactly one root span, found " + std::to_string(roots));
+  }
+  return check;
+}
+
+TraceCheck TraceAssert::share_threshold(TraceId id, std::size_t threshold) const {
+  TraceCheck check;
+  const auto spans = tracer_.trace(id);
+
+  std::size_t good_shares = 0;
+  for (const Span* span : spans) {
+    if (span->name != "call:backup.get_share" || !span->ok) continue;
+
+    // Walk up the parent chain looking for the verified-proof span the
+    // serving network opens only after the RES* preimage matched HXRES*.
+    bool under_proof = false;
+    for (const Span* cursor = span; cursor != nullptr;
+         cursor = tracer_.find(cursor->parent_id)) {
+      if (cursor->name == "serving.proof") {
+        const AttrValue* verified = find_attr(*cursor, "proof_verified");
+        under_proof = verified != nullptr &&
+                      verified->kind() == AttrValue::Kind::kBool &&
+                      verified->as_bool();
+        break;
+      }
+    }
+    if (!under_proof) {
+      check.fail("share fetch span is not parented under a verified proof span");
+      continue;
+    }
+    ++good_shares;
+  }
+
+  if (good_shares < threshold) {
+    check.fail("only " + std::to_string(good_shares) +
+               " verified share fetches, threshold requires " +
+               std::to_string(threshold));
+  }
+  return check;
+}
+
+TraceCheck TraceAssert::no_spans_for_peer_after(const std::string& peer,
+                                                Time cutoff) const {
+  TraceCheck check;
+  for (const Span& span : tracer_.spans()) {
+    const AttrValue* attr = find_attr(span, "peer");
+    if (attr == nullptr || attr->kind() != AttrValue::Kind::kLabel) continue;
+    if (attr->as_label() != peer) continue;
+    if (span.start > cutoff) {
+      check.fail("span '" + span.name + "' for revoked peer '" + peer +
+                 "' starts at " + format_time(span.start) + " after cutoff " +
+                 format_time(cutoff));
+    }
+  }
+  return check;
+}
+
+}  // namespace dauth::obs

@@ -1,0 +1,56 @@
+// Causal invariants over completed traces.
+//
+// TraceAssert turns the paper's security/accountability arguments into
+// checkable properties of the recorded span tree, e.g. §4.2.2's "a backup
+// only releases a key share after a verified RES* preimage proof" becomes
+// "every backup.get_share span has a serving.proof ancestor whose
+// proof_verified attribute is true". Tests run these over the tracer after
+// an integration scenario; failures carry human-readable explanations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/tracer.h"
+
+namespace dauth::obs {
+
+struct TraceCheck {
+  bool ok = true;
+  std::vector<std::string> failures;
+
+  void fail(std::string why) {
+    ok = false;
+    failures.push_back(std::move(why));
+  }
+
+  /// All failure lines joined, for test assertion messages.
+  std::string to_string() const;
+};
+
+class TraceAssert {
+ public:
+  explicit TraceAssert(const Tracer& tracer) : tracer_(tracer) {}
+
+  /// The trace forms one tree: exactly one root and every other span's
+  /// parent present in the same trace.
+  TraceCheck connected(TraceId id) const;
+
+  /// Threshold-share causality (§4.2.2): the trace contains at least
+  /// `threshold` successful `call:backup.get_share` spans, each with an
+  /// ancestor span named `serving.proof` carrying `proof_verified=true`.
+  TraceCheck share_threshold(TraceId id, std::size_t threshold) const;
+
+  /// Revocation liveness (§4.3): no span whose `peer` attribute equals
+  /// `peer` starts after `cutoff` (e.g. the virtual time a revocation
+  /// completed), across every trace in the tracer.
+  TraceCheck no_spans_for_peer_after(const std::string& peer, Time cutoff) const;
+
+  /// The attribute named `name` on `span`, or nullptr.
+  static const AttrValue* find_attr(const Span& span, const char* name);
+
+ private:
+  const Tracer& tracer_;
+};
+
+}  // namespace dauth::obs

@@ -46,6 +46,8 @@ struct Rpc::CallState {
   ReplyCallback on_reply;
   ErrorCallback on_error;
   bool done = false;
+  /// Attempt span ("rpc:<service>") when a tracer is installed.
+  obs::TraceContext span{};
   /// Set for plain call() handles only; policy runs track settlement in
   /// their own control block. Weak: the control must not keep the state
   /// (and thus the callbacks) alive past completion.
@@ -66,6 +68,9 @@ struct Rpc::PolicyState {
   Time start = 0;
   int attempts_issued = 0;
   bool probe = false;  // the in-flight attempt is a half-open breaker probe
+  /// Parent span resolved at call_with_policy entry, so retries issued from
+  /// timer callbacks (no ambient context) stay parented to the caller.
+  obs::TraceContext parent{};
   /// Weak: the in-flight attempt is owned by its pending simulator events,
   /// and its callbacks own this PolicyState — an owning pointer here would
   /// close a shared_ptr cycle and leak both on cancel/teardown.
@@ -83,8 +88,14 @@ CallHandle Rpc::call(NodeIndex from, NodeIndex to, const std::string& service, B
                           std::move(on_reply), std::move(on_error));
   auto control = std::make_shared<CallHandle::Cancellable>();
   state->control = control;
-  control->abort = [weak = std::weak_ptr<CallState>(state)] {
-    if (auto s = weak.lock()) s->done = true;
+  control->abort = [this, weak = std::weak_ptr<CallState>(state)] {
+    auto s = weak.lock();
+    if (!s) return;
+    s->done = true;
+    if (tracer_ != nullptr && s->span.valid()) {
+      tracer_->set_attr(s->span, "cancelled", true);
+      tracer_->end_span(s->span, false);
+    }
   };
   return CallHandle(std::move(control));
 }
@@ -100,6 +111,14 @@ std::shared_ptr<Rpc::CallState> Rpc::start_call(NodeIndex from, NodeIndex to,
   state->to = to;
   state->on_reply = std::move(on_reply);
   state->on_error = std::move(on_error);
+
+  if (tracer_ != nullptr) {
+    state->span = tracer_->start_span("rpc:" + service, options.trace_parent);
+    tracer_->set_attr(state->span, "peer", network_.node(to).name());
+    if (options.trace_attempt > 0) {
+      tracer_->set_attr(state->span, "attempt", options.trace_attempt);
+    }
+  }
 
   auto& simulator = network_.simulator();
 
@@ -158,6 +177,10 @@ CallHandle Rpc::call_with_policy(NodeIndex from, NodeIndex to, const std::string
   state->on_error = std::move(on_error);
   state->observer = std::move(observer);
   state->start = network_.simulator().now();
+  if (tracer_ != nullptr) {
+    state->parent = options.trace_parent.valid() ? options.trace_parent
+                                                 : tracer_->current();
+  }
   state->control = std::make_shared<CallHandle::Cancellable>();
   // Weak: the control block must not keep the policy state (and its pending
   // retries) alive — a run abandoned at end-of-simulation must still free.
@@ -170,6 +193,10 @@ CallHandle Rpc::call_with_policy(NodeIndex from, NodeIndex to, const std::string
       // references to this PolicyState (and the caller's captures).
       current->on_reply = nullptr;
       current->on_error = nullptr;
+      if (tracer_ != nullptr && current->span.valid()) {
+        tracer_->set_attr(current->span, "cancelled", true);
+        tracer_->end_span(current->span, false);
+      }
     }
     if (s->probe && s->options.use_breaker) breakers_.abandon_probe(s->from, s->to);
   };
@@ -187,6 +214,11 @@ void Rpc::attempt(std::shared_ptr<PolicyState> state) {
     const auto verdict = breakers_.admit(state->from, state->to, now);
     if (!verdict.allowed) {
       if (state->observer) state->observer(ResilienceEvent::kBreakerSkip);
+      if (tracer_ != nullptr) {
+        const auto skip =
+            tracer_->instant_span("breaker-skip:" + state->service, state->parent);
+        tracer_->set_attr(skip, "peer", network_.node(state->to).name());
+      }
       // Fail fast, but deliver asynchronously like every other error path.
       simulator.after(0, [this, state] {
         settle_error(state, {RpcErrorCode::kCircuitOpen,
@@ -217,6 +249,8 @@ void Rpc::attempt(std::shared_ptr<PolicyState> state) {
   RpcOptions attempt_options = state->options;
   attempt_options.timeout = attempt_timeout;
   ++state->attempts_issued;
+  attempt_options.trace_parent = state->parent;
+  attempt_options.trace_attempt = state->attempts_issued;
 
   state->current = start_call(
       state->from, state->to, state->service, state->request, attempt_options,
@@ -284,9 +318,22 @@ void Rpc::send_request(NodeIndex from, NodeIndex to, const std::string& service,
     // Queue the request on the server's worker pool, then run the handler.
     network_.node(to).execute(
         config_.server_base_cost,
-        [this, from, to, handler = &handler_it->second, request = std::move(request), state] {
+        [this, from, to, service, handler = &handler_it->second,
+         request = std::move(request), state] {
+          // Server span: covers handler execution up to the moment the reply
+          // (or rejection) is handed back to the transport. Made ambient for
+          // the synchronous handler body, so RPCs the handler issues inline
+          // become its children without explicit plumbing.
+          obs::TraceContext handle_span{};
+          if (tracer_ != nullptr) {
+            handle_span = tracer_->start_span("handle:" + service, state->span);
+          }
           auto reply_fn = std::make_shared<Responder::ReplyFn>(
-              [this, from, to, state](Bytes reply, bool is_error, AppError app) {
+              [this, from, to, state, handle_span](Bytes reply, bool is_error,
+                                                   AppError app) {
+                if (tracer_ != nullptr && handle_span.valid()) {
+                  tracer_->end_span(handle_span, !is_error);
+                }
                 const std::size_t reply_size = reply.size() + 64;
                 network_.send(to, from, reply_size,
                               [this, state, reply = std::move(reply), is_error,
@@ -300,6 +347,8 @@ void Rpc::send_request(NodeIndex from, NodeIndex to, const std::string& service,
                                 }
                               });
               });
+          std::optional<obs::Tracer::Scope> ambient;
+          if (tracer_ != nullptr) ambient.emplace(*tracer_, handle_span);
           (*handler)(request, Responder(std::move(reply_fn)));
         });
   });
@@ -309,6 +358,9 @@ void Rpc::finish_ok(const std::shared_ptr<CallState>& state, Bytes reply) {
   if (state->done) return;
   state->done = true;
   ++calls_succeeded_;
+  if (tracer_ != nullptr && state->span.valid()) {
+    tracer_->end_span(state->span, true);
+  }
   if (auto control = state->control.lock()) {
     control->settled = true;
     control->abort = nullptr;
@@ -324,6 +376,13 @@ void Rpc::finish_ok(const std::shared_ptr<CallState>& state, Bytes reply) {
 void Rpc::finish_error(const std::shared_ptr<CallState>& state, RpcError error) {
   if (state->done) return;
   state->done = true;
+  if (tracer_ != nullptr && state->span.valid()) {
+    tracer_->set_attr(state->span, "error", to_string(error.code));
+    if (error.app.has_value()) {
+      tracer_->set_attr(state->span, "app_error", to_string(error.app->code));
+    }
+    tracer_->end_span(state->span, false);
+  }
   if (auto control = state->control.lock()) {
     control->settled = true;
     control->abort = nullptr;

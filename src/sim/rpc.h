@@ -24,6 +24,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "obs/tracer.h"
 #include "sim/network.h"
 #include "sim/resilience.h"
 
@@ -91,6 +92,13 @@ struct RpcOptions {
   /// (the paper contrasts dAuth's persistent connections with Open5GS's
   /// on-demand S6a/N12 connections, §6.3.2).
   bool force_new_connection = false;
+  /// Tracing (docs/OBSERVABILITY.md): parent span for the spans this call
+  /// records. Invalid (the default) falls back to the tracer's ambient
+  /// context; ignored entirely while no tracer is installed.
+  obs::TraceContext trace_parent{};
+  /// 1-based attempt index stamped on the attempt span (policy calls set
+  /// this; 0 = unannotated single-shot call).
+  int trace_attempt = 0;
 
   static RpcOptions oneshot(Time timeout = sec(5)) {
     RpcOptions options;
@@ -213,6 +221,12 @@ class Rpc {
   CircuitBreakerSet& breakers() noexcept { return breakers_; }
   const CircuitBreakerSet& breakers() const noexcept { return breakers_; }
 
+  /// Installs (or removes, with nullptr) the span recorder. Off by default;
+  /// every tracing site guards on the pointer, so the disabled path costs
+  /// one branch. The tracer must outlive in-flight calls.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+
   std::uint64_t calls_started() const noexcept { return calls_started_; }
   std::uint64_t calls_succeeded() const noexcept { return calls_succeeded_; }
   std::uint64_t calls_timed_out() const noexcept { return calls_timed_out_; }
@@ -239,6 +253,7 @@ class Rpc {
   Network& network_;
   RpcConfig config_;
   CircuitBreakerSet breakers_;
+  obs::Tracer* tracer_ = nullptr;
   std::map<std::pair<NodeIndex, std::string>, ServiceHandler> services_;
   std::set<std::pair<NodeIndex, NodeIndex>> connections_;
   std::uint64_t calls_started_ = 0;

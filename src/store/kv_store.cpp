@@ -63,9 +63,21 @@ std::optional<Bytes> KvStore::get(std::string_view key) const {
 bool KvStore::contains(std::string_view key) const { return map_.contains(std::string(key)); }
 
 std::vector<std::string> KvStore::keys_with_prefix(std::string_view prefix) const {
+  // Pure range scan: [prefix, successor(prefix)), where the successor is the
+  // prefix with its last non-0xff byte incremented (0xff tail bytes dropped —
+  // "a\xff" has no string successor of the same length, but "b" bounds it).
+  // No per-key compare: the end iterator alone terminates the walk.
+  auto end = map_.end();
+  std::string upper(prefix);
+  while (!upper.empty() && static_cast<unsigned char>(upper.back()) == 0xff) {
+    upper.pop_back();
+  }
+  if (!upper.empty()) {
+    upper.back() = static_cast<char>(static_cast<unsigned char>(upper.back()) + 1);
+    end = map_.lower_bound(upper);
+  }
   std::vector<std::string> out;
-  for (auto it = map_.lower_bound(prefix); it != map_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+  for (auto it = map_.lower_bound(prefix); it != end; ++it) {
     out.push_back(it->first);
   }
   return out;

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
+
+#include "obs/journal.h"
 
 namespace dauth::store {
 namespace {
@@ -58,6 +61,50 @@ TEST(KvStore, PrefixScan) {
 
   EXPECT_EQ(kv.keys_with_prefix("vectors/").size(), 3u);
   EXPECT_TRUE(kv.keys_with_prefix("nothing/").empty());
+}
+
+TEST(KvStore, PrefixScanStopsAtComputedUpperBound) {
+  // The scan's end bound is successor(prefix): the prefix with its last
+  // non-0xff byte bumped. Keys straddling that boundary are the cases a
+  // full-compare loop would get right and a sloppy range bound would not.
+  KvStore kv;
+  kv.put("`", as_bytes("below"));  // 0x60: last key before "a"
+  kv.put("a", as_bytes("1"));
+  kv.put(std::string("a\x00", 2), as_bytes("2"));
+  kv.put("a\xfe", as_bytes("3"));
+  kv.put("a\xff", as_bytes("4"));
+  kv.put("a\xffz", as_bytes("5"));
+  kv.put("b", as_bytes("above"));
+
+  // successor("a") == "b": everything from "a" up to but excluding "b",
+  // including the 0xff-tail keys that sort just under it.
+  const auto under_a = kv.keys_with_prefix("a");
+  ASSERT_EQ(under_a.size(), 5u);
+  EXPECT_EQ(under_a.front(), "a");
+  EXPECT_EQ(under_a.back(), "a\xffz");
+
+  // successor("a\xff") pops the 0xff then bumps: also "b". "a\xfe" must be
+  // excluded at the front, "b" at the back.
+  const auto under_aff = kv.keys_with_prefix("a\xff");
+  ASSERT_EQ(under_aff.size(), 2u);
+  EXPECT_EQ(under_aff[0], "a\xff");
+  EXPECT_EQ(under_aff[1], "a\xffz");
+}
+
+TEST(KvStore, PrefixScanAllMaxBytePrefix) {
+  // An all-0xff prefix has no same-length successor; the scan must run to
+  // the end of the map instead of computing a bogus bound.
+  KvStore kv;
+  kv.put("\xff\xfe", as_bytes("out"));
+  kv.put("\xff\xff", as_bytes("in"));
+  kv.put("\xff\xff\x01", as_bytes("in too"));
+
+  const auto keys = kv.keys_with_prefix("\xff\xff");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "\xff\xff");
+  EXPECT_EQ(keys[1], std::string("\xff\xff\x01"));
+
+  EXPECT_EQ(kv.keys_with_prefix("").size(), 3u);  // empty prefix: everything
 }
 
 TEST(KvStore, DurablePersistsAcrossReopen) {
@@ -154,6 +201,83 @@ TEST(KvStore, EraseNonexistentIsNoop) {
   }
   KvStore reopened(path);
   EXPECT_EQ(reopened.replayed(), 1u);  // the pointless erase wasn't logged
+}
+
+// --- WAL behavior under journal load -------------------------------------
+//
+// The event journal (src/obs/journal.h) is the heaviest steady-state writer
+// of the store: one put per protocol event, compacted periodically. These
+// tests drive the WAL through that workload and through the crash windows
+// compaction opens up.
+
+TEST(KvStore, JournalReplayAfterCompactIsEquivalent) {
+  TempDir dir;
+  const std::string path = dir.file("journal.wal");
+  Time now = 0;
+  const auto clock = [&now] { return now; };
+  {
+    KvStore kv(path);
+    obs::EventJournal journal(clock, &kv);
+    for (int i = 0; i < 50; ++i) {
+      now += kMicrosecond;
+      journal.append(obs::EventKind::kAttachStarted, "net-a",
+                     "imsi-" + std::to_string(i));
+    }
+    kv.compact();
+    // Appends after a compact land in the rewritten log.
+    for (int i = 0; i < 10; ++i) {
+      now += kMicrosecond;
+      journal.append(obs::EventKind::kAttachSucceeded, "net-a",
+                     "imsi-" + std::to_string(i));
+    }
+  }
+  KvStore reopened(path);
+  EXPECT_EQ(reopened.replayed(), 60u);  // 50 snapshot records + 10 appends
+  obs::EventJournal reloaded(clock, &reopened);
+  ASSERT_EQ(reloaded.events().size(), 60u);
+  EXPECT_EQ(reloaded.count(obs::EventKind::kAttachStarted), 50u);
+  EXPECT_EQ(reloaded.count(obs::EventKind::kAttachSucceeded), 10u);
+  // Sequence order and payloads survive the compact + reopen round trip.
+  EXPECT_EQ(reloaded.events().front().seq, 0u);
+  EXPECT_EQ(reloaded.events().front().subject, "imsi-0");
+  EXPECT_EQ(reloaded.events().back().seq, 59u);
+  EXPECT_EQ(reloaded.events().back().at, now);
+  // A fresh append continues the sequence instead of colliding with it.
+  EXPECT_EQ(reloaded.append(obs::EventKind::kAnomaly, "net-a", "x").seq, 60u);
+}
+
+TEST(KvStore, JournalTornTailAfterCompactKeepsIntactPrefix) {
+  TempDir dir;
+  const std::string path = dir.file("journal.wal");
+  Time now = 0;
+  const auto clock = [&now] { return now; };
+  {
+    KvStore kv(path);
+    obs::EventJournal journal(clock, &kv);
+    for (int i = 0; i < 20; ++i) {
+      now += kMicrosecond;
+      journal.append(obs::EventKind::kShareReleased, "backup-1",
+                     "imsi-" + std::to_string(i));
+    }
+    kv.compact();
+  }
+  // Crash mid-write of the compacted log's last record: chop off its tail.
+  {
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 7);
+  }
+  KvStore reopened(path);
+  EXPECT_EQ(reopened.replayed(), 19u);  // the torn record is discarded
+  obs::EventJournal reloaded(clock, &reopened);
+  ASSERT_EQ(reloaded.events().size(), 19u);
+  // The surviving events are exactly the journal's first 19, in order.
+  for (std::size_t i = 0; i < reloaded.events().size(); ++i) {
+    EXPECT_EQ(reloaded.events()[i].seq, i);
+    EXPECT_EQ(reloaded.events()[i].subject, "imsi-" + std::to_string(i));
+  }
+  // The journal keeps appending past the truncation point.
+  const auto& next = reloaded.append(obs::EventKind::kAnomaly, "backup-1", "resumed");
+  EXPECT_EQ(next.seq, 19u);
 }
 
 TEST(KvStore, BinaryValuesSurvive) {

@@ -177,6 +177,19 @@ TEST(LintNames, SecretComponentPatterns) {
   EXPECT_FALSE(is_secret_component("index"));
 }
 
+TEST(LintNames, SharedIsNotAShare) {
+  // "shared" is the English word about ownership (make_shared, shared_ptr,
+  // shared_state), not a Shamir share. Real shares next to it still match.
+  EXPECT_FALSE(is_secret_component("shared"));
+  EXPECT_FALSE(is_secret_component("make_shared"));
+  EXPECT_FALSE(is_secret_component("shared_ptr"));
+  EXPECT_TRUE(is_secret_component("share"));
+  EXPECT_TRUE(is_secret_component("shares"));
+  EXPECT_TRUE(is_secret_component("key_shares"));
+  EXPECT_TRUE(is_secret_component("shared_share"));
+  EXPECT_TRUE(is_secret_component("shared_key"));  // still caught via "key"
+}
+
 // ---- Allowlist ---------------------------------------------------------------
 
 TEST(LintAllowlist, ParsesRuleSuffixLineAndComments) {

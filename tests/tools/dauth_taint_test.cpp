@@ -160,6 +160,44 @@ TEST(TaintT5, DisclosureWithoutReason) {
   EXPECT_TRUE(has_rule(a, "T1"));
 }
 
+TEST(TaintT6, SecretIntoTracerAttribute) {
+  // Span attrs are exported verbatim (src/obs exporters): a tainted value
+  // reaching Tracer::set_attr is a disclosure.
+  const auto a = run("void f(obs::Tracer& tracer, const Bytes& k_seaf) {\n"
+                     "  tracer.set_attr(ctx, \"k\", to_hex_free(k_seaf));\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T6"));
+}
+
+TEST(TaintT6, SecretIntoSpanAnnotate) {
+  const auto a = run("void f(obs::SpanRecorder& span, const Secret<32>& material) {\n"
+                     "  span.annotate(\"m\", material);\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T6"));
+}
+
+TEST(TaintT6, InterproceduralSecretReachesSpanAttr) {
+  const auto a = run("void tag(obs::Tracer& tracer, const Bytes& value) {\n"
+                     "  tracer.set_attr(ctx, \"v\", value);\n"
+                     "}\n"
+                     "void caller(obs::Tracer& tracer, const Bytes& res_star) {\n"
+                     "  tag(tracer, res_star);\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T6"));
+}
+
+TEST(TaintT6, InvokedViewAccessorStillPassesWhole) {
+  // `material.data()` inside the callee hands over the parameter's bytes,
+  // so a secret argument at the call site is still a finding.
+  const auto a = run("void tag(obs::Tracer& tracer, const SecretBytes& material) {\n"
+                     "  tracer.set_attr(ctx, \"m\", hexify(material.data()));\n"
+                     "}\n"
+                     "void caller(obs::Tracer& tracer, const SecretBytes& k_seaf) {\n"
+                     "  tag(tracer, k_seaf);\n"
+                     "}");
+  EXPECT_TRUE(has_rule(a, "T6"));
+}
+
 TEST(TaintT1, SecretMemberOfSecretClassEscapes) {
   // Inside Secret<N> itself every member is secret material.
   const auto a = run("struct SecretBox {\n"
@@ -177,6 +215,33 @@ TEST(TaintClean, PublicComponentsAreNotSecret) {
   EXPECT_TRUE(run("void f(wire::Writer& w) { w.fixed(public_key); }").findings.empty());
   EXPECT_TRUE(run("void f(wire::Writer& w) { w.fixed(av.rand); w.fixed(av.autn); }")
                   .findings.empty());
+}
+
+TEST(TaintClean, MakeSharedResultIsNotAShare) {
+  // std::make_shared contains the substring "share" but constructs fresh
+  // state; its result must not read as Shamir material (the whole RPC layer
+  // allocates call state this way and then names spans on it).
+  const auto a = run("void f(obs::Tracer& tracer, const obs::TraceContext& parent) {\n"
+                     "  auto state = std::make_shared<CallState>();\n"
+                     "  state->span = parent;\n"
+                     "  tracer.set_attr(state->span, \"peer\", \"n\");\n"
+                     "}");
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(TaintClean, SpanMemberIsNotAViewEscape) {
+  // A *member* named `span` (a TraceContext) is not the `.span()` view
+  // accessor: passing the owning struct to a function that only touches the
+  // trace handle must not read as handing over its secret bytes.
+  const auto a = run("struct KeyShareBundle { Bytes key_share; };\n"
+                     "struct Attach { KeyShareBundle bundle; obs::TraceContext span; };\n"
+                     "void finish(obs::Tracer& tracer, const std::shared_ptr<Attach>& attach) {\n"
+                     "  tracer.set_attr(attach->span, \"path\", \"backup\");\n"
+                     "}\n"
+                     "void caller(obs::Tracer& tracer, const std::shared_ptr<Attach>& attach) {\n"
+                     "  finish(tracer, attach);\n"
+                     "}");
+  EXPECT_TRUE(a.findings.empty());
 }
 
 TEST(TaintClean, PublicOverrideBeatsTaintedRoot) {
@@ -225,6 +290,22 @@ TEST(TaintClean, MetadataAccessorsAreHarmless) {
                   "}").findings.empty());
   EXPECT_TRUE(run("void f(wire::Writer& w, const ShamirShare& share) { w.u8(share.x); }")
                   .findings.empty());
+}
+
+TEST(TaintClean, TracerAttrOfPublicValueIsClean) {
+  // Supi, peer names, attempt counters: the attributes src/core actually
+  // records. None are secret, so T6 must stay quiet.
+  EXPECT_TRUE(run("void f(obs::Tracer& tracer, const Supi& supi) {\n"
+                  "  tracer.set_attr(ctx, \"supi\", supi.str());\n"
+                  "  tracer.set_attr(ctx, \"attempt\", attempt);\n"
+                  "}").findings.empty());
+}
+
+TEST(TaintClean, SetAttrOnNonTracerBaseIsNotASink) {
+  // A map named `attrs` is not the tracer; only tracer/span receivers count.
+  EXPECT_TRUE(run("void f(std::map<std::string, Bytes>& attrs, const Bytes& k_seaf) {\n"
+                  "  attrs.set_attr(\"k\", k_seaf);\n"
+                  "}").findings.empty());
 }
 
 TEST(TaintClean, DisclosureWithReasonSuppresses) {

@@ -10,7 +10,11 @@
 #   3. Bench smoke: one short deterministically-seeded fig6 sweep on the
 #      parallel harness under ASan (crypto hot path + thread pool + JSON
 #      reporter end to end)
-#   4. TSan build, event-loop/simulator-facing tests only (includes the
+#   4. Traced scenario: fig3_single_ue --trace under ASan — one backup-mode
+#      attach with the full observability stack on; the binary itself
+#      validates the exported Chrome trace and the TraceAssert invariants
+#      (docs/OBSERVABILITY.md), the gate checks it said so and wrote the file
+#   5. TSan build, event-loop/simulator-facing tests only (includes the
 #      bench_determinism_test thread-pool gate)
 #
 # Usage: tools/check.sh [--skip-tsan]
@@ -30,29 +34,37 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/4] static analysis (dauth-lint + dauth-taint)"
+echo "==> [1/5] static analysis (dauth-lint + dauth-taint)"
 cmake -B build -S . > /dev/null
 cmake --build build -j "$JOBS" --target dauth_lint_cli dauth_taint_cli
 ./build/tools/dauth-lint --allowlist tools/lint_allowlist.txt src tools bench
 ./build/tools/dauth-taint --allowlist tools/taint_allowlist.txt src
 
-echo "==> [2/4] ASan+UBSan build + full test suite"
+echo "==> [2/5] ASan+UBSan build + full test suite"
 cmake -B build-asan -S . \
   -DDAUTH_SANITIZE="address;undefined" \
   -DDAUTH_WERROR=ON > /dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure
 
-echo "==> [3/4] bench smoke (short seeded parallel sweep under ASan)"
+echo "==> [3/5] bench smoke (short seeded parallel sweep under ASan)"
 DAUTH_BENCH_SMOKE=1 DAUTH_BENCH_THREADS=4 DAUTH_BENCH_OUT=build-asan \
   ./build-asan/bench/fig6_threshold_sweep > build-asan/bench_smoke.txt
 grep -q '^quant,thresh' build-asan/bench_smoke.txt \
   || { echo "bench smoke produced no rows" >&2; exit 1; }
 
+echo "==> [4/5] traced scenario (fig3 --trace: exporter + TraceAssert under ASan)"
+DAUTH_BENCH_OUT=build-asan \
+  ./build-asan/bench/fig3_single_ue --trace > build-asan/trace_smoke.txt
+grep -q '^trace,ok,' build-asan/trace_smoke.txt \
+  || { echo "traced attach did not validate" >&2; exit 1; }
+[[ -s build-asan/TRACE_fig3_backup_attach.json ]] \
+  || { echo "no trace JSON written" >&2; exit 1; }
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
-  echo "==> [4/4] TSan pass skipped (--skip-tsan)"
+  echo "==> [5/5] TSan pass skipped (--skip-tsan)"
 else
-  echo "==> [4/4] TSan build + event-loop/simulator tests"
+  echo "==> [5/5] TSan build + event-loop/simulator tests"
   cmake -B build-tsan -S . \
     -DDAUTH_SANITIZE="thread" \
     -DDAUTH_WERROR=ON > /dev/null

@@ -358,11 +358,29 @@ class Analyzer {
 
 }  // namespace
 
+namespace {
+
+// "share" means a Shamir share unless it is part of the English word
+// "shared" (make_shared, shared_ptr, shared_state, ...), which is about
+// ownership, not key material. Erase whole "shared" words, then look for
+// the remaining "share"s — so `key_shares` and even `shared_share` still
+// read as secret while `make_shared` does not.
+bool mentions_key_share(const std::string& n) {
+  std::string stripped = n;
+  for (std::size_t pos = stripped.find("shared"); pos != std::string::npos;
+       pos = stripped.find("shared", pos)) {
+    stripped.erase(pos, 6);
+  }
+  return contains(stripped, "share");
+}
+
+}  // namespace
+
 bool is_secret_component(std::string_view name) {
   const std::string n = lower(name);
   if (contains(n, "public") || contains(n, "hxres") || contains(n, "hres")) return false;
   return contains(n, "key") || contains(n, "xres") || contains(n, "res_star") ||
-         contains(n, "opc") || contains(n, "share") || contains(n, "secret") || n == "k" ||
+         contains(n, "opc") || mentions_key_share(n) || contains(n, "secret") || n == "k" ||
          n == "ck" || n == "ik" || n.substr(0, 2) == "k_" || ends_with(n, "_k");
 }
 

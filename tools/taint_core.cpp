@@ -695,6 +695,7 @@ bool type_is_carrying(const Program& prog, std::string_view type) {
 
 struct Chain {
   std::vector<std::string> comps;
+  std::vector<char> called;  // parallel to comps: component is invoked `(...)`
   std::size_t root = kNone;  // token index of the first component
   int line = 0;
 };
@@ -740,6 +741,7 @@ struct Engine {
     c.root = i;
     c.line = t()[i].line;
     c.comps.push_back(t()[i].text);
+    c.called.push_back(is_call_at(i + 1));
     std::size_t j = i;
     while (true) {
       std::size_t k = j + 1;
@@ -751,11 +753,21 @@ struct Engine {
           is_ident(t(), k + 1)) {
         j = k + 1;
         c.comps.push_back(t()[j].text);
+        c.called.push_back(is_call_at(j + 1));
         continue;
       }
       break;
     }
     return c;
+  }
+
+  /// True when the token at `k` opens an argument list (possibly after
+  /// explicit template arguments): the preceding component is a call, not a
+  /// data member. `x.span()` is an accessor; `x.span` is a field.
+  char is_call_at(std::size_t k) const {
+    const std::size_t past = is_punct(t(), k, "<") ? skip_angles(u, k) : kNone;
+    if (past != kNone) k = past;
+    return is_punct(t(), k, "(") ? 1 : 0;
   }
 
   /// The core classification: what does this access chain carry?
@@ -799,7 +811,12 @@ struct Engine {
     if (pit != f.param_index.end()) {
       bool whole = true;
       for (std::size_t k = 1; k < c.comps.size(); ++k) {
-        if (!in_set(kPassthroughTail, c.comps[k])) whole = false;
+        // A passthrough accessor must be *invoked*: `p.data()` hands over
+        // p's bytes, but `p.data` is some member that happens to share the
+        // name (e.g. a trace context member named `span`).
+        if (!(in_set(kPassthroughTail, c.comps[k]) && k < c.called.size() &&
+              c.called[k] != 0))
+          whole = false;
       }
       if (whole) mask |= param_bit(pit->second);
     }
@@ -1007,6 +1024,17 @@ struct Engine {
       return "";
     }
     if (method == "reply") return "T4";
+    if (method == "set_attr" || method == "attr" || method == "annotate") {
+      // T6: span attributes are exported verbatim (Chrome trace JSON, text
+      // trees), so a tainted value attached to a tracer/span is a disclosure
+      // even though obs::AttrValue's deleted byte-ctors catch the typed case.
+      if (base == nullptr || base->comps.empty()) return "";
+      const std::string root = lower(base->comps[0]);
+      if (contains(root_type, "tracer") || contains(root_type, "span") ||
+          contains(root, "tracer") || contains(root, "span"))
+        return "T6";
+      return "";
+    }
     return "";
   }
 
@@ -1014,6 +1042,7 @@ struct Engine {
     if (rule == "T1") return "the wire encoder";
     if (rule == "T2") return "a log/hex formatter";
     if (rule == "T3") return "persistent storage";
+    if (rule == "T6") return "a trace span attribute";
     return "the network";
   }
 

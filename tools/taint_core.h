@@ -35,6 +35,8 @@
 //   T3 tainted value reaches kv_store/wal persistence
 //   T4 tainted value reaches the network (rpc payload / responder reply)
 //   T5 DAUTH_DISCLOSE annotation without a written justification
+//   T6 tainted value reaches a trace span attribute (tracer/span set_attr,
+//      attr, annotate) — span attrs are exported verbatim by src/obs
 //   H1 registered RPC service has no handler contract
 //   H2 handler contract guard is never called
 //   H3 protected state mutation precedes the guard
